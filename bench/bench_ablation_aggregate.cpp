@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation A2: aggregate pushdown (the paper's stated future work,
+ * §5 "SQL Support"). Pure-aggregate projections reply with scalars
+ * instead of value streams; we measure the extra latency and traffic
+ * reduction it buys on top of Fusion for SUM/AVG queries.
+ */
+#include "benchutil/rigs.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+
+using namespace fusion;
+using namespace fusion::benchutil;
+
+int
+main()
+{
+    banner("Ablation A2", "aggregate pushdown (paper future work)");
+
+    RigOptions base_options;
+    base_options.rows = 60000;
+    base_options.copies = 4;
+
+    RigOptions agg_options = base_options;
+    agg_options.store.aggregatePushdown = true;
+
+    StorePair plain = makeStorePair(Dataset::kLineitem, base_options);
+    StorePair with_agg = makeStorePair(Dataset::kLineitem, agg_options);
+
+    struct Row {
+        const char *name;
+        const char *sql; // table is a placeholder rewritten per copy
+    };
+    Row rows[] = {
+        {"SUM price, 10% sel",
+         "SELECT SUM(l_extendedprice) FROM t WHERE l_suppkey < 1000"},
+        {"AVG price, 50% sel",
+         "SELECT AVG(l_extendedprice) FROM t WHERE l_quantity < 26"},
+        {"COUNT + SUM, full scan",
+         "SELECT COUNT(*), SUM(l_quantity) FROM t WHERE l_orderkey > 0"},
+    };
+
+    RunConfig config;
+    config.totalQueries = 200;
+
+    TablePrinter table({"query", "fusion p50", "fusion+aggpush p50",
+                        "latency reduction (%)", "traffic x lower"});
+    for (const auto &row : rows) {
+        auto parsed = query::parseQuery(row.sql);
+        FUSION_CHECK(parsed.isOk());
+        auto tmpl = [&](StorePair &pair, size_t i) {
+            return pair.onCopy(parsed.value(), i);
+        };
+        RunStats a = runClosedLoop(*plain.fusion, config, [&](size_t i) {
+            return tmpl(plain, i);
+        });
+        RunStats b = runClosedLoop(*with_agg.fusion, config, [&](size_t i) {
+            return tmpl(with_agg, i);
+        });
+        table.addRow(
+            {row.name, formatSeconds(a.latency.p50()),
+             formatSeconds(b.latency.p50()),
+             fmt("%.1f", latencyReductionPct(a.latency.p50(),
+                                             b.latency.p50())),
+             fmt("%.1f", static_cast<double>(a.networkBytes) /
+                             std::max<uint64_t>(b.networkBytes, 1))});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation A5: recovery cost under FAC. The paper keeps conventional
+ * recovery (§5, "Recovery and Fault Tolerance"); this ablation
+ * quantifies two design questions it leaves open:
+ *
+ *  1. Does FAC's variable-size-block layout change single-node repair
+ *     traffic vs fixed blocks? (Repair reads k surviving blocks per
+ *     affected stripe; FAC stripes are sized by their largest chunk.)
+ *  2. What would a locally repairable code buy on top of FAC?
+ *     (LRC(6,2,2) repairs a block from 3 reads instead of 6.)
+ *
+ * Traffic is computed from the layouts at paper scale (lineitem model).
+ */
+#include "benchutil/harness.h"
+#include "common/units.h"
+#include "ec/lrc.h"
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+using namespace fusion::benchutil;
+
+namespace {
+
+/** Bytes read to rebuild every block of one failed node, assuming the
+ *  node held `fraction` of each stripe's blocks on average and repair
+ *  reads `reads_per_block` surviving blocks of the stripe size. */
+uint64_t
+repairTraffic(const fac::ObjectLayout &layout, size_t n,
+              size_t reads_per_block)
+{
+    // Expected blocks of a random node: each stripe places its n blocks
+    // on n distinct nodes of a 10-node cluster, so a node holds a block
+    // of a stripe with probability n/10; repairing it reads
+    // reads_per_block blocks of ~blockSize bytes.
+    uint64_t total = 0;
+    for (const auto &stripe : layout.stripes)
+        total += stripe.blockSize() * reads_per_block;
+    // Scale by the probability the failed node held one of the
+    // stripe's blocks.
+    return static_cast<uint64_t>(static_cast<double>(total) *
+                                 static_cast<double>(n) / 10.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation A5", "single-node repair traffic: layout x code");
+
+    auto model = workload::lineitemChunkModel(77);
+    uint64_t object_bytes = workload::modelTotalBytes(model);
+
+    fac::ObjectLayout fac_layout = fac::buildFacLayout(model, 9, 6);
+    fac::ObjectLayout fixed_layout =
+        fac::buildFixedLayout(model, 9, 6, 100'000'000);
+    // LRC(6,2,2) has n = 10 blocks per stripe; rebuild the FAC layout
+    // with matching k = 6 (stripe shapes are identical; only parity
+    // count differs).
+    auto lrc = ec::LrcCode::create(6, 2, 2).value();
+
+    TablePrinter table({"layout + code", "stripes", "repair reads/block",
+                        "repair traffic", "vs object size"});
+    struct Row {
+        const char *name;
+        const fac::ObjectLayout *layout;
+        size_t n;
+        size_t reads;
+    };
+    Row rows[] = {
+        {"fixed + RS(9,6)", &fixed_layout, 9, 6},
+        {"FAC + RS(9,6)", &fac_layout, 9, 6},
+        {"fixed + LRC(6,2,2)", &fixed_layout, 10, lrc.repairReadCount(0)},
+        {"FAC + LRC(6,2,2)", &fac_layout, 10, lrc.repairReadCount(0)},
+    };
+    for (const auto &row : rows) {
+        uint64_t traffic = repairTraffic(*row.layout, row.n, row.reads);
+        table.addRow({row.name, std::to_string(row.layout->stripes.size()),
+                      std::to_string(row.reads), formatBytes(traffic),
+                      fmt("%.2fx", static_cast<double>(traffic) /
+                                       static_cast<double>(object_bytes))});
+    }
+    table.print();
+
+    std::printf("\nstripe block-size distribution (drives repair reads):\n");
+    auto describe = [&](const char *name, const fac::ObjectLayout &layout) {
+        SampleHistogram sizes;
+        for (const auto &stripe : layout.stripes)
+            sizes.add(static_cast<double>(stripe.blockSize()));
+        std::printf("  %-6s %3zu stripes, block size p50 %s, max %s\n",
+                    name, layout.stripes.size(),
+                    formatBytes(static_cast<uint64_t>(sizes.p50())).c_str(),
+                    formatBytes(static_cast<uint64_t>(sizes.max())).c_str());
+    };
+    describe("fixed", fixed_layout);
+    describe("FAC", fac_layout);
+
+    std::printf("\nexpected: FAC's repair traffic is comparable to fixed "
+                "(bounded by its ~1%% extra parity), and an LRC halves "
+                "repair reads under either layout — supporting the "
+                "paper's claim that FAC is orthogonal to the choice of "
+                "code\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deployment study (extension): §6.3 argues "Fusion would result in
+ * little extra storage overhead when deployed in production" because
+ * large multi-chunk objects dominate cloud storage (60% of objects
+ * >1 GB in the Microsoft trace the paper cites). We put a whole object
+ * *population* with a trace-like size distribution into both stores
+ * and report aggregate capacity overhead, chunk splitting and node
+ * balance — the operator's view of FAC.
+ */
+#include <cmath>
+
+#include "benchutil/harness.h"
+#include "common/random.h"
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+using namespace fusion::benchutil;
+
+namespace {
+
+/**
+ * Synthesizes one object's chunk list. Object sizes follow a heavy
+ * lognormal (median ~1.6 GB, long tail) per the trace shape; chunk
+ * counts and sizes derive from the object size the way Parquet row
+ * groups would.
+ */
+std::vector<fac::ChunkExtent>
+traceObjectChunks(Rng &rng)
+{
+    double size_gb = std::exp(rng.normal() * 1.2 + 0.5); // lognormal
+    size_gb = std::min(size_gb, 50.0);
+    uint64_t object_bytes = static_cast<uint64_t>(size_gb * 1e9);
+    // Row groups of ~1 GB, 8-24 columns with skewed shares.
+    size_t row_groups =
+        std::max<size_t>(1, object_bytes / 1'000'000'000);
+    size_t columns = 8 + rng.pickIndex(17);
+    std::vector<double> shares(columns);
+    double total = 0;
+    for (auto &share : shares) {
+        share = std::exp(rng.normal() * 1.5);
+        total += share;
+    }
+    std::vector<fac::ChunkExtent> chunks;
+    uint64_t offset = 0;
+    uint32_t id = 0;
+    for (size_t rg = 0; rg < row_groups; ++rg) {
+        for (size_t c = 0; c < columns; ++c) {
+            uint64_t size = static_cast<uint64_t>(
+                static_cast<double>(object_bytes) / row_groups *
+                shares[c] / total);
+            size = std::max<uint64_t>(size, 4096);
+            chunks.push_back({id++, offset, size});
+            offset += size;
+        }
+    }
+    return chunks;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Deployment study",
+           "population-level storage overhead and balance");
+
+    const int kObjects = 200;
+    Rng rng(404);
+
+    struct Totals {
+        size_t objects = 0;
+        uint64_t data = 0;
+        uint64_t extra = 0; // padding + parity
+        size_t chunks = 0;
+        size_t split = 0;
+        size_t fallbacks = 0;
+    };
+    // Size classes: <1 GB, 1-10 GB, >10 GB (the cited trace: >60% of
+    // objects exceed 1 GB, and large objects dominate capacity).
+    const char *kClassNames[] = {"< 1 GB", "1-10 GB", "> 10 GB"};
+    Totals fusion_by_class[3], fixed_totals, padding_totals;
+
+    for (int i = 0; i < kObjects; ++i) {
+        auto chunks = traceObjectChunks(rng);
+        uint64_t object_bytes = workload::modelTotalBytes(chunks);
+        size_t size_class =
+            object_bytes < 1'000'000'000 ? 0
+            : object_bytes < 10'000'000'000 ? 1 : 2;
+
+        fac::FusionLayoutOptions fusion_options; // 2% threshold
+        fac::ObjectLayout fusion_layout =
+            fac::buildFusionLayout(chunks, fusion_options);
+        fac::ObjectLayout fixed =
+            fac::buildFixedLayout(chunks, 9, 6, 100'000'000);
+        fac::ObjectLayout padding =
+            fac::buildPaddingLayout(chunks, 9, 6, 100'000'000);
+
+        auto add = [&](Totals &t, const fac::ObjectLayout &layout) {
+            ++t.objects;
+            t.data += layout.dataBytes;
+            t.extra += layout.paddingBytes + layout.parityBytes();
+            t.chunks += chunks.size();
+            auto spans = layout.chunkSpans(chunks.size());
+            for (uint32_t s : spans)
+                t.split += s > 1 ? 1 : 0;
+            t.fallbacks += layout.kind == fac::LayoutKind::kFixed ? 1 : 0;
+        };
+        add(fusion_by_class[size_class], fusion_layout);
+        add(fixed_totals, fixed);
+        add(padding_totals, padding);
+    }
+
+    auto overhead_pct = [](const Totals &t) {
+        double optimal = static_cast<double>(t.data) * 0.5;
+        return (static_cast<double>(t.extra) - optimal) / optimal * 100.0;
+    };
+
+    TablePrinter table({"population slice", "objects", "data",
+                        "overhead vs optimal (%)", "chunks split (%)",
+                        "FAC fallbacks"});
+    Totals fusion_all;
+    for (int c = 0; c < 3; ++c) {
+        const Totals &t = fusion_by_class[c];
+        table.addRow({std::string("fusion, ") + kClassNames[c],
+                      std::to_string(t.objects), formatBytes(t.data),
+                      fmt("%.2f", overhead_pct(t)),
+                      fmt("%.1f", 100.0 * t.split / t.chunks),
+                      std::to_string(t.fallbacks)});
+        fusion_all.objects += t.objects;
+        fusion_all.data += t.data;
+        fusion_all.extra += t.extra;
+        fusion_all.chunks += t.chunks;
+        fusion_all.split += t.split;
+        fusion_all.fallbacks += t.fallbacks;
+    }
+    table.addRow({"fusion, all", std::to_string(fusion_all.objects),
+                  formatBytes(fusion_all.data),
+                  fmt("%.2f", overhead_pct(fusion_all)),
+                  fmt("%.1f", 100.0 * fusion_all.split / fusion_all.chunks),
+                  std::to_string(fusion_all.fallbacks)});
+    table.addRow({"fixed 100MB, all", std::to_string(fixed_totals.objects),
+                  formatBytes(fixed_totals.data),
+                  fmt("%.2f", overhead_pct(fixed_totals)),
+                  fmt("%.1f",
+                      100.0 * fixed_totals.split / fixed_totals.chunks),
+                  "-"});
+    table.addRow({"padding 100MB, all",
+                  std::to_string(padding_totals.objects),
+                  formatBytes(padding_totals.data),
+                  fmt("%.2f", overhead_pct(padding_totals)),
+                  fmt("%.1f",
+                      100.0 * padding_totals.split / padding_totals.chunks),
+                  "-"});
+    table.print();
+
+    std::printf("\nexpected: the capacity-dominating large objects take "
+                "the FAC path with ~1%% overhead and zero splits (the "
+                "paper's §6.3 deployment claim); small few-chunk objects "
+                "trip the 2%% threshold and fall back to fixed blocks, "
+                "which is the designed behaviour — their bytes barely "
+                "register in the population total\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Fig 4a: percentage of column chunks that get split
+ * under RS(9,6) fixed-block coding, sweeping the erasure-code block
+ * size from 100 KB to 100 MB, for the paper-scale lineitem and taxi
+ * chunk models. Paper: even at 100 MB blocks, 40% (lineitem) and 24%
+ * (taxi) of chunks split.
+ */
+#include "benchutil/harness.h"
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+
+int
+main()
+{
+    benchutil::banner("Fig 4a",
+                      "% of column chunks split vs erasure-code block size");
+
+    const uint64_t block_sizes[] = {100'000,    1'000'000, 10'000'000,
+                                    100'000'000};
+    benchutil::TablePrinter table(
+        {"block size", "tpc-h lineitem split %", "taxi split %"});
+
+    for (uint64_t block : block_sizes) {
+        double split[2];
+        int i = 0;
+        for (auto model : {workload::lineitemChunkModel(7),
+                           workload::taxiChunkModel(7)}) {
+            fac::ObjectLayout layout =
+                fac::buildFixedLayout(model, 9, 6, block);
+            FUSION_CHECK(layout.validate(model).isOk());
+            split[i++] = layout.splitFraction(model.size()) * 100.0;
+        }
+        table.addRow({formatBytes(block), benchutil::fmt("%.1f", split[0]),
+                      benchutil::fmt("%.1f", split[1])});
+    }
+    table.print();
+    std::printf("\npaper @100MB blocks: lineitem ~40%%, taxi ~24%%\n");
+    return 0;
+}

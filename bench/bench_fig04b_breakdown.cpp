@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Fig 4b: latency breakdown of the 1%-selectivity
+ * microbenchmark query on the baseline (chunk-splitting) store.
+ * Paper: ~50% of the time goes to network reassembly of fragmented
+ * chunks; disk reads are a small fraction.
+ */
+#include "benchutil/rigs.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+
+using namespace fusion;
+using namespace fusion::benchutil;
+
+int
+main()
+{
+    banner("Fig 4b", "baseline latency breakdown, 1%-selectivity query");
+
+    RigOptions options;
+    options.rows = 60000;
+    options.copies = 4;
+    StorePair pair = makeStorePair(Dataset::kLineitem, options);
+
+    query::Query q = workload::microbenchQuery(
+        "x", "l_extendedprice",
+        pair.table.column(workload::kExtendedPrice), 0.01);
+
+    RunConfig config;
+    config.totalQueries = 400;
+    RunStats stats = runClosedLoop(*pair.baseline, config, [&](size_t i) {
+        return pair.onCopy(q, i);
+    });
+
+    double total =
+        stats.diskSeconds + stats.cpuSeconds + stats.networkSeconds;
+    double other = std::max(0.0, stats.latency.sum() - total);
+    double denom = total + other;
+
+    TablePrinter table({"component", "share of query time (%)"});
+    table.addRow({"disk read", fmt("%.1f", stats.diskSeconds / denom * 100)});
+    table.addRow(
+        {"data processing", fmt("%.1f", stats.cpuSeconds / denom * 100)});
+    table.addRow({"network overhead",
+                  fmt("%.1f", stats.networkSeconds / denom * 100)});
+    table.addRow({"other (queueing)", fmt("%.1f", other / denom * 100)});
+    table.print();
+    std::printf("\npaper: ~50%% network overhead, small disk share\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Fig 4d: storage overhead (w.r.t. optimal) of the
+ * padding approach (Adams et al.) under RS(9,6) and RS(14,10) on the
+ * four paper-scale dataset chunk models. Paper: up to >100% for some
+ * datasets (recipeNLG ~84%).
+ */
+#include "benchutil/harness.h"
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+
+int
+main()
+{
+    benchutil::banner(
+        "Fig 4d", "storage overhead of the padding approach w.r.t optimal");
+
+    struct Row {
+        const char *name;
+        std::vector<fac::ChunkExtent> model;
+    };
+    Row rows[] = {
+        {"tpc-h lineitem", workload::lineitemChunkModel(4)},
+        {"taxi", workload::taxiChunkModel(4)},
+        {"recipeNLG", workload::recipeChunkModel(4)},
+        {"uk pp", workload::ukppChunkModel(4)},
+    };
+    const uint64_t block = 100'000'000; // paper block size
+
+    benchutil::TablePrinter table(
+        {"dataset", "RS(9,6) overhead %", "RS(14,10) overhead %"});
+    for (const auto &row : rows) {
+        fac::ObjectLayout rs96 =
+            fac::buildPaddingLayout(row.model, 9, 6, block);
+        fac::ObjectLayout rs1410 =
+            fac::buildPaddingLayout(row.model, 14, 10, block);
+        FUSION_CHECK(rs96.validate(row.model).isOk());
+        FUSION_CHECK(rs1410.validate(row.model).isOk());
+        table.addRow(
+            {row.name,
+             benchutil::fmt("%.1f", rs96.overheadVsOptimal() * 100.0),
+             benchutil::fmt("%.1f", rs1410.overheadVsOptimal() * 100.0)});
+    }
+    table.print();
+    return 0;
+}

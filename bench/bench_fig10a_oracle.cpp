@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Fig 10a: the exact solver's runtime explodes with
+ * the number of column chunks (Gurobi needed >3 hours at 35 chunks).
+ * Our branch-and-bound oracle is time-limited; we report solve time
+ * and whether optimality was proven within the budget, plus the node
+ * count as the search-effort measure.
+ */
+#include <chrono>
+
+#include "benchutil/harness.h"
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+
+int
+main()
+{
+    benchutil::banner("Fig 10a", "exact-solver runtime vs number of chunks");
+
+    const double time_limit = 2.0; // seconds per instance
+    benchutil::TablePrinter table({"num chunks", "solve time", "status",
+                                   "nodes explored", "FAC time"});
+
+    for (size_t count : {6, 9, 12, 15, 18, 21, 24, 30, 36}) {
+        auto chunks = workload::zipfChunkModel(count, 0.0, 100 + count);
+        auto t0 = std::chrono::steady_clock::now();
+        fac::ObjectLayout greedy = fac::buildFacLayout(chunks, 9, 6);
+        double fac_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        (void)greedy;
+        fac::OracleResult oracle =
+            fac::buildOracleLayout(chunks, 9, 6, time_limit);
+        table.addRow({std::to_string(count),
+                      formatSeconds(oracle.solveSeconds),
+                      oracle.optimal ? "optimal" : "TIMEOUT (budget 2 s)",
+                      std::to_string(oracle.nodesExplored),
+                      formatSeconds(fac_seconds)});
+    }
+    table.print();
+    std::printf("\npaper: Gurobi takes hours beyond ~30 chunks while FAC "
+                "needs microseconds; the same wall appears here as TIMEOUT "
+                "rows.\n");
+    return 0;
+}

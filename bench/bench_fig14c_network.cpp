@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Fig 14c: latency reduction for the column-5
+ * microbenchmark under 10 / 25 / 100 Gbps NICs. Paper: Fusion's edge
+ * grows as the network gets slower, because the baseline's reassembly
+ * traffic hurts more.
+ */
+#include "benchutil/rigs.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+
+using namespace fusion;
+using namespace fusion::benchutil;
+
+int
+main()
+{
+    banner("Fig 14c", "latency reduction vs network bandwidth (column 5)");
+
+    TablePrinter table({"NIC bandwidth", "p50 reduction (%)",
+                        "p99 reduction (%)", "baseline p50", "fusion p50"});
+    for (double gbps : {10.0, 25.0, 100.0}) {
+        RigOptions options;
+        options.rows = 60000;
+        options.copies = 4;
+        options.node.nicBandwidth = gbps * 1e9 / 8;
+        StorePair pair = makeStorePair(Dataset::kLineitem, options);
+
+        query::Query q = workload::microbenchQuery(
+            "x", "l_extendedprice",
+            pair.table.column(workload::kExtendedPrice), 0.01);
+
+        RunConfig config;
+        config.totalQueries = 250;
+        Comparison cmp =
+            compareStores(pair, config, [&](size_t) { return q; });
+        table.addRow({fmt("%.0f Gbps", gbps),
+                      fmt("%.1f", cmp.p50ReductionPct()),
+                      fmt("%.1f", cmp.p99ReductionPct()),
+                      formatSeconds(cmp.baseline.latency.p50()),
+                      formatSeconds(cmp.fusion.latency.p50())});
+    }
+    table.print();
+    std::printf("\npaper: higher gains on slower networks\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the erasure-coding substrate:
+ * RS encode and reconstruct throughput at the two paper code
+ * configurations, plus GF(256) multiply-accumulate.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "ec/reed_solomon.h"
+
+using namespace fusion;
+
+namespace {
+
+std::vector<Bytes>
+makeBlocks(size_t k, size_t size)
+{
+    Rng rng(k * size);
+    std::vector<Bytes> blocks(k, Bytes(size));
+    for (auto &block : blocks)
+        for (auto &b : block)
+            b = static_cast<uint8_t>(rng.next());
+    return blocks;
+}
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    size_t k = static_cast<size_t>(state.range(1));
+    auto rs = ec::ReedSolomon::create(n, k).value();
+    auto blocks = makeBlocks(k, 1 << 20);
+    std::vector<Slice> views(blocks.begin(), blocks.end());
+    for (auto _ : state) {
+        auto parity = rs.encodeParity(views);
+        benchmark::DoNotOptimize(parity);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                            (1 << 20));
+}
+BENCHMARK(BM_RsEncode)->Args({9, 6})->Args({14, 10});
+
+void
+BM_RsReconstruct(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    size_t k = static_cast<size_t>(state.range(1));
+    auto rs = ec::ReedSolomon::create(n, k).value();
+    auto blocks = makeBlocks(k, 1 << 20);
+    auto stripe = ec::encodeStripe(rs, blocks).value();
+    for (auto _ : state) {
+        std::vector<std::optional<Bytes>> shards;
+        for (const auto &block : stripe.blocks)
+            shards.emplace_back(block);
+        for (size_t e = 0; e < n - k; ++e)
+            shards[e] = std::nullopt; // max erasures, all data blocks
+        auto st = rs.reconstruct(shards, stripe.blockSize);
+        benchmark::DoNotOptimize(st);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            (n - k) * (1 << 20));
+}
+BENCHMARK(BM_RsReconstruct)->Args({9, 6})->Args({14, 10});
+
+void
+BM_GfMulAccumulate(benchmark::State &state)
+{
+    const auto &gf = ec::Gf256::instance();
+    Bytes src(1 << 20), dst(1 << 20, 0);
+    Rng rng(3);
+    for (auto &b : src)
+        b = static_cast<uint8_t>(rng.next());
+    for (auto _ : state) {
+        gf.mulAccumulate(dst.data(), src.data(), src.size(), 0x57);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            (1 << 20));
+}
+BENCHMARK(BM_GfMulAccumulate);
+
+} // namespace
+
+BENCHMARK_MAIN();

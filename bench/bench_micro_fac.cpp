@@ -1,0 +1,65 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for FAC stripe construction: the
+ * paper reports 10s-100s of microseconds for real objects (§4.2,
+ * ~500 us for an 11 GB file), i.e. a negligible share of Put latency.
+ */
+#include <benchmark/benchmark.h>
+
+#include "fac/constructors.h"
+#include "workload/chunk_models.h"
+
+using namespace fusion;
+
+namespace {
+
+void
+BM_FacLayout(benchmark::State &state)
+{
+    auto chunks = workload::zipfChunkModel(
+        static_cast<size_t>(state.range(0)), 0.5, 17);
+    for (auto _ : state) {
+        auto layout = fac::buildFacLayout(chunks, 9, 6);
+        benchmark::DoNotOptimize(layout);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_FacLayout)->Arg(160)->Arg(320)->Arg(1000)->Arg(5000);
+
+void
+BM_FacLayoutLineitem(benchmark::State &state)
+{
+    auto chunks = workload::lineitemChunkModel(5);
+    for (auto _ : state) {
+        auto layout = fac::buildFacLayout(chunks, 9, 6);
+        benchmark::DoNotOptimize(layout);
+    }
+}
+BENCHMARK(BM_FacLayoutLineitem);
+
+void
+BM_PaddingLayout(benchmark::State &state)
+{
+    auto chunks = workload::lineitemChunkModel(5);
+    for (auto _ : state) {
+        auto layout = fac::buildPaddingLayout(chunks, 9, 6, 100'000'000);
+        benchmark::DoNotOptimize(layout);
+    }
+}
+BENCHMARK(BM_PaddingLayout);
+
+void
+BM_FixedLayout(benchmark::State &state)
+{
+    auto chunks = workload::lineitemChunkModel(5);
+    for (auto _ : state) {
+        auto layout = fac::buildFixedLayout(chunks, 9, 6, 100'000'000);
+        benchmark::DoNotOptimize(layout);
+    }
+}
+BENCHMARK(BM_FixedLayout);
+
+} // namespace
+
+BENCHMARK_MAIN();

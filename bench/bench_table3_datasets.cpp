@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Table 3 (Parquet dataset description): columns,
+ * chunk counts and file sizes for the four datasets, at both the
+ * generated (scaled) size and the paper-scale chunk model.
+ */
+#include "benchutil/harness.h"
+#include "common/units.h"
+#include "workload/chunk_models.h"
+#include "workload/lineitem.h"
+#include "workload/taxi.h"
+#include "workload/textsets.h"
+
+using namespace fusion;
+
+int
+main()
+{
+    benchutil::banner("Table 3", "Parquet dataset description");
+
+    struct Row {
+        const char *name;
+        Result<format::WrittenFile> file;
+        std::vector<fac::ChunkExtent> model;
+        double paperGb;
+    };
+    Row rows[] = {
+        {"tpc-h lineitem", workload::buildLineitemFile(60000, 1),
+         workload::lineitemChunkModel(1), 10.0},
+        {"taxi", workload::buildTaxiFile(64000, 1),
+         workload::taxiChunkModel(1), 8.4},
+        {"recipeNLG", workload::buildRecipeFile(24000, 1),
+         workload::recipeChunkModel(1), 0.98},
+        {"uk pp", workload::buildUkppFile(30000, 1),
+         workload::ukppChunkModel(1), 1.5},
+    };
+
+    benchutil::TablePrinter table(
+        {"dataset", "num columns", "num chunks", "generated size",
+         "paper-scale model", "paper size (GB)"});
+    for (auto &row : rows) {
+        FUSION_CHECK(row.file.isOk());
+        const auto &meta = row.file.value().metadata;
+        table.addRow({row.name,
+                      std::to_string(meta.schema.numColumns()),
+                      std::to_string(meta.numChunks()),
+                      formatBytes(row.file.value().bytes.size()),
+                      benchutil::fmt("%.2f GB",
+                                     workload::modelTotalBytes(row.model) /
+                                         1e9),
+                      benchutil::fmt("%.2f", row.paperGb)});
+    }
+    table.print();
+    return 0;
+}

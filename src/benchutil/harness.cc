@@ -1,0 +1,134 @@
+#include "harness.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fusion::benchutil {
+
+RunStats
+runClosedLoop(store::ObjectStore &store, const RunConfig &config,
+              std::function<query::Query(size_t)> next_query)
+{
+    RunStats stats;
+    sim::SimEngine &engine = store.cluster().engine();
+    double wall_start = engine.now();
+    uint64_t traffic_start = store.cluster().totalNetworkBytes();
+
+    size_t issued = 0;
+    auto record = [&](Result<store::QueryOutcome> outcome,
+                      const std::function<void()> &after) {
+        FUSION_CHECK_MSG(outcome.isOk(),
+                         outcome.isOk() ? "" : outcome.status().toString());
+        const store::QueryOutcome &o = outcome.value();
+        stats.latency.add(o.latencySeconds);
+        stats.diskSeconds += o.diskSeconds;
+        stats.cpuSeconds += o.cpuSeconds;
+        stats.networkSeconds += o.networkSeconds;
+        stats.projectionPushdowns += o.projectionPushdowns;
+        stats.projectionFetches += o.projectionFetches;
+        after();
+    };
+
+    if (config.openLoopQps > 0.0) {
+        // Fixed-rate arrivals, independent of completions.
+        for (size_t i = 0; i < config.totalQueries; ++i) {
+            engine.scheduleAt(
+                wall_start + static_cast<double>(i) / config.openLoopQps,
+                [&, i]() {
+                    store.queryAsync(next_query(i),
+                                     [&](Result<store::QueryOutcome> o) {
+                                         record(std::move(o), [] {});
+                                     });
+                });
+        }
+        engine.run();
+    } else {
+        // One closed-loop client: issue, wait for completion, repeat.
+        std::function<void()> issue_next = [&]() {
+            if (issued >= config.totalQueries)
+                return;
+            size_t index = issued++;
+            store.queryAsync(next_query(index),
+                             [&](Result<store::QueryOutcome> o) {
+                                 record(std::move(o), issue_next);
+                             });
+        };
+        size_t clients = std::min(config.clients, config.totalQueries);
+        for (size_t c = 0; c < clients; ++c)
+            issue_next();
+        engine.run();
+    }
+
+    stats.wallSimSeconds = engine.now() - wall_start;
+    stats.networkBytes =
+        store.cluster().totalNetworkBytes() - traffic_start;
+    stats.meanStorageCpuUtilization =
+        store.cluster().meanStorageCpuUtilization();
+    FUSION_CHECK(stats.latency.count() == config.totalQueries);
+    return stats;
+}
+
+double
+latencyReductionPct(double baseline_seconds, double fusion_seconds)
+{
+    if (baseline_seconds <= 0.0)
+        return 0.0;
+    return (baseline_seconds - fusion_seconds) / baseline_seconds * 100.0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    FUSION_CHECK(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        std::printf("|");
+        for (size_t c = 0; c < cells.size(); ++c)
+            std::printf(" %-*s |", static_cast<int>(widths[c]),
+                        cells[c].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c)
+        std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
+}
+
+} // namespace fusion::benchutil

@@ -1,0 +1,148 @@
+#include "rigs.h"
+
+#include "workload/lineitem.h"
+#include "workload/taxi.h"
+#include "workload/textsets.h"
+
+namespace fusion::benchutil {
+
+const char *
+datasetName(Dataset d)
+{
+    switch (d) {
+      case Dataset::kLineitem: return "tpch lineitem";
+      case Dataset::kTaxi: return "taxi";
+      case Dataset::kRecipe: return "recipeNLG";
+      case Dataset::kUkpp: return "uk pp";
+    }
+    return "unknown";
+}
+
+sim::NodeConfig
+scaledNodeConfig(sim::NodeConfig config, uint64_t actual_bytes,
+                 double paper_bytes)
+{
+    FUSION_CHECK(actual_bytes > 0 && paper_bytes > 0);
+    double factor = paper_bytes / static_cast<double>(actual_bytes);
+    config.diskBandwidth /= factor;
+    config.nicBandwidth /= factor;
+    config.cpuRate /= factor;
+    return config;
+}
+
+query::Query
+StorePair::onCopy(query::Query q, size_t index) const
+{
+    q.table = objects[index % objects.size()];
+    return q;
+}
+
+StorePair
+makeStorePair(Dataset dataset, const RigOptions &options)
+{
+    StorePair pair;
+    switch (dataset) {
+      case Dataset::kLineitem: {
+        pair.table = workload::makeLineitemTable(options.rows,
+                                                 options.seed);
+        auto file = workload::buildLineitemFile(options.rows, options.seed);
+        FUSION_CHECK(file.isOk());
+        pair.file = std::move(file.value());
+        break;
+      }
+      case Dataset::kTaxi: {
+        pair.table = workload::makeTaxiTable(options.rows, options.seed);
+        auto file = workload::buildTaxiFile(options.rows, options.seed);
+        FUSION_CHECK(file.isOk());
+        pair.file = std::move(file.value());
+        break;
+      }
+      case Dataset::kRecipe: {
+        pair.table = workload::makeRecipeTable(options.rows, options.seed);
+        auto file = workload::buildRecipeFile(options.rows, options.seed);
+        FUSION_CHECK(file.isOk());
+        pair.file = std::move(file.value());
+        break;
+      }
+      case Dataset::kUkpp: {
+        pair.table = workload::makeUkppTable(options.rows, options.seed);
+        auto file = workload::buildUkppFile(options.rows, options.seed);
+        FUSION_CHECK(file.isOk());
+        pair.file = std::move(file.value());
+        break;
+      }
+    }
+
+    store::StoreOptions store_options = options.store;
+    if (options.fixedBlockSize != 0) {
+        store_options.fixedBlockSize = options.fixedBlockSize;
+    } else {
+        store_options.fixedBlockSize = std::max<uint64_t>(
+            pair.file.bytes.size() / 25, 64 << 10);
+    }
+
+    double paper_bytes = options.paperBytes;
+    if (paper_bytes == 0) {
+        switch (dataset) {
+          case Dataset::kLineitem: paper_bytes = 10e9; break;
+          case Dataset::kTaxi: paper_bytes = 8.4e9; break;
+          case Dataset::kRecipe: paper_bytes = 0.98e9; break;
+          case Dataset::kUkpp: paper_bytes = 1.5e9; break;
+        }
+    }
+
+    sim::ClusterConfig cluster_config;
+    cluster_config.numNodes = options.numNodes;
+    cluster_config.node = scaledNodeConfig(
+        options.node, pair.file.bytes.size(), paper_bytes);
+    pair.baselineCluster = std::make_unique<sim::Cluster>(cluster_config);
+    cluster_config.placementSeed ^= 0x1234; // independent placement
+    pair.fusionCluster = std::make_unique<sim::Cluster>(cluster_config);
+    pair.baseline = std::make_unique<store::BaselineStore>(
+        *pair.baselineCluster, store_options);
+    pair.fusion = std::make_unique<store::FusionStore>(
+        *pair.fusionCluster, store_options);
+
+    for (size_t c = 0; c < options.copies; ++c) {
+        std::string name =
+            std::string(datasetName(dataset)) + "#" + std::to_string(c);
+        FUSION_CHECK(pair.baseline->put(name, pair.file.bytes).isOk());
+        FUSION_CHECK(pair.fusion->put(name, pair.file.bytes).isOk());
+        pair.objects.push_back(std::move(name));
+    }
+    return pair;
+}
+
+Comparison
+compareStores(StorePair &pair, const RunConfig &config,
+              const std::function<query::Query(size_t)> &tmpl)
+{
+    Comparison out;
+    auto next = [&](size_t index) {
+        return pair.onCopy(tmpl(index), index);
+    };
+    out.baseline = runClosedLoop(*pair.baseline, config, next);
+    out.fusion = runClosedLoop(*pair.fusion, config, next);
+    return out;
+}
+
+double
+Comparison::p50ReductionPct() const
+{
+    return latencyReductionPct(baseline.latency.p50(), fusion.latency.p50());
+}
+
+double
+Comparison::p99ReductionPct() const
+{
+    return latencyReductionPct(baseline.latency.p99(), fusion.latency.p99());
+}
+
+double
+Comparison::trafficRatio() const
+{
+    return static_cast<double>(baseline.networkBytes) /
+           static_cast<double>(std::max<uint64_t>(fusion.networkBytes, 1));
+}
+
+} // namespace fusion::benchutil

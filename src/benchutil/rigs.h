@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pre-built experiment rigs: dataset + object copies + paired
+ * baseline/Fusion stores on identical (but independent) simulated
+ * clusters. The paper duplicates each Parquet file 10x and spreads
+ * queries across the copies (§6, Datasets); the rigs reproduce that
+ * with a configurable copy count.
+ */
+#ifndef FUSION_BENCHUTIL_RIGS_H
+#define FUSION_BENCHUTIL_RIGS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/writer.h"
+#include "harness.h"
+#include "store/baseline_store.h"
+#include "store/fusion_store.h"
+
+namespace fusion::benchutil {
+
+/** Which generator to use. */
+enum class Dataset {
+    kLineitem,
+    kTaxi,
+    kRecipe,
+    kUkpp,
+};
+
+const char *datasetName(Dataset d);
+
+/** A dataset stored as several object copies in two paired stores. */
+struct StorePair {
+    format::Table table;         // decoded source-of-truth
+    format::WrittenFile file;    // one encoded copy
+    std::vector<std::string> objects; // names of the stored copies
+    std::unique_ptr<sim::Cluster> baselineCluster;
+    std::unique_ptr<sim::Cluster> fusionCluster;
+    std::unique_ptr<store::BaselineStore> baseline;
+    std::unique_ptr<store::FusionStore> fusion;
+
+    /** Rewrites q.table to a copy chosen by `index` (round robin). */
+    query::Query onCopy(query::Query q, size_t index) const;
+};
+
+/** Rig parameters. */
+struct RigOptions {
+    size_t rows = 60000;
+    size_t copies = 5;
+    uint64_t seed = 42;
+    store::StoreOptions store;
+    sim::NodeConfig node;
+    size_t numNodes = 9;
+    /** When 0, the baseline block size is set to objectSize / 25,
+     *  mirroring the paper's 100 MB blocks on multi-GB files. */
+    uint64_t fixedBlockSize = 0;
+    /**
+     * The paper's file size for this dataset. Node service rates (disk,
+     * NIC, CPU) are divided by paperBytes / actualBytes so that
+     * per-byte costs and their ratios match the paper's scale: transfer
+     * and decode times dominate fixed RPC latencies, exactly as on the
+     * real 10 GB files. 0 picks the dataset's Table 3 size; set to the
+     * actual file size to disable scaling.
+     */
+    double paperBytes = 0;
+};
+
+/** Scales a node's service rates so `actual_bytes` of data behave like
+ *  `paper_bytes` (see RigOptions::paperBytes). */
+sim::NodeConfig scaledNodeConfig(sim::NodeConfig config,
+                                 uint64_t actual_bytes, double paper_bytes);
+
+/** Builds a dataset and uploads `copies` objects to both stores. */
+StorePair makeStorePair(Dataset dataset, const RigOptions &options);
+
+/** Runs the same closed-loop workload on both stores. */
+struct Comparison {
+    RunStats baseline;
+    RunStats fusion;
+
+    double p50ReductionPct() const;
+    double p99ReductionPct() const;
+    double trafficRatio() const; // baseline bytes / fusion bytes
+};
+
+Comparison compareStores(StorePair &pair, const RunConfig &config,
+                         const std::function<query::Query(size_t)> &tmpl);
+
+} // namespace fusion::benchutil
+
+#endif // FUSION_BENCHUTIL_RIGS_H

@@ -1,0 +1,98 @@
+#include "bitpack.h"
+
+namespace fusion::codec {
+
+int
+bitWidthFor(uint64_t max_value)
+{
+    int w = 0;
+    while (max_value) {
+        ++w;
+        max_value >>= 1;
+    }
+    return w;
+}
+
+BitPacker::BitPacker(Bytes &out, int width) : out_(out), width_(width)
+{
+    FUSION_CHECK(width >= 0 && width <= 64);
+}
+
+void
+BitPacker::put(uint64_t value)
+{
+    if (width_ == 0) {
+        FUSION_CHECK(value == 0);
+        return;
+    }
+    FUSION_CHECK(width_ == 64 || value < (1ULL << width_));
+    int bits_left = width_;
+    while (bits_left > 0) {
+        int take = std::min(bits_left, 8 - pendingBits_);
+        uint64_t mask = (take == 64) ? ~0ULL : ((1ULL << take) - 1);
+        pending_ |= (value & mask) << pendingBits_;
+        value >>= take;
+        pendingBits_ += take;
+        bits_left -= take;
+        if (pendingBits_ == 8) {
+            out_.push_back(static_cast<uint8_t>(pending_));
+            pending_ = 0;
+            pendingBits_ = 0;
+        }
+    }
+}
+
+void
+BitPacker::flush()
+{
+    if (pendingBits_ > 0) {
+        out_.push_back(static_cast<uint8_t>(pending_));
+        pending_ = 0;
+        pendingBits_ = 0;
+    }
+}
+
+BitUnpacker::BitUnpacker(Slice input, int width)
+    : input_(input), width_(width)
+{
+    FUSION_CHECK(width >= 0 && width <= 64);
+}
+
+Result<uint64_t>
+BitUnpacker::get()
+{
+    if (width_ == 0)
+        return uint64_t{0};
+    uint64_t value = 0;
+    int have = 0;
+    while (have < width_) {
+        if (pendingBits_ == 0) {
+            if (bytePos_ >= input_.size())
+                return Status::corruption("bit stream exhausted");
+            pending_ = input_[bytePos_++];
+            pendingBits_ = 8;
+        }
+        int take = std::min(width_ - have, pendingBits_);
+        uint64_t mask = (1ULL << take) - 1;
+        value |= (pending_ & mask) << have;
+        pending_ >>= take;
+        pendingBits_ -= take;
+        have += take;
+    }
+    return value;
+}
+
+Status
+BitUnpacker::getMany(size_t count, std::vector<uint64_t> &out)
+{
+    out.reserve(out.size() + count);
+    for (size_t i = 0; i < count; ++i) {
+        auto v = get();
+        if (!v.isOk())
+            return v.status();
+        out.push_back(v.value());
+    }
+    return Status::ok();
+}
+
+} // namespace fusion::codec

@@ -1,0 +1,38 @@
+#include "codec.h"
+
+#include "snappy.h"
+
+namespace fusion::codec {
+
+const char *
+compressionName(Compression c)
+{
+    switch (c) {
+      case Compression::kNone: return "none";
+      case Compression::kSnappy: return "snappy";
+    }
+    return "unknown";
+}
+
+Bytes
+compress(Compression c, Slice input)
+{
+    switch (c) {
+      case Compression::kNone: return input.toBytes();
+      case Compression::kSnappy: return snappyCompress(input);
+    }
+    FUSION_CHECK_MSG(false, "unknown compression codec");
+    return {};
+}
+
+Result<Bytes>
+decompress(Compression c, Slice input)
+{
+    switch (c) {
+      case Compression::kNone: return input.toBytes();
+      case Compression::kSnappy: return snappyDecompress(input);
+    }
+    return Status::invalidArgument("unknown compression codec");
+}
+
+} // namespace fusion::codec

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Block-compression dispatch used by the columnar format writer/reader.
+ */
+#ifndef FUSION_CODEC_CODEC_H
+#define FUSION_CODEC_CODEC_H
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace fusion::codec {
+
+/** Block compression applied to encoded pages before hitting disk. */
+enum class Compression : uint8_t {
+    kNone = 0,
+    kSnappy = 1,
+};
+
+const char *compressionName(Compression c);
+
+/** Compresses `input` with the chosen codec. */
+Bytes compress(Compression c, Slice input);
+
+/** Inverse of compress(); kCorruption on malformed input. */
+Result<Bytes> decompress(Compression c, Slice input);
+
+} // namespace fusion::codec
+
+#endif // FUSION_CODEC_CODEC_H

@@ -1,0 +1,113 @@
+#include "rle.h"
+
+#include "bitpack.h"
+#include "common/serde.h"
+
+namespace fusion::codec {
+
+namespace {
+
+// Runs of at least this many equal values are emitted as RLE; shorter
+// stretches accumulate into bit-packed literal groups.
+constexpr size_t kMinRleRun = 8;
+// Cap literal runs so a corrupt header cannot demand a huge allocation.
+constexpr size_t kMaxLiteralRun = 1 << 24;
+
+void
+putRleValue(Bytes &out, uint64_t value, int width)
+{
+    int nbytes = (width + 7) / 8;
+    for (int i = 0; i < nbytes; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+emitLiterals(Bytes &out, const std::vector<uint64_t> &buf, int width)
+{
+    if (buf.empty())
+        return;
+    BinaryWriter writer(out);
+    writer.putVarU64((static_cast<uint64_t>(buf.size()) << 1) | 1);
+    BitPacker packer(out, width);
+    for (uint64_t v : buf)
+        packer.put(v);
+    packer.flush();
+}
+
+} // namespace
+
+Bytes
+rleEncode(const std::vector<uint64_t> &values, int width)
+{
+    Bytes out;
+    BinaryWriter writer(out);
+    std::vector<uint64_t> literals;
+
+    size_t i = 0;
+    const size_t n = values.size();
+    while (i < n) {
+        // Measure the run of equal values starting at i.
+        size_t run = 1;
+        while (i + run < n && values[i + run] == values[i])
+            ++run;
+        if (run >= kMinRleRun) {
+            emitLiterals(out, literals, width);
+            literals.clear();
+            writer.putVarU64(run << 1);
+            putRleValue(out, values[i], width);
+            i += run;
+        } else {
+            for (size_t j = 0; j < run; ++j)
+                literals.push_back(values[i + j]);
+            i += run;
+        }
+    }
+    emitLiterals(out, literals, width);
+    return out;
+}
+
+Result<std::vector<uint64_t>>
+rleDecode(Slice input, int width, size_t count)
+{
+    std::vector<uint64_t> out;
+    out.reserve(count);
+    BinaryReader reader(input);
+    int value_bytes = (width + 7) / 8;
+
+    while (out.size() < count) {
+        auto header = reader.getVarU64();
+        if (!header.isOk())
+            return header.status();
+        uint64_t h = header.value();
+        if (h & 1) {
+            uint64_t literals = h >> 1;
+            if (literals == 0 || literals > kMaxLiteralRun)
+                return Status::corruption("bad RLE literal count");
+            if (literals > count - out.size())
+                return Status::corruption("RLE literals exceed value count");
+            size_t packed_bytes = (literals * width + 7) / 8;
+            auto raw = reader.getRaw(packed_bytes);
+            if (!raw.isOk())
+                return raw.status();
+            BitUnpacker unpacker(raw.value(), width);
+            FUSION_RETURN_IF_ERROR(unpacker.getMany(literals, out));
+        } else {
+            uint64_t run = h >> 1;
+            if (run == 0)
+                return Status::corruption("zero-length RLE run");
+            if (run > count - out.size())
+                return Status::corruption("RLE run exceeds value count");
+            uint64_t value = 0;
+            for (int b = 0; b < value_bytes; ++b) {
+                auto byte = reader.getU8();
+                if (!byte.isOk())
+                    return byte.status();
+                value |= static_cast<uint64_t>(byte.value()) << (8 * b);
+            }
+            out.insert(out.end(), run, value);
+        }
+    }
+    return out;
+}
+
+} // namespace fusion::codec

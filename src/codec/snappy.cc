@@ -1,0 +1,221 @@
+#include "snappy.h"
+
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace fusion::codec {
+
+namespace {
+
+constexpr size_t kMinMatchLen = 4;
+constexpr size_t kMaxLiteralTagLen = 60; // lengths beyond use suffix bytes
+constexpr int kHashBits = 14;
+constexpr size_t kHashTableSize = 1 << kHashBits;
+
+uint32_t
+load32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint32_t
+hash32(uint32_t v)
+{
+    return (v * 0x1e35a7bdU) >> (32 - kHashBits);
+}
+
+void
+emitLiteral(Bytes &out, const uint8_t *data, size_t len)
+{
+    FUSION_CHECK(len > 0);
+    size_t n = len - 1;
+    if (n < kMaxLiteralTagLen) {
+        out.push_back(static_cast<uint8_t>(n << 2));
+    } else {
+        int bytes = 1;
+        if (n >= (1ULL << 24))
+            bytes = 4;
+        else if (n >= (1ULL << 16))
+            bytes = 3;
+        else if (n >= (1ULL << 8))
+            bytes = 2;
+        out.push_back(static_cast<uint8_t>((59 + bytes) << 2));
+        for (int i = 0; i < bytes; ++i)
+            out.push_back(static_cast<uint8_t>(n >> (8 * i)));
+    }
+    out.insert(out.end(), data, data + len);
+}
+
+// Emits one copy element of len in [4, 64] (or [1,64] for far offsets).
+void
+emitCopyPiece(Bytes &out, size_t offset, size_t len)
+{
+    if (offset < 2048 && len >= 4 && len <= 11) {
+        out.push_back(static_cast<uint8_t>(
+            1 | ((len - 4) << 2) | ((offset >> 8) << 5)));
+        out.push_back(static_cast<uint8_t>(offset & 0xff));
+    } else if (offset < 65536) {
+        out.push_back(static_cast<uint8_t>(2 | ((len - 1) << 2)));
+        out.push_back(static_cast<uint8_t>(offset & 0xff));
+        out.push_back(static_cast<uint8_t>(offset >> 8));
+    } else {
+        out.push_back(static_cast<uint8_t>(3 | ((len - 1) << 2)));
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<uint8_t>(offset >> (8 * i)));
+    }
+}
+
+void
+emitCopy(Bytes &out, size_t offset, size_t len)
+{
+    // Long matches are split into <=64-byte pieces; keep the final piece
+    // >= kMinMatchLen so the 1-byte-offset form stays valid.
+    while (len > 64) {
+        size_t piece = (len - 64 >= kMinMatchLen) ? 64 : 60;
+        emitCopyPiece(out, offset, piece);
+        len -= piece;
+    }
+    emitCopyPiece(out, offset, len);
+}
+
+} // namespace
+
+Bytes
+snappyCompress(Slice input)
+{
+    Bytes out;
+    BinaryWriter writer(out);
+    writer.putVarU64(input.size());
+
+    const uint8_t *base = input.data();
+    const size_t n = input.size();
+    if (n == 0)
+        return out;
+
+    std::vector<uint32_t> table(kHashTableSize, 0);
+    // Positions in `table` are stored +1 so 0 means "empty".
+    size_t pos = 0;
+    size_t literal_start = 0;
+
+    while (pos + kMinMatchLen <= n) {
+        uint32_t h = hash32(load32(base + pos));
+        uint32_t candidate = table[h];
+        table[h] = static_cast<uint32_t>(pos + 1);
+        if (candidate != 0) {
+            size_t cand = candidate - 1;
+            if (load32(base + cand) == load32(base + pos)) {
+                // Extend the match as far as possible.
+                size_t len = kMinMatchLen;
+                while (pos + len < n && base[cand + len] == base[pos + len])
+                    ++len;
+                if (pos > literal_start) {
+                    emitLiteral(out, base + literal_start,
+                                pos - literal_start);
+                }
+                emitCopy(out, pos - cand, len);
+                // Seed the table inside the match so later data can
+                // reference it (sparse: every 4th byte keeps this cheap).
+                size_t end = pos + len;
+                for (size_t p = pos + 1; p + kMinMatchLen <= end; p += 4)
+                    table[hash32(load32(base + p))] =
+                        static_cast<uint32_t>(p + 1);
+                pos = end;
+                literal_start = pos;
+                continue;
+            }
+        }
+        ++pos;
+    }
+    if (literal_start < n)
+        emitLiteral(out, base + literal_start, n - literal_start);
+    return out;
+}
+
+Result<uint64_t>
+snappyUncompressedLength(Slice input)
+{
+    BinaryReader reader(input);
+    return reader.getVarU64();
+}
+
+Result<Bytes>
+snappyDecompress(Slice input)
+{
+    BinaryReader reader(input);
+    auto ulen = reader.getVarU64();
+    if (!ulen.isOk())
+        return ulen.status();
+    // The format cannot expand beyond ~64 output bytes per input byte
+    // (a 3-byte copy element emits at most 64 bytes); a longer claim is
+    // corrupt, and trusting it would over-allocate.
+    if (ulen.value() > 64 * input.size() + 1024)
+        return Status::corruption("snappy length claim implausibly large");
+
+    Bytes out;
+    out.reserve(ulen.value());
+
+    while (!reader.atEnd()) {
+        auto tag_r = reader.getU8();
+        if (!tag_r.isOk())
+            return tag_r.status();
+        uint8_t tag = tag_r.value();
+        switch (tag & 3) {
+          case 0: { // literal
+            size_t len = (tag >> 2) + 1;
+            if (len > kMaxLiteralTagLen) {
+                int extra = static_cast<int>(len - kMaxLiteralTagLen);
+                uint64_t n = 0;
+                for (int i = 0; i < extra; ++i) {
+                    auto b = reader.getU8();
+                    if (!b.isOk())
+                        return b.status();
+                    n |= static_cast<uint64_t>(b.value()) << (8 * i);
+                }
+                len = n + 1;
+            }
+            auto raw = reader.getRaw(len);
+            if (!raw.isOk())
+                return raw.status();
+            appendBytes(out, raw.value());
+            break;
+          }
+          case 1: { // copy, 1-byte offset
+            size_t len = 4 + ((tag >> 2) & 0x7);
+            auto b = reader.getU8();
+            if (!b.isOk())
+                return b.status();
+            size_t offset = (static_cast<size_t>(tag >> 5) << 8) | b.value();
+            if (offset == 0 || offset > out.size())
+                return Status::corruption("snappy copy offset out of range");
+            for (size_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - offset]);
+            break;
+          }
+          case 2:
+          case 3: { // copy, 2- or 4-byte offset
+            size_t len = (tag >> 2) + 1;
+            int off_bytes = ((tag & 3) == 2) ? 2 : 4;
+            uint64_t offset = 0;
+            for (int i = 0; i < off_bytes; ++i) {
+                auto b = reader.getU8();
+                if (!b.isOk())
+                    return b.status();
+                offset |= static_cast<uint64_t>(b.value()) << (8 * i);
+            }
+            if (offset == 0 || offset > out.size())
+                return Status::corruption("snappy copy offset out of range");
+            for (size_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - offset]);
+            break;
+          }
+        }
+    }
+    if (out.size() != ulen.value())
+        return Status::corruption("snappy output length mismatch");
+    return out;
+}
+
+} // namespace fusion::codec

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A from-scratch implementation of the Snappy compression format
+ * (https://github.com/google/snappy/blob/main/format_description.txt).
+ *
+ * The paper's column chunks are Snappy-compressed before hitting disk;
+ * per-chunk compressibility drives both the FAC size distribution and
+ * the pushdown Cost Equation, so a real byte-oriented LZ codec (not a
+ * stub) is required for the compression ratios to be meaningful.
+ *
+ * Stream layout: varint uncompressed length, then tagged elements:
+ *   tag & 3 == 0: literal; length-1 in tag>>2, or 60..63 selects a
+ *                 1..4-byte little-endian length-1 suffix.
+ *   tag & 3 == 1: copy, 1-byte offset; len = 4 + ((tag>>2) & 7),
+ *                 offset = ((tag>>5) << 8) | next byte.
+ *   tag & 3 == 2: copy, 2-byte LE offset; len = (tag>>2) + 1.
+ *   tag & 3 == 3: copy, 4-byte LE offset; len = (tag>>2) + 1.
+ */
+#ifndef FUSION_CODEC_SNAPPY_H
+#define FUSION_CODEC_SNAPPY_H
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace fusion::codec {
+
+/** Compresses `input` into Snappy format. Never fails. */
+Bytes snappyCompress(Slice input);
+
+/** Decompresses a Snappy stream; kCorruption on malformed input. */
+Result<Bytes> snappyDecompress(Slice input);
+
+/** Reads the uncompressed-length preamble without decompressing. */
+Result<uint64_t> snappyUncompressedLength(Slice input);
+
+} // namespace fusion::codec
+
+#endif // FUSION_CODEC_SNAPPY_H

@@ -1,0 +1,131 @@
+#include "random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusion {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitMix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    FUSION_CHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % span);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+size_t
+Rng::pickIndex(size_t n)
+{
+    FUSION_CHECK(n > 0);
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta)
+{
+    FUSION_CHECK(n > 0);
+    FUSION_CHECK(theta >= 0.0);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    size_t idx = static_cast<size_t>(it - cdf_.begin());
+    if (idx >= cdf_.size())
+        idx = cdf_.size() - 1;
+    return idx + 1;
+}
+
+std::string
+randomString(Rng &rng, size_t length)
+{
+    std::string s(length, 'a');
+    for (auto &c : s)
+        c = static_cast<char>('a' + rng.uniformInt(0, 25));
+    return s;
+}
+
+} // namespace fusion

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis:
+ * xoshiro256** core, uniform/int/real helpers, and a bounded Zipf
+ * sampler used for chunk-size distributions (paper Fig 16a).
+ */
+#ifndef FUSION_COMMON_RANDOM_H
+#define FUSION_COMMON_RANDOM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "status.h"
+
+namespace fusion {
+
+/**
+ * Small, fast, seedable PRNG (xoshiro256**). Deterministic across
+ * platforms so every experiment is reproducible from its seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initializes the state from a seed via SplitMix64. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Picks a uniformly random element index for a container of size n. */
+    size_t pickIndex(size_t n);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[pickIndex(i)]);
+    }
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Zipf distribution over ranks {1..n} with exponent theta >= 0.
+ * theta = 0 degenerates to the uniform distribution. Sampling is O(log n)
+ * by binary search over a precomputed CDF (n is bounded in our use).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(size_t n, double theta);
+
+    /** Draws a rank in [1, n]; rank 1 is the most probable. */
+    size_t sample(Rng &rng) const;
+
+    size_t n() const { return cdf_.size(); }
+    double theta() const { return theta_; }
+
+  private:
+    std::vector<double> cdf_;
+    double theta_;
+};
+
+/** Random lowercase ASCII string of the given length. */
+std::string randomString(Rng &rng, size_t length);
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_RANDOM_H

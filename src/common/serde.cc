@@ -1,0 +1,219 @@
+#include "serde.h"
+
+#include <cstring>
+
+namespace fusion {
+
+namespace {
+
+Status
+truncated(const char *what)
+{
+    return Status::corruption(std::string("truncated input reading ") + what);
+}
+
+} // namespace
+
+void
+BinaryWriter::putU16(uint16_t v)
+{
+    out_.push_back(static_cast<uint8_t>(v));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+BinaryWriter::putU32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::putU64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::putDouble(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+BinaryWriter::putVarU64(uint64_t v)
+{
+    while (v >= 0x80) {
+        out_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+BinaryWriter::putVarI64(int64_t v)
+{
+    // Zig-zag: interleave negatives so small magnitudes stay short.
+    uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                  static_cast<uint64_t>(v >> 63);
+    putVarU64(zz);
+}
+
+void
+BinaryWriter::putLengthPrefixed(Slice bytes)
+{
+    putVarU64(bytes.size());
+    putRaw(bytes);
+}
+
+Result<uint8_t>
+BinaryReader::getU8()
+{
+    if (remaining() < 1)
+        return truncated("u8");
+    return input_[pos_++];
+}
+
+Result<uint16_t>
+BinaryReader::getU16()
+{
+    if (remaining() < 2)
+        return truncated("u16");
+    uint16_t v = static_cast<uint16_t>(input_[pos_]) |
+                 static_cast<uint16_t>(input_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+Result<uint32_t>
+BinaryReader::getU32()
+{
+    if (remaining() < 4)
+        return truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(input_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+Result<uint64_t>
+BinaryReader::getU64()
+{
+    if (remaining() < 8)
+        return truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(input_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+Result<int32_t>
+BinaryReader::getI32()
+{
+    auto r = getU32();
+    if (!r.isOk())
+        return r.status();
+    return static_cast<int32_t>(r.value());
+}
+
+Result<int64_t>
+BinaryReader::getI64()
+{
+    auto r = getU64();
+    if (!r.isOk())
+        return r.status();
+    return static_cast<int64_t>(r.value());
+}
+
+Result<double>
+BinaryReader::getDouble()
+{
+    auto r = getU64();
+    if (!r.isOk())
+        return r.status();
+    double v;
+    uint64_t bits = r.value();
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+Result<bool>
+BinaryReader::getBool()
+{
+    auto r = getU8();
+    if (!r.isOk())
+        return r.status();
+    return r.value() != 0;
+}
+
+Result<uint64_t>
+BinaryReader::getVarU64()
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (remaining() < 1)
+            return truncated("varint");
+        uint8_t byte = input_[pos_++];
+        if (shift >= 64 || (shift == 63 && (byte & 0x7e)))
+            return Status::corruption("varint overflows u64");
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+Result<int64_t>
+BinaryReader::getVarI64()
+{
+    auto r = getVarU64();
+    if (!r.isOk())
+        return r.status();
+    uint64_t zz = r.value();
+    return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<Slice>
+BinaryReader::getLengthPrefixed()
+{
+    auto len = getVarU64();
+    if (!len.isOk())
+        return len.status();
+    return getRaw(len.value());
+}
+
+Result<std::string>
+BinaryReader::getString()
+{
+    auto s = getLengthPrefixed();
+    if (!s.isOk())
+        return s.status();
+    return s.value().toString();
+}
+
+Result<Slice>
+BinaryReader::getRaw(size_t n)
+{
+    if (remaining() < n)
+        return truncated("raw bytes");
+    Slice out = input_.subslice(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+Status
+BinaryReader::seek(size_t pos)
+{
+    if (pos > input_.size())
+        return Status::outOfRange("seek past end of input");
+    pos_ = pos;
+    return Status::ok();
+}
+
+} // namespace fusion

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal binary serialization: little-endian fixed-width integers,
+ * LEB128 varints, zig-zag signed varints, length-prefixed byte strings.
+ *
+ * Used for the columnar file footer, page headers, stripe manifests and
+ * the chunk location map. The reader is bounds-checked and returns
+ * Status on truncated/corrupt input so that corrupt storage blocks
+ * surface as kCorruption instead of undefined behaviour.
+ */
+#ifndef FUSION_COMMON_SERDE_H
+#define FUSION_COMMON_SERDE_H
+
+#include <cstdint>
+#include <string>
+
+#include "bytes.h"
+#include "status.h"
+
+namespace fusion {
+
+/** Appends binary-encoded values to a growing byte buffer. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(Bytes &out) : out_(out) {}
+
+    void putU8(uint8_t v) { out_.push_back(v); }
+    void putU16(uint16_t v);
+    void putU32(uint32_t v);
+    void putU64(uint64_t v);
+    void putI32(int32_t v) { putU32(static_cast<uint32_t>(v)); }
+    void putI64(int64_t v) { putU64(static_cast<uint64_t>(v)); }
+    void putDouble(double v);
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+
+    /** Unsigned LEB128 varint (1-10 bytes). */
+    void putVarU64(uint64_t v);
+    /** Zig-zag encoded signed varint. */
+    void putVarI64(int64_t v);
+
+    /** Varint length prefix followed by the raw bytes. */
+    void putLengthPrefixed(Slice bytes);
+    void putString(const std::string &s) { putLengthPrefixed(Slice(s)); }
+
+    /** Raw bytes with no prefix. */
+    void putRaw(Slice bytes) { appendBytes(out_, bytes); }
+
+    size_t size() const { return out_.size(); }
+
+  private:
+    Bytes &out_;
+};
+
+/** Bounds-checked sequential reader over a byte view. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(Slice input) : input_(input) {}
+
+    Result<uint8_t> getU8();
+    Result<uint16_t> getU16();
+    Result<uint32_t> getU32();
+    Result<uint64_t> getU64();
+    Result<int32_t> getI32();
+    Result<int64_t> getI64();
+    Result<double> getDouble();
+    Result<bool> getBool();
+    Result<uint64_t> getVarU64();
+    Result<int64_t> getVarI64();
+    /** Reads a varint length prefix and returns a view of that many bytes. */
+    Result<Slice> getLengthPrefixed();
+    Result<std::string> getString();
+    /** Returns a view of exactly `n` bytes. */
+    Result<Slice> getRaw(size_t n);
+
+    size_t position() const { return pos_; }
+    size_t remaining() const { return input_.size() - pos_; }
+    bool atEnd() const { return pos_ == input_.size(); }
+
+    /** Moves the cursor to an absolute offset. */
+    Status seek(size_t pos);
+
+  private:
+    Slice input_;
+    size_t pos_ = 0;
+};
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_SERDE_H

@@ -1,0 +1,67 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "status.h"
+
+namespace fusion {
+
+void
+SampleHistogram::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleHistogram::sum() const
+{
+    double s = 0.0;
+    for (double v : samples_)
+        s += v;
+    return s;
+}
+
+double
+SampleHistogram::mean() const
+{
+    return samples_.empty() ? 0.0 : sum() / samples_.size();
+}
+
+double
+SampleHistogram::min() const
+{
+    FUSION_CHECK(!samples_.empty());
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+SampleHistogram::max() const
+{
+    FUSION_CHECK(!samples_.empty());
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+SampleHistogram::percentile(double p) const
+{
+    FUSION_CHECK(!samples_.empty());
+    FUSION_CHECK(p >= 0.0 && p <= 100.0);
+    ensureSorted();
+    if (p <= 0.0)
+        return samples_.front();
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > samples_.size())
+        rank = samples_.size();
+    return samples_[rank - 1];
+}
+
+} // namespace fusion

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Statistics helpers for the benchmark harness: exact-percentile sample
+ * histograms (latency distributions) and streaming moments.
+ */
+#ifndef FUSION_COMMON_STATS_H
+#define FUSION_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fusion {
+
+/**
+ * Collects raw samples and answers exact percentile queries. Intended
+ * for experiment-sized populations (10^4-10^6 samples), where keeping
+ * the raw data is cheaper than managing approximation error.
+ */
+class SampleHistogram
+{
+  public:
+    void add(double sample) { samples_.push_back(sample); sorted_ = false; }
+
+    size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Exact p-th percentile by nearest-rank, p in [0, 100]. */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p99() const { return percentile(99.0); }
+
+    void clear() { samples_.clear(); sorted_ = false; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/** Constant-space running count/mean/min/max/sum. */
+class StreamingStats
+{
+  public:
+    void
+    add(double sample)
+    {
+        ++count_;
+        sum_ += sample;
+        if (sample < min_) min_ = sample;
+        if (sample > max_) max_ = sample;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_STATS_H

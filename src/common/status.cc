@@ -1,0 +1,49 @@
+#include "status.h"
+
+namespace fusion {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+namespace detail {
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const std::string &extra)
+{
+    std::fprintf(stderr, "FUSION_CHECK failed at %s:%d: %s%s%s\n", file, line,
+                 expr, extra.empty() ? "" : " -- ", extra.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace fusion

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Error-handling primitives: Status and Result<T>.
+ *
+ * Fusion avoids exceptions on hot paths; fallible operations return a
+ * Status (or Result<T> when they also produce a value). Programming
+ * errors (violated invariants) abort via FUSION_CHECK.
+ */
+#ifndef FUSION_COMMON_STATUS_H
+#define FUSION_COMMON_STATUS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fusion {
+
+/** Canonical error categories used across all Fusion modules. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kCorruption,
+    kOutOfRange,
+    kUnavailable,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kUnimplemented,
+    kInternal,
+};
+
+/** Human-readable name of a status code (e.g. "Corruption"). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A cheap, copyable success-or-error value. The OK status carries no
+ * allocation; error statuses carry a code and a message.
+ */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(msg));
+    }
+
+    static Status
+    notFound(std::string msg)
+    {
+        return Status(StatusCode::kNotFound, std::move(msg));
+    }
+
+    static Status
+    alreadyExists(std::string msg)
+    {
+        return Status(StatusCode::kAlreadyExists, std::move(msg));
+    }
+
+    static Status
+    corruption(std::string msg)
+    {
+        return Status(StatusCode::kCorruption, std::move(msg));
+    }
+
+    static Status
+    outOfRange(std::string msg)
+    {
+        return Status(StatusCode::kOutOfRange, std::move(msg));
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return Status(StatusCode::kUnavailable, std::move(msg));
+    }
+
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
+    }
+
+    static Status
+    unimplemented(std::string msg)
+    {
+        return Status(StatusCode::kUnimplemented, std::move(msg));
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return Status(StatusCode::kInternal, std::move(msg));
+    }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "<CodeName>: <message>". */
+    std::string toString() const;
+
+    bool
+    operator==(const Status &other) const
+    {
+        return code_ == other.code_ && message_ == other.message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * A value-or-error wrapper. Holds either a T (on success) or an error
+ * Status. Accessing value() on an error aborts, so callers must check
+ * isOk() (or use valueOr) first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicit construction from a success value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Implicit construction from an error status. */
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk()) {
+            std::fprintf(stderr,
+                         "Result<T> constructed from OK status without "
+                         "a value\n");
+            std::abort();
+        }
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    T &
+    value() &
+    {
+        checkHasValue();
+        return *value_;
+    }
+
+    const T &
+    value() const &
+    {
+        checkHasValue();
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        checkHasValue();
+        return std::move(*value_);
+    }
+
+    T
+    valueOr(T fallback) const &
+    {
+        return value_.has_value() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    void
+    checkHasValue() const
+    {
+        if (!value_.has_value()) {
+            std::fprintf(stderr, "Result::value() on error: %s\n",
+                         status_.toString().c_str());
+            std::abort();
+        }
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+namespace detail {
+
+[[noreturn]] void checkFailed(const char *file, int line, const char *expr,
+                              const std::string &extra);
+
+} // namespace detail
+
+/** Aborts with a diagnostic when an internal invariant does not hold. */
+#define FUSION_CHECK(expr)                                                   \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::fusion::detail::checkFailed(__FILE__, __LINE__, #expr, "");    \
+        }                                                                    \
+    } while (0)
+
+/** FUSION_CHECK with a context message appended to the diagnostic. */
+#define FUSION_CHECK_MSG(expr, msg)                                         \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::fusion::detail::checkFailed(__FILE__, __LINE__, #expr, (msg)); \
+        }                                                                    \
+    } while (0)
+
+/** Returns early from the enclosing function if `status_expr` is an error. */
+#define FUSION_RETURN_IF_ERROR(status_expr)                                  \
+    do {                                                                     \
+        ::fusion::Status _fusion_st = (status_expr);                         \
+        if (!_fusion_st.isOk())                                              \
+            return _fusion_st;                                               \
+    } while (0)
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_STATUS_H

@@ -1,0 +1,50 @@
+#include "units.h"
+
+#include <cstdio>
+
+namespace fusion {
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= kGiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      static_cast<double>(bytes) / kGiB);
+    } else if (bytes >= kMiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                      static_cast<double>(bytes) / kMiB);
+    } else if (bytes >= kKiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                      static_cast<double>(bytes) / kKiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (seconds >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace fusion

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Size/time unit constants and human-readable formatting helpers.
+ */
+#ifndef FUSION_COMMON_UNITS_H
+#define FUSION_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace fusion {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/** "1.50 GiB", "37.2 MiB", "812 B". */
+std::string formatBytes(uint64_t bytes);
+
+/** Seconds rendered with an adaptive unit: "1.20 s", "35.0 ms", "210 us". */
+std::string formatSeconds(double seconds);
+
+/** Fixed-precision percentage, e.g. "12.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_UNITS_H

@@ -1,0 +1,79 @@
+#include "gf256.h"
+
+#include "common/status.h"
+
+namespace fusion::ec {
+
+namespace {
+constexpr unsigned kPrimitivePoly = 0x11d;
+} // namespace
+
+Gf256::Gf256()
+{
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+        exp_[i] = static_cast<uint8_t>(x);
+        log_[x] = static_cast<uint8_t>(i);
+        x <<= 1;
+        if (x & 0x100)
+            x ^= kPrimitivePoly;
+    }
+    for (int i = 255; i < 512; ++i)
+        exp_[i] = exp_[i - 255];
+    log_[0] = 0; // never consulted: mul/div guard zero operands
+}
+
+const Gf256 &
+Gf256::instance()
+{
+    static const Gf256 table;
+    return table;
+}
+
+uint8_t
+Gf256::div(uint8_t a, uint8_t b) const
+{
+    FUSION_CHECK_MSG(b != 0, "GF(256) division by zero");
+    if (a == 0)
+        return 0;
+    return exp_[255 + log_[a] - log_[b]];
+}
+
+uint8_t
+Gf256::inv(uint8_t a) const
+{
+    FUSION_CHECK_MSG(a != 0, "GF(256) inverse of zero");
+    return exp_[255 - log_[a]];
+}
+
+uint8_t
+Gf256::pow(uint8_t a, unsigned e) const
+{
+    if (e == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    unsigned le = (static_cast<unsigned>(log_[a]) * e) % 255;
+    return exp_[le];
+}
+
+void
+Gf256::mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
+                     uint8_t c) const
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        for (size_t i = 0; i < len; ++i)
+            dst[i] ^= src[i];
+        return;
+    }
+    const uint8_t lc = log_[c];
+    for (size_t i = 0; i < len; ++i) {
+        uint8_t s = src[i];
+        if (s)
+            dst[i] ^= exp_[lc + log_[s]];
+    }
+}
+
+} // namespace fusion::ec

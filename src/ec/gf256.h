@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Arithmetic over GF(2^8) with the AES/Rijndael-compatible primitive
+ * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), via exp/log tables.
+ * This is the field underlying the systematic Reed-Solomon codes used
+ * by both the baseline store and Fusion.
+ */
+#ifndef FUSION_EC_GF256_H
+#define FUSION_EC_GF256_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fusion::ec {
+
+/** Table-driven GF(2^8) arithmetic. All operations are total except
+ *  division/inverse by zero, which abort. */
+class Gf256
+{
+  public:
+    /** Returns the process-wide table instance. */
+    static const Gf256 &instance();
+
+    uint8_t
+    add(uint8_t a, uint8_t b) const
+    {
+        return a ^ b;
+    }
+
+    uint8_t
+    mul(uint8_t a, uint8_t b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return exp_[log_[a] + log_[b]];
+    }
+
+    uint8_t div(uint8_t a, uint8_t b) const;
+    uint8_t inv(uint8_t a) const;
+
+    /** a raised to the integer power e (e >= 0). */
+    uint8_t pow(uint8_t a, unsigned e) const;
+
+    /** Multiply-accumulate over a byte range: dst[i] ^= c * src[i]. */
+    void mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
+                       uint8_t c) const;
+
+  private:
+    Gf256();
+
+    // exp_ is doubled so mul() can skip the mod-255 reduction.
+    uint8_t exp_[512];
+    uint8_t log_[256];
+};
+
+} // namespace fusion::ec
+
+#endif // FUSION_EC_GF256_H

@@ -1,0 +1,160 @@
+#include "lrc.h"
+
+#include <algorithm>
+
+namespace fusion::ec {
+
+Result<LrcCode>
+LrcCode::create(size_t k, size_t l, size_t g)
+{
+    if (k == 0 || l == 0 || g == 0)
+        return Status::invalidArgument("k, l, g must all be positive");
+    if (k % l != 0)
+        return Status::invalidArgument("l must divide k");
+    if (k + l + g > 256)
+        return Status::invalidArgument("GF(256) supports at most 256 blocks");
+
+    const size_t n = k + l + g;
+    Matrix generator(n, k);
+    // Data rows: identity (systematic).
+    for (size_t i = 0; i < k; ++i)
+        generator.set(i, i, 1);
+    // Local parity rows: XOR over each group.
+    const size_t group_size = k / l;
+    for (size_t group = 0; group < l; ++group) {
+        for (size_t j = 0; j < group_size; ++j)
+            generator.set(k + group, group * group_size + j, 1);
+    }
+    // Global parity rows: G_p[j] = (alpha^(j+1))^(p+1) over distinct
+    // nonzero field points. Avoiding the power-0 (all-ones) row keeps
+    // the globals free of XOR structure that would collide with the
+    // all-ones local parities: any mix of one local row and up to g
+    // global rows restricted to a group is a Vandermonde-with-ones
+    // matrix over distinct points, hence invertible.
+    const Gf256 &gf = Gf256::instance();
+    for (size_t p = 0; p < g; ++p) {
+        for (size_t c = 0; c < k; ++c) {
+            uint8_t alpha = gf.pow(2, static_cast<unsigned>(c + 1));
+            generator.set(k + l + p, c,
+                          gf.pow(alpha, static_cast<unsigned>(p + 1)));
+        }
+    }
+    return LrcCode(k, l, g, std::move(generator));
+}
+
+std::vector<Bytes>
+LrcCode::encodeParity(const std::vector<Slice> &data_blocks) const
+{
+    FUSION_CHECK(data_blocks.size() == k_);
+    size_t block_size = 0;
+    for (const auto &block : data_blocks)
+        block_size = std::max(block_size, block.size());
+
+    const Gf256 &gf = Gf256::instance();
+    std::vector<Bytes> parity(l_ + g_, Bytes(block_size, 0));
+    for (size_t p = 0; p < l_ + g_; ++p) {
+        for (size_t j = 0; j < k_; ++j) {
+            uint8_t coeff = generator_.at(k_ + p, j);
+            gf.mulAccumulate(parity[p].data(), data_blocks[j].data(),
+                             data_blocks[j].size(), coeff);
+        }
+    }
+    return parity;
+}
+
+size_t
+LrcCode::repairReadCount(size_t index) const
+{
+    FUSION_CHECK(index < n());
+    return index < k_ + l_ ? groupSize() : k_;
+}
+
+Status
+LrcCode::reconstruct(std::vector<std::optional<Bytes>> &shards,
+                     size_t block_size) const
+{
+    if (shards.size() != n())
+        return Status::invalidArgument("expected n shards");
+    for (const auto &shard : shards) {
+        if (shard.has_value() && shard->size() != block_size)
+            return Status::invalidArgument(
+                "survivor shard size != block size");
+    }
+
+    // Phase 1: iterated local repair. A group (its data blocks + local
+    // parity) with exactly one hole is fixed by XORing the rest.
+    const size_t group_size = groupSize();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (size_t group = 0; group < l_; ++group) {
+            std::vector<size_t> members;
+            for (size_t j = 0; j < group_size; ++j)
+                members.push_back(group * group_size + j);
+            members.push_back(localParityIndex(group));
+
+            size_t missing = n();
+            size_t missing_count = 0;
+            for (size_t m : members) {
+                if (!shards[m].has_value()) {
+                    missing = m;
+                    ++missing_count;
+                }
+            }
+            if (missing_count != 1)
+                continue;
+            Bytes repaired(block_size, 0);
+            for (size_t m : members) {
+                if (m == missing)
+                    continue;
+                for (size_t b = 0; b < block_size; ++b)
+                    repaired[b] ^= (*shards[m])[b];
+            }
+            shards[missing] = std::move(repaired);
+            progress = true;
+        }
+    }
+
+    std::vector<size_t> present, absent;
+    for (size_t i = 0; i < n(); ++i)
+        (shards[i].has_value() ? present : absent).push_back(i);
+    if (absent.empty())
+        return Status::ok();
+
+    // Phase 2: global solve over an independent survivor subset.
+    auto rows = generator_.selectIndependentRows(present);
+    if (!rows.isOk())
+        return Status::unavailable(
+            "erasure pattern is not decodable by this LRC");
+    auto decode = generator_.selectRows(rows.value()).inverse();
+    if (!decode.isOk())
+        return decode.status();
+
+    const Gf256 &gf = Gf256::instance();
+    // Recover the k data blocks: d = decode * survivors.
+    std::vector<Bytes> data(k_);
+    for (size_t j = 0; j < k_; ++j) {
+        Bytes out(block_size, 0);
+        for (size_t i = 0; i < k_; ++i) {
+            gf.mulAccumulate(out.data(), shards[rows.value()[i]]->data(),
+                             block_size, decode.value().at(j, i));
+        }
+        data[j] = std::move(out);
+    }
+    // Re-emit every absent block from the data vector.
+    for (size_t miss : absent) {
+        if (miss < k_) {
+            shards[miss] = data[miss];
+            continue;
+        }
+        Bytes out(block_size, 0);
+        for (size_t j = 0; j < k_; ++j) {
+            gf.mulAccumulate(out.data(), data[j].data(), block_size,
+                             generator_.at(miss, j));
+        }
+        shards[miss] = std::move(out);
+    }
+    return Status::ok();
+}
+
+} // namespace fusion::ec

@@ -1,0 +1,146 @@
+#include "matrix.h"
+
+namespace fusion::ec {
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.set(i, i, 1);
+    return m;
+}
+
+Matrix
+Matrix::vandermonde(size_t rows, size_t cols)
+{
+    const Gf256 &gf = Gf256::instance();
+    Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c)
+            m.set(r, c, gf.pow(static_cast<uint8_t>(r), c));
+    }
+    return m;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    FUSION_CHECK(cols_ == other.rows_);
+    const Gf256 &gf = Gf256::instance();
+    Matrix out(rows_, other.cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t c = 0; c < other.cols_; ++c) {
+            uint8_t acc = 0;
+            for (size_t i = 0; i < cols_; ++i)
+                acc ^= gf.mul(at(r, i), other.at(i, c));
+            out.set(r, c, acc);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<size_t> &row_ids) const
+{
+    Matrix out(row_ids.size(), cols_);
+    for (size_t i = 0; i < row_ids.size(); ++i) {
+        FUSION_CHECK(row_ids[i] < rows_);
+        for (size_t c = 0; c < cols_; ++c)
+            out.set(i, c, at(row_ids[i], c));
+    }
+    return out;
+}
+
+Result<std::vector<size_t>>
+Matrix::selectIndependentRows(const std::vector<size_t> &candidates) const
+{
+    const Gf256 &gf = Gf256::instance();
+    // Gaussian elimination over a working copy of the candidate rows,
+    // keeping track of which original rows supplied pivots.
+    std::vector<std::vector<uint8_t>> work;
+    work.reserve(candidates.size());
+    for (size_t row : candidates) {
+        FUSION_CHECK(row < rows_);
+        work.emplace_back(rowData(row), rowData(row) + cols_);
+    }
+
+    std::vector<size_t> chosen;
+    std::vector<bool> used(work.size(), false);
+    for (size_t col = 0; col < cols_; ++col) {
+        // Find an unused row with a nonzero entry in this column.
+        size_t pivot = work.size();
+        for (size_t r = 0; r < work.size(); ++r) {
+            if (!used[r] && work[r][col] != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot == work.size())
+            return Status::invalidArgument(
+                "candidate rows do not span the data space");
+        used[pivot] = true;
+        chosen.push_back(candidates[pivot]);
+        // Eliminate this column from all other unused rows.
+        uint8_t inv = gf.inv(work[pivot][col]);
+        for (size_t r = 0; r < work.size(); ++r) {
+            if (used[r] || work[r][col] == 0)
+                continue;
+            uint8_t factor = gf.mul(work[r][col], inv);
+            for (size_t c = col; c < cols_; ++c) {
+                work[r][c] = work[r][c] ^
+                             gf.mul(factor, work[pivot][c]);
+            }
+        }
+    }
+    return chosen;
+}
+
+Result<Matrix>
+Matrix::inverse() const
+{
+    if (rows_ != cols_)
+        return Status::invalidArgument("inverse of non-square matrix");
+    const Gf256 &gf = Gf256::instance();
+    const size_t n = rows_;
+    Matrix work = *this;
+    Matrix inv = identity(n);
+
+    for (size_t col = 0; col < n; ++col) {
+        // Find a pivot row at or below `col`.
+        size_t pivot = col;
+        while (pivot < n && work.at(pivot, col) == 0)
+            ++pivot;
+        if (pivot == n)
+            return Status::invalidArgument("singular matrix");
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c) {
+                std::swap(work.data_[pivot * n + c], work.data_[col * n + c]);
+                std::swap(inv.data_[pivot * n + c], inv.data_[col * n + c]);
+            }
+        }
+        // Scale the pivot row to 1.
+        uint8_t scale = gf.inv(work.at(col, col));
+        for (size_t c = 0; c < n; ++c) {
+            work.set(col, c, gf.mul(work.at(col, c), scale));
+            inv.set(col, c, gf.mul(inv.at(col, c), scale));
+        }
+        // Eliminate the column from every other row.
+        for (size_t r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            uint8_t factor = work.at(r, col);
+            if (factor == 0)
+                continue;
+            for (size_t c = 0; c < n; ++c) {
+                work.set(r, c, work.at(r, c) ^
+                                   gf.mul(factor, work.at(col, c)));
+                inv.set(r, c,
+                        inv.at(r, c) ^ gf.mul(factor, inv.at(col, c)));
+            }
+        }
+    }
+    return inv;
+}
+
+} // namespace fusion::ec

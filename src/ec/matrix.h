@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small dense matrices over GF(2^8): multiplication, sub-matrix
+ * extraction and Gauss-Jordan inversion. Used to derive the systematic
+ * Reed-Solomon encoding matrix and the erasure-recovery matrices.
+ */
+#ifndef FUSION_EC_MATRIX_H
+#define FUSION_EC_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gf256.h"
+
+namespace fusion::ec {
+
+/** Row-major matrix of GF(2^8) elements. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0)
+    {
+    }
+
+    static Matrix identity(size_t n);
+
+    /** rows x cols Vandermonde matrix: m[r][c] = r^c. */
+    static Matrix vandermonde(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    uint8_t
+    at(size_t r, size_t c) const
+    {
+        FUSION_CHECK(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    void
+    set(size_t r, size_t c, uint8_t v)
+    {
+        FUSION_CHECK(r < rows_ && c < cols_);
+        data_[r * cols_ + c] = v;
+    }
+
+    const uint8_t *rowData(size_t r) const { return &data_[r * cols_]; }
+
+    Matrix multiply(const Matrix &other) const;
+
+    /** New matrix containing the given rows of this one, in order. */
+    Matrix selectRows(const std::vector<size_t> &row_ids) const;
+
+    /** Gauss-Jordan inverse; kInvalidArgument if singular. */
+    Result<Matrix> inverse() const;
+
+    /**
+     * Finds `cols()` linearly independent rows among `candidates`
+     * (returned in the order discovered); kInvalidArgument when the
+     * candidate rows have insufficient rank. Used by non-MDS codes
+     * (e.g. LRC) to pick a decodable survivor subset.
+     */
+    Result<std::vector<size_t>>
+    selectIndependentRows(const std::vector<size_t> &candidates) const;
+
+    bool operator==(const Matrix &o) const = default;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint8_t> data_;
+};
+
+} // namespace fusion::ec
+
+#endif // FUSION_EC_MATRIX_H

@@ -1,0 +1,168 @@
+#include "reed_solomon.h"
+
+#include <algorithm>
+
+namespace fusion::ec {
+
+Result<ReedSolomon>
+ReedSolomon::create(size_t n, size_t k)
+{
+    if (k == 0 || n <= k)
+        return Status::invalidArgument("require 0 < k < n");
+    if (n > 256)
+        return Status::invalidArgument("GF(256) supports at most n = 256");
+
+    // Normalize a Vandermonde matrix so the top k rows become the
+    // identity; the bottom n-k rows then generate parity. Any k rows of
+    // the result remain linearly independent.
+    Matrix vand = Matrix::vandermonde(n, k);
+    std::vector<size_t> top(k);
+    for (size_t i = 0; i < k; ++i)
+        top[i] = i;
+    auto top_inv = vand.selectRows(top).inverse();
+    if (!top_inv.isOk())
+        return top_inv.status();
+    Matrix systematic = vand.multiply(top_inv.value());
+    return ReedSolomon(n, k, std::move(systematic));
+}
+
+std::vector<Bytes>
+ReedSolomon::encodeParity(const std::vector<Slice> &data_blocks) const
+{
+    FUSION_CHECK(data_blocks.size() == k_);
+    size_t block_size = 0;
+    for (const auto &block : data_blocks)
+        block_size = std::max(block_size, block.size());
+
+    const Gf256 &gf = Gf256::instance();
+    std::vector<Bytes> parity(parityCount(), Bytes(block_size, 0));
+    for (size_t p = 0; p < parityCount(); ++p) {
+        for (size_t j = 0; j < k_; ++j) {
+            uint8_t coeff = matrix_.at(k_ + p, j);
+            gf.mulAccumulate(parity[p].data(), data_blocks[j].data(),
+                             data_blocks[j].size(), coeff);
+        }
+    }
+    return parity;
+}
+
+Status
+ReedSolomon::reconstruct(std::vector<std::optional<Bytes>> &shards,
+                         size_t block_size) const
+{
+    if (shards.size() != n_)
+        return Status::invalidArgument("expected n shards");
+
+    std::vector<size_t> present;
+    for (size_t i = 0; i < n_; ++i) {
+        if (shards[i].has_value()) {
+            if (shards[i]->size() != block_size)
+                return Status::invalidArgument(
+                    "survivor shard size != block size");
+            present.push_back(i);
+        }
+    }
+    if (present.size() < k_)
+        return Status::unavailable("too many erasures to reconstruct");
+    if (present.size() == n_)
+        return Status::ok();
+
+    // Use the first k survivors: rows of the encoding matrix.
+    present.resize(k_);
+    auto decode = matrix_.selectRows(present).inverse();
+    if (!decode.isOk())
+        return decode.status();
+
+    const Gf256 &gf = Gf256::instance();
+
+    // Recover data blocks: data[j] = sum_i decode[j][i] * survivor[i].
+    std::vector<Bytes> data(k_);
+    for (size_t j = 0; j < k_; ++j) {
+        if (shards[j].has_value()) {
+            data[j] = *shards[j];
+            continue;
+        }
+        Bytes out(block_size, 0);
+        for (size_t i = 0; i < k_; ++i) {
+            gf.mulAccumulate(out.data(), shards[present[i]]->data(),
+                             block_size, decode.value().at(j, i));
+        }
+        data[j] = std::move(out);
+    }
+    for (size_t j = 0; j < k_; ++j) {
+        if (!shards[j].has_value())
+            shards[j] = data[j];
+    }
+
+    // Re-encode any missing parity from the recovered data.
+    std::vector<Slice> data_views;
+    data_views.reserve(k_);
+    for (size_t j = 0; j < k_; ++j)
+        data_views.emplace_back(data[j]);
+    bool parity_missing = false;
+    for (size_t p = k_; p < n_; ++p)
+        parity_missing |= !shards[p].has_value();
+    if (parity_missing) {
+        std::vector<Bytes> parity = encodeParity(data_views);
+        for (size_t p = k_; p < n_; ++p) {
+            if (!shards[p].has_value())
+                shards[p] = std::move(parity[p - k_]);
+        }
+    }
+    return Status::ok();
+}
+
+Result<Stripe>
+encodeStripe(const ReedSolomon &rs, std::vector<Bytes> data_blocks)
+{
+    if (data_blocks.size() != rs.k())
+        return Status::invalidArgument("expected k data blocks");
+
+    Stripe stripe;
+    stripe.dataSizes.reserve(rs.k());
+    std::vector<Slice> views;
+    views.reserve(rs.k());
+    for (const auto &block : data_blocks) {
+        stripe.dataSizes.push_back(block.size());
+        stripe.blockSize = std::max<uint64_t>(stripe.blockSize, block.size());
+        views.emplace_back(block);
+    }
+    std::vector<Bytes> parity = rs.encodeParity(views);
+    stripe.blocks = std::move(data_blocks);
+    for (auto &p : parity)
+        stripe.blocks.push_back(std::move(p));
+    return stripe;
+}
+
+Result<std::vector<Bytes>>
+recoverStripeData(const ReedSolomon &rs,
+                  std::vector<std::optional<Bytes>> shards,
+                  const std::vector<uint64_t> &data_sizes,
+                  uint64_t block_size)
+{
+    if (shards.size() != rs.n())
+        return Status::invalidArgument("expected n shards");
+    if (data_sizes.size() != rs.k())
+        return Status::invalidArgument("expected k data sizes");
+
+    // Zero-extend surviving data blocks to the stripe block size.
+    for (size_t i = 0; i < rs.k(); ++i) {
+        if (shards[i].has_value()) {
+            if (shards[i]->size() > block_size)
+                return Status::invalidArgument("shard larger than block");
+            shards[i]->resize(block_size, 0);
+        }
+    }
+    FUSION_RETURN_IF_ERROR(rs.reconstruct(shards, block_size));
+
+    std::vector<Bytes> data;
+    data.reserve(rs.k());
+    for (size_t i = 0; i < rs.k(); ++i) {
+        Bytes block = std::move(*shards[i]);
+        block.resize(data_sizes[i]);
+        data.push_back(std::move(block));
+    }
+    return data;
+}
+
+} // namespace fusion::ec

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Systematic Reed-Solomon erasure coding for arbitrary (n, k) with
+ * n <= 256. The encoding matrix is derived from a Vandermonde matrix
+ * normalized so its top k rows are the identity (data blocks are stored
+ * in plaintext — a prerequisite for computation pushdown, see paper §7).
+ *
+ * Variable-size blocks: a stripe's blocks are implicitly zero-extended
+ * to the stripe's block size (the largest data block). Parity blocks
+ * always have the full block size — this is exactly the storage
+ * overhead FAC's bin packing minimizes.
+ */
+#ifndef FUSION_EC_REED_SOLOMON_H
+#define FUSION_EC_REED_SOLOMON_H
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "matrix.h"
+
+namespace fusion::ec {
+
+/** Reusable encoder/decoder for one (n, k) configuration. */
+class ReedSolomon
+{
+  public:
+    /** Builds the systematic code; kInvalidArgument on bad (n, k). */
+    static Result<ReedSolomon> create(size_t n, size_t k);
+
+    size_t n() const { return n_; }
+    size_t k() const { return k_; }
+    size_t parityCount() const { return n_ - k_; }
+
+    /**
+     * Computes the (n - k) parity blocks for k data blocks of possibly
+     * different sizes. Every parity block has size equal to the largest
+     * data block (shorter data blocks are treated as zero-extended).
+     */
+    std::vector<Bytes> encodeParity(
+        const std::vector<Slice> &data_blocks) const;
+
+    /**
+     * Recovers all n blocks of a stripe given at least k survivors.
+     * `shards[i]` holds block i (zero-extended to `block_size`) or
+     * nullopt if lost. On success every entry is filled in.
+     */
+    Status reconstruct(std::vector<std::optional<Bytes>> &shards,
+                       size_t block_size) const;
+
+    const Matrix &encodingMatrix() const { return matrix_; }
+
+  private:
+    ReedSolomon(size_t n, size_t k, Matrix matrix)
+        : n_(n), k_(k), matrix_(std::move(matrix))
+    {
+    }
+
+    size_t n_;
+    size_t k_;
+    Matrix matrix_; // n x k; top k rows are the identity
+};
+
+/** One erasure-coded stripe: n blocks plus the true data-block sizes. */
+struct Stripe {
+    std::vector<Bytes> blocks;      // k data blocks then n-k parity blocks
+    std::vector<uint64_t> dataSizes; // true (unpadded) size of each data blk
+    uint64_t blockSize = 0;          // stripe block size = max data size
+
+    uint64_t
+    parityBytes() const
+    {
+        return blockSize * (blocks.size() - dataSizes.size());
+    }
+};
+
+/**
+ * Encodes k variable-size data blocks into a stripe. Data blocks are
+ * stored at their true size (no physical padding); parity blocks have
+ * the stripe block size.
+ */
+Result<Stripe> encodeStripe(const ReedSolomon &rs,
+                            std::vector<Bytes> data_blocks);
+
+/**
+ * Recovers the k data blocks (at true sizes) from any >= k surviving
+ * shards of a stripe. Survivor data blocks may be passed at true size;
+ * they are zero-extended internally.
+ */
+Result<std::vector<Bytes>> recoverStripeData(
+    const ReedSolomon &rs, std::vector<std::optional<Bytes>> shards,
+    const std::vector<uint64_t> &data_sizes, uint64_t block_size);
+
+} // namespace fusion::ec
+
+#endif // FUSION_EC_REED_SOLOMON_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Stripe-construction strategies:
+ *
+ *  - buildFixedLayout:   today's practice (MinIO/Ceph-style): fixed-size
+ *                        blocks cut at byte boundaries; chunks may split.
+ *  - buildPaddingLayout: Adams et al. (HotStorage '21): pad to block
+ *                        boundaries so chunks never split, at the cost
+ *                        of physically stored padding.
+ *  - buildFacLayout:     the paper's Algorithm 1 (FAC): variable block
+ *                        sizes per stripe, greedy bin packing.
+ *  - buildOracleLayout:  exact branch-and-bound over the paper's ILP
+ *                        objective (Eq. 1), time-limited; stands in for
+ *                        the Gurobi oracle.
+ *  - buildFusionLayout:  FAC with the storage-overhead threshold
+ *                        fallback to fixed blocks (paper §4.2/§5).
+ */
+#ifndef FUSION_FAC_CONSTRUCTORS_H
+#define FUSION_FAC_CONSTRUCTORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "layout.h"
+
+namespace fusion::fac {
+
+/** Fixed-size blocks; chunks split wherever block boundaries fall. */
+ObjectLayout buildFixedLayout(const std::vector<ChunkExtent> &chunks,
+                              size_t n, size_t k, uint64_t block_size);
+
+/**
+ * Fixed-size blocks with alignment padding: a chunk that does not fit
+ * in the current block's remainder moves to the next block and the gap
+ * is stored as padding. Chunks larger than the block size must still
+ * split (alignment is impossible for them).
+ */
+ObjectLayout buildPaddingLayout(const std::vector<ChunkExtent> &chunks,
+                                size_t n, size_t k, uint64_t block_size);
+
+/** Paper Algorithm 1: greedy stripe construction, never splits chunks. */
+ObjectLayout buildFacLayout(const std::vector<ChunkExtent> &chunks,
+                            size_t n, size_t k);
+
+/** Outcome of the exact solver. */
+struct OracleResult {
+    ObjectLayout layout;
+    bool optimal = false;     // proven optimal within the time budget
+    double solveSeconds = 0.0;
+    uint64_t nodesExplored = 0;
+};
+
+/**
+ * Exact branch-and-bound for the paper's bin-packing variant: minimise
+ * the sum over bin sets of the largest bin. Falls back to the best
+ * found solution when the time budget expires.
+ */
+OracleResult buildOracleLayout(const std::vector<ChunkExtent> &chunks,
+                               size_t n, size_t k,
+                               double time_limit_seconds);
+
+/** Options for the Fusion put path. */
+struct FusionLayoutOptions {
+    size_t n = 9;
+    size_t k = 6;
+    /** Max tolerated overhead vs optimal (paper default: 2%). */
+    double overheadThreshold = 0.02;
+    /** Block size used when falling back to fixed-size coding. */
+    uint64_t fallbackBlockSize = 100ULL << 20;
+};
+
+/**
+ * FAC with threshold fallback: returns the FAC layout when its overhead
+ * is within the threshold, otherwise the fixed layout (which may split
+ * chunks but has near-optimal overhead).
+ */
+ObjectLayout buildFusionLayout(const std::vector<ChunkExtent> &chunks,
+                               const FusionLayoutOptions &options);
+
+} // namespace fusion::fac
+
+#endif // FUSION_FAC_CONSTRUCTORS_H

@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <numeric>
+
+#include "constructors.h"
+
+namespace fusion::fac {
+
+/**
+ * Paper Algorithm 1 (Stripe Construction). One stripe per iteration:
+ * the largest unassigned chunk seals bin 0 and fixes the bin capacity;
+ * remaining chunks (descending) go to the least-occupied bin among
+ * bins 1..k-1 that still has room. Never splits a chunk.
+ */
+ObjectLayout
+buildFacLayout(const std::vector<ChunkExtent> &chunks, size_t n, size_t k)
+{
+    ObjectLayout layout;
+    layout.kind = LayoutKind::kFac;
+    layout.n = n;
+    layout.k = k;
+
+    // Indices into `chunks`, sorted by descending size (stable for
+    // determinism across equal sizes).
+    std::vector<size_t> order(chunks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return chunks[a].size > chunks[b].size;
+    });
+
+    std::vector<bool> placed(chunks.size(), false);
+    size_t remaining = chunks.size();
+    size_t cursor = 0; // first not-yet-placed position in `order`
+
+    while (remaining > 0) {
+        while (placed[order[cursor]])
+            ++cursor;
+
+        StripeLayout stripe;
+        stripe.dataBlocks.resize(k);
+        std::vector<uint64_t> load(k, 0);
+
+        // Largest unassigned chunk opens (and seals) the first bin.
+        const ChunkExtent &head = chunks[order[cursor]];
+        stripe.dataBlocks[0].pieces.push_back({head.id, 0, head.size});
+        load[0] = head.size;
+        placed[order[cursor]] = true;
+        --remaining;
+        const uint64_t capacity = head.size;
+
+        // One full scan of the remaining queue, descending sizes.
+        for (size_t pos = cursor + 1; pos < order.size(); ++pos) {
+            size_t idx = order[pos];
+            if (placed[idx])
+                continue;
+            const ChunkExtent &item = chunks[idx];
+            // Least-occupied bin (excluding bin 0) with room for it.
+            size_t best_bin = 0; // 0 means "none found"
+            for (size_t b = 1; b < k; ++b) {
+                if (load[b] + item.size <= capacity &&
+                    (best_bin == 0 || load[b] < load[best_bin])) {
+                    best_bin = b;
+                }
+            }
+            if (best_bin != 0) {
+                stripe.dataBlocks[best_bin].pieces.push_back(
+                    {item.id, 0, item.size});
+                load[best_bin] += item.size;
+                placed[idx] = true;
+                --remaining;
+            }
+        }
+
+        // Drop trailing empty bins (stripes at the tail of an object may
+        // have fewer than k data blocks; absent blocks are implicit
+        // zero blocks and consume no storage).
+        while (!stripe.dataBlocks.empty() &&
+               stripe.dataBlocks.back().pieces.empty()) {
+            stripe.dataBlocks.pop_back();
+        }
+        layout.stripes.push_back(std::move(stripe));
+    }
+
+    for (const auto &chunk : chunks)
+        layout.dataBytes += chunk.size;
+    return layout;
+}
+
+ObjectLayout
+buildFusionLayout(const std::vector<ChunkExtent> &chunks,
+                  const FusionLayoutOptions &options)
+{
+    ObjectLayout fac = buildFacLayout(chunks, options.n, options.k);
+    if (fac.overheadVsOptimal() <= options.overheadThreshold)
+        return fac;
+    return buildFixedLayout(chunks, options.n, options.k,
+                            options.fallbackBlockSize);
+}
+
+} // namespace fusion::fac

@@ -1,0 +1,129 @@
+#include <algorithm>
+
+#include "constructors.h"
+
+namespace fusion::fac {
+
+namespace {
+
+// Groups a flat list of data blocks into stripes of k, preserving order.
+ObjectLayout
+assembleStripes(std::vector<DataBlockLayout> blocks, size_t n, size_t k,
+                LayoutKind kind)
+{
+    ObjectLayout layout;
+    layout.kind = kind;
+    layout.n = n;
+    layout.k = k;
+    for (size_t i = 0; i < blocks.size(); i += k) {
+        StripeLayout stripe;
+        size_t end = std::min(blocks.size(), i + k);
+        for (size_t j = i; j < end; ++j)
+            stripe.dataBlocks.push_back(std::move(blocks[j]));
+        layout.stripes.push_back(std::move(stripe));
+    }
+    return layout;
+}
+
+} // namespace
+
+ObjectLayout
+buildFixedLayout(const std::vector<ChunkExtent> &chunks, size_t n, size_t k,
+                 uint64_t block_size)
+{
+    FUSION_CHECK(block_size > 0);
+
+    std::vector<DataBlockLayout> blocks;
+    DataBlockLayout current;
+    uint64_t room = block_size;
+    uint64_t data_bytes = 0;
+
+    for (const auto &chunk : chunks) {
+        data_bytes += chunk.size;
+        uint64_t placed = 0;
+        while (placed < chunk.size) {
+            if (room == 0) {
+                blocks.push_back(std::move(current));
+                current = DataBlockLayout{};
+                room = block_size;
+            }
+            uint64_t take = std::min(room, chunk.size - placed);
+            current.pieces.push_back({chunk.id, placed, take});
+            placed += take;
+            room -= take;
+        }
+    }
+    if (!current.pieces.empty())
+        blocks.push_back(std::move(current));
+
+    ObjectLayout layout =
+        assembleStripes(std::move(blocks), n, k, LayoutKind::kFixed);
+    layout.dataBytes = data_bytes;
+    return layout;
+}
+
+ObjectLayout
+buildPaddingLayout(const std::vector<ChunkExtent> &chunks, size_t n,
+                   size_t k, uint64_t block_size)
+{
+    FUSION_CHECK(block_size > 0);
+
+    std::vector<DataBlockLayout> blocks;
+    DataBlockLayout current;
+    uint64_t room = block_size;
+    uint64_t data_bytes = 0;
+    uint64_t padding_bytes = 0;
+
+    auto close_block = [&]() {
+        blocks.push_back(std::move(current));
+        current = DataBlockLayout{};
+        room = block_size;
+    };
+
+    for (const auto &chunk : chunks) {
+        data_bytes += chunk.size;
+        if (chunk.size <= block_size) {
+            if (chunk.size > room) {
+                // Pad out the remainder and restart at a block boundary.
+                if (room > 0) {
+                    current.pieces.push_back({kPaddingChunkId, 0, room});
+                    padding_bytes += room;
+                    room = 0;
+                }
+                close_block();
+            }
+            current.pieces.push_back({chunk.id, 0, chunk.size});
+            room -= chunk.size;
+            if (room == 0)
+                close_block();
+        } else {
+            // Oversized chunk: alignment impossible; split like fixed.
+            if (room < block_size) {
+                if (room > 0) {
+                    current.pieces.push_back({kPaddingChunkId, 0, room});
+                    padding_bytes += room;
+                }
+                close_block();
+            }
+            uint64_t placed = 0;
+            while (placed < chunk.size) {
+                uint64_t take = std::min(block_size, chunk.size - placed);
+                current.pieces.push_back({chunk.id, placed, take});
+                placed += take;
+                room -= take;
+                if (room == 0)
+                    close_block();
+            }
+        }
+    }
+    if (!current.pieces.empty())
+        blocks.push_back(std::move(current));
+
+    ObjectLayout layout =
+        assembleStripes(std::move(blocks), n, k, LayoutKind::kPadding);
+    layout.dataBytes = data_bytes;
+    layout.paddingBytes = padding_bytes;
+    return layout;
+}
+
+} // namespace fusion::fac

@@ -1,0 +1,127 @@
+#include "layout.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fusion::fac {
+
+const char *
+layoutKindName(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::kFixed: return "fixed";
+      case LayoutKind::kPadding: return "padding";
+      case LayoutKind::kFac: return "fac";
+      case LayoutKind::kOracle: return "oracle";
+    }
+    return "unknown";
+}
+
+uint64_t
+ObjectLayout::parityBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &stripe : stripes)
+        total += stripe.blockSize() * (n - k);
+    return total;
+}
+
+double
+ObjectLayout::overheadVsOptimal() const
+{
+    if (dataBytes == 0)
+        return 0.0;
+    double optimal = static_cast<double>(dataBytes) *
+                     static_cast<double>(n - k) / static_cast<double>(k);
+    double extra = static_cast<double>(paddingBytes + parityBytes());
+    return (extra - optimal) / optimal;
+}
+
+std::vector<uint32_t>
+ObjectLayout::chunkSpans(size_t num_chunks) const
+{
+    std::vector<uint32_t> spans(num_chunks, 0);
+    for (const auto &stripe : stripes) {
+        for (const auto &block : stripe.dataBlocks) {
+            // Count each chunk at most once per block.
+            uint32_t last = kPaddingChunkId;
+            for (const auto &piece : block.pieces) {
+                if (piece.isPadding() || piece.chunkId == last)
+                    continue;
+                FUSION_CHECK(piece.chunkId < num_chunks);
+                ++spans[piece.chunkId];
+                last = piece.chunkId;
+            }
+        }
+    }
+    return spans;
+}
+
+double
+ObjectLayout::splitFraction(size_t num_chunks) const
+{
+    if (num_chunks == 0)
+        return 0.0;
+    auto spans = chunkSpans(num_chunks);
+    size_t split = 0;
+    for (uint32_t s : spans)
+        split += (s > 1) ? 1 : 0;
+    return static_cast<double>(split) / static_cast<double>(num_chunks);
+}
+
+Status
+ObjectLayout::validate(const std::vector<ChunkExtent> &chunks) const
+{
+    // Gather pieces per chunk and check contiguous, exact coverage.
+    std::map<uint32_t, std::vector<const BlockPiece *>> by_chunk;
+    uint64_t seen_data = 0, seen_padding = 0;
+    for (const auto &stripe : stripes) {
+        if (stripe.dataBlocks.size() > k)
+            return Status::internal("stripe has more than k data blocks");
+        uint64_t block_size = stripe.blockSize();
+        for (const auto &block : stripe.dataBlocks) {
+            if (block.size() > block_size)
+                return Status::internal("data block exceeds stripe size");
+            for (const auto &piece : block.pieces) {
+                if (piece.isPadding()) {
+                    seen_padding += piece.size;
+                } else {
+                    by_chunk[piece.chunkId].push_back(&piece);
+                    seen_data += piece.size;
+                }
+            }
+        }
+    }
+
+    uint64_t expect_data = 0;
+    for (const auto &chunk : chunks)
+        expect_data += chunk.size;
+    if (seen_data != expect_data)
+        return Status::internal("layout covers wrong number of data bytes");
+    if (seen_padding != paddingBytes)
+        return Status::internal("paddingBytes does not match pieces");
+    if (dataBytes != expect_data)
+        return Status::internal("dataBytes does not match chunks");
+
+    for (const auto &chunk : chunks) {
+        auto it = by_chunk.find(chunk.id);
+        if (it == by_chunk.end())
+            return Status::internal("chunk missing from layout");
+        // Pieces of one chunk must tile [0, size) without gaps/overlap.
+        std::vector<std::pair<uint64_t, uint64_t>> ranges;
+        for (const auto *piece : it->second)
+            ranges.emplace_back(piece->chunkOffset, piece->size);
+        std::sort(ranges.begin(), ranges.end());
+        uint64_t cursor = 0;
+        for (const auto &[off, len] : ranges) {
+            if (off != cursor)
+                return Status::internal("chunk pieces not contiguous");
+            cursor += len;
+        }
+        if (cursor != chunk.size)
+            return Status::internal("chunk pieces do not cover chunk");
+    }
+    return Status::ok();
+}
+
+} // namespace fusion::fac

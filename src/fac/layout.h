@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Stripe-layout model shared by all stripe-construction strategies.
+ *
+ * A layout maps an object's column chunks onto erasure-code data blocks
+ * grouped into stripes. The paper's terminology (Table 2): a *bin* is a
+ * data block, a *bin set* is the k data blocks of one stripe. Parity is
+ * implied: each stripe carries (n - k) parity blocks whose size equals
+ * the stripe's largest data block.
+ *
+ * The layout records, per data block, the ordered pieces of chunks (or
+ * physical padding) it contains — enough to account storage overhead,
+ * chunk splitting, and to drive actual block materialization in the
+ * stores.
+ */
+#ifndef FUSION_FAC_LAYOUT_H
+#define FUSION_FAC_LAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fusion::fac {
+
+/** Byte extent of one column chunk within the original object. */
+struct ChunkExtent {
+    uint32_t id = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+};
+
+/** Sentinel chunk id marking physically stored padding bytes. */
+inline constexpr uint32_t kPaddingChunkId = UINT32_MAX;
+
+/** A contiguous piece of one chunk (or padding) inside a data block. */
+struct BlockPiece {
+    uint32_t chunkId = 0;
+    uint64_t chunkOffset = 0; // offset within the chunk
+    uint64_t size = 0;
+
+    bool isPadding() const { return chunkId == kPaddingChunkId; }
+};
+
+/** One erasure-code data block: ordered pieces; size is their sum. */
+struct DataBlockLayout {
+    std::vector<BlockPiece> pieces;
+
+    uint64_t
+    size() const
+    {
+        uint64_t total = 0;
+        for (const auto &piece : pieces)
+            total += piece.size;
+        return total;
+    }
+};
+
+/** One stripe: k data blocks (parity implied by the code parameters). */
+struct StripeLayout {
+    std::vector<DataBlockLayout> dataBlocks;
+
+    /** Stripe block size = size of the largest data block. */
+    uint64_t
+    blockSize() const
+    {
+        uint64_t max_size = 0;
+        for (const auto &block : dataBlocks)
+            max_size = std::max(max_size, block.size());
+        return max_size;
+    }
+};
+
+/** Strategy that produced a layout (for reporting). */
+enum class LayoutKind : uint8_t {
+    kFixed = 0,
+    kPadding = 1,
+    kFac = 2,
+    kOracle = 3,
+};
+
+const char *layoutKindName(LayoutKind kind);
+
+/** Complete stripe layout of one object under an (n, k) code. */
+struct ObjectLayout {
+    LayoutKind kind = LayoutKind::kFixed;
+    size_t n = 9;
+    size_t k = 6;
+    std::vector<StripeLayout> stripes;
+    uint64_t dataBytes = 0;    // sum of real chunk bytes
+    uint64_t paddingBytes = 0; // physically stored padding (padding layout)
+
+    /** Total parity bytes across stripes. */
+    uint64_t parityBytes() const;
+
+    /** All bytes the layout stores: data + padding + parity. */
+    uint64_t
+    storedBytes() const
+    {
+        return dataBytes + paddingBytes + parityBytes();
+    }
+
+    /**
+     * Extra stored bytes (padding + parity) relative to the optimal
+     * overhead dataBytes * (n-k)/k, as a fraction of the optimal.
+     * 0.0 means exactly optimal; 1.0 means double the optimal overhead.
+     * This is the paper's "storage overhead w.r.t. optimal" metric.
+     */
+    double overheadVsOptimal() const;
+
+    /** Number of data blocks each chunk id touches (index = chunk id). */
+    std::vector<uint32_t> chunkSpans(size_t num_chunks) const;
+
+    /** Fraction of chunks split across more than one data block. */
+    double splitFraction(size_t num_chunks) const;
+
+    /**
+     * Checks that every byte of every chunk is covered exactly once, in
+     * order, and per-stripe invariants hold (<= k data blocks each).
+     */
+    Status validate(const std::vector<ChunkExtent> &chunks) const;
+};
+
+} // namespace fusion::fac
+
+#endif // FUSION_FAC_LAYOUT_H

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "constructors.h"
+
+namespace fusion::fac {
+
+namespace {
+
+/**
+ * Exact solver for the paper's ILP (Eq. 1): minimise the sum over bin
+ * sets of the largest bin load, subject to bin capacity C (the largest
+ * chunk size) and m = ceil(N/k) available bin sets.
+ *
+ * Branch and bound over items in descending size order, seeded with the
+ * FAC greedy solution as the incumbent. Symmetry is broken by trying at
+ * most one bin per distinct load within a bin set and at most one fully
+ * empty bin set. The cost-so-far is monotone in item placement, which
+ * is the pruning bound. This mirrors what the Gurobi oracle in the
+ * paper computes, including its exponential behaviour (Fig 10a).
+ */
+class OracleSolver
+{
+  public:
+    OracleSolver(const std::vector<ChunkExtent> &chunks, size_t k,
+                 double time_limit_seconds)
+        : chunks_(chunks), k_(k),
+          deadline_(std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(time_limit_seconds)))
+    {
+        order_.resize(chunks.size());
+        std::iota(order_.begin(), order_.end(), 0);
+        std::stable_sort(order_.begin(), order_.end(),
+                         [&](size_t a, size_t b) {
+                             return chunks[a].size > chunks[b].size;
+                         });
+        capacity_ = chunks_.empty() ? 0 : chunks_[order_[0]].size;
+        numBinsets_ = (chunks.size() + k - 1) / k;
+        loads_.assign(numBinsets_, std::vector<uint64_t>(k, 0));
+        binsetMax_.assign(numBinsets_, 0);
+        assignment_.assign(chunks.size(), {0, 0});
+    }
+
+    /** Runs the search; returns true if proven optimal. */
+    bool
+    solve(ObjectLayout seed, uint64_t &nodes_out)
+    {
+        bestCost_ = seedCost(seed);
+        bestLayout_ = std::move(seed);
+        timedOut_ = false;
+        nodes_ = 0;
+        recurse(0, 0);
+        nodes_out = nodes_;
+        return !timedOut_;
+    }
+
+    const ObjectLayout &bestLayout() const { return bestLayout_; }
+
+  private:
+    uint64_t
+    seedCost(const ObjectLayout &layout) const
+    {
+        uint64_t cost = 0;
+        for (const auto &stripe : layout.stripes)
+            cost += stripe.blockSize();
+        return cost;
+    }
+
+    void
+    recurse(size_t item_pos, uint64_t cost)
+    {
+        if (timedOut_ || cost >= bestCost_)
+            return;
+        if ((++nodes_ & 0x3ff) == 0 &&
+            std::chrono::steady_clock::now() > deadline_) {
+            timedOut_ = true;
+            return;
+        }
+        if (item_pos == order_.size()) {
+            bestCost_ = cost;
+            recordBest();
+            return;
+        }
+
+        const uint64_t size = chunks_[order_[item_pos]].size;
+        bool tried_empty_binset = false;
+        for (size_t l = 0; l < numBinsets_; ++l) {
+            bool binset_empty = binsetMax_[l] == 0;
+            if (binset_empty) {
+                if (tried_empty_binset)
+                    continue; // all empty bin sets are equivalent
+                tried_empty_binset = true;
+            }
+            uint64_t seen_loads[64];
+            size_t seen_count = 0;
+            for (size_t j = 0; j < k_; ++j) {
+                uint64_t load = loads_[l][j];
+                if (load + size > capacity_)
+                    continue;
+                // Equal-load bins within a bin set are interchangeable.
+                bool dup = false;
+                for (size_t s = 0; s < seen_count; ++s)
+                    dup |= (seen_loads[s] == load);
+                if (dup)
+                    continue;
+                if (seen_count < 64)
+                    seen_loads[seen_count++] = load;
+
+                uint64_t old_max = binsetMax_[l];
+                uint64_t new_max = std::max(old_max, load + size);
+                uint64_t new_cost = cost - old_max + new_max;
+
+                loads_[l][j] = load + size;
+                binsetMax_[l] = new_max;
+                assignment_[item_pos] = {l, j};
+                recurse(item_pos + 1, new_cost);
+                loads_[l][j] = load;
+                binsetMax_[l] = old_max;
+                if (timedOut_)
+                    return;
+            }
+        }
+    }
+
+    void
+    recordBest()
+    {
+        ObjectLayout layout;
+        layout.kind = LayoutKind::kOracle;
+        layout.n = 0; // caller fills n/k
+        layout.k = k_;
+        std::vector<StripeLayout> stripes(numBinsets_);
+        for (auto &stripe : stripes)
+            stripe.dataBlocks.resize(k_);
+        for (size_t pos = 0; pos < order_.size(); ++pos) {
+            auto [l, j] = assignment_[pos];
+            const ChunkExtent &chunk = chunks_[order_[pos]];
+            stripes[l].dataBlocks[j].pieces.push_back(
+                {chunk.id, 0, chunk.size});
+        }
+        for (auto &stripe : stripes) {
+            // Compact away empty bins; drop fully empty bin sets.
+            auto &blocks = stripe.dataBlocks;
+            blocks.erase(std::remove_if(blocks.begin(), blocks.end(),
+                                        [](const DataBlockLayout &b) {
+                                            return b.pieces.empty();
+                                        }),
+                         blocks.end());
+            if (!blocks.empty())
+                layout.stripes.push_back(std::move(stripe));
+        }
+        bestLayout_ = std::move(layout);
+    }
+
+    const std::vector<ChunkExtent> &chunks_;
+    size_t k_;
+    std::chrono::steady_clock::time_point deadline_;
+    std::vector<size_t> order_;
+    uint64_t capacity_ = 0;
+    size_t numBinsets_ = 0;
+    std::vector<std::vector<uint64_t>> loads_;
+    std::vector<uint64_t> binsetMax_;
+    std::vector<std::pair<size_t, size_t>> assignment_;
+    uint64_t bestCost_ = 0;
+    ObjectLayout bestLayout_;
+    bool timedOut_ = false;
+    uint64_t nodes_ = 0;
+};
+
+} // namespace
+
+OracleResult
+buildOracleLayout(const std::vector<ChunkExtent> &chunks, size_t n, size_t k,
+                  double time_limit_seconds)
+{
+    auto start = std::chrono::steady_clock::now();
+
+    OracleResult result;
+    if (chunks.empty()) {
+        result.layout.kind = LayoutKind::kOracle;
+        result.layout.n = n;
+        result.layout.k = k;
+        result.optimal = true;
+        return result;
+    }
+
+    OracleSolver solver(chunks, k, time_limit_seconds);
+    ObjectLayout seed = buildFacLayout(chunks, n, k);
+    uint64_t nodes = 0;
+    result.optimal = solver.solve(std::move(seed), nodes);
+    result.nodesExplored = nodes;
+    result.layout = solver.bestLayout();
+    result.layout.kind = LayoutKind::kOracle;
+    result.layout.n = n;
+    result.layout.k = k;
+    result.layout.dataBytes = 0;
+    for (const auto &chunk : chunks)
+        result.layout.dataBytes += chunk.size;
+
+    result.solveSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+} // namespace fusion::fac

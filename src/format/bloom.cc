@@ -1,0 +1,131 @@
+#include "bloom.h"
+
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace fusion::format {
+
+namespace {
+
+constexpr size_t kBitsPerValue = 10; // ~1% false-positive rate
+constexpr uint32_t kNumHashes = 7;   // optimal k for 10 bits/value
+constexpr size_t kMaxFilterBytes = 1 << 20;
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** 64-bit hash of a value's canonical byte representation. */
+uint64_t
+hashValue(const Value &value)
+{
+    switch (value.type()) {
+      case PhysicalType::kInt32:
+        return mix64(static_cast<uint64_t>(
+            static_cast<int64_t>(value.asInt32())));
+      case PhysicalType::kInt64:
+        return mix64(static_cast<uint64_t>(value.asInt64()));
+      case PhysicalType::kDouble: {
+        uint64_t bits;
+        double v = value.asDouble();
+        std::memcpy(&bits, &v, sizeof(bits));
+        return mix64(bits);
+      }
+      case PhysicalType::kString: {
+        // FNV-1a then mixed.
+        uint64_t h = 1469598103934665603ULL;
+        for (char c : value.asString()) {
+            h ^= static_cast<uint8_t>(c);
+            h *= 1099511628211ULL;
+        }
+        return mix64(h);
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+BloomFilter::BloomFilter(size_t expected_distinct)
+{
+    size_t bits = std::max<size_t>(64, expected_distinct * kBitsPerValue);
+    size_t bytes = std::min(kMaxFilterBytes, (bits + 7) / 8);
+    bits_.assign(bytes, 0);
+    numHashes_ = kNumHashes;
+}
+
+void
+BloomFilter::insert(const Value &value)
+{
+    FUSION_CHECK(!bits_.empty());
+    uint64_t h = hashValue(value);
+    uint64_t h1 = h;
+    uint64_t h2 = mix64(h) | 1; // odd step for full-cycle probing
+    size_t nbits = bits_.size() * 8;
+    for (uint32_t i = 0; i < numHashes_; ++i) {
+        uint64_t bit = (h1 + i * h2) % nbits;
+        bits_[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+    }
+}
+
+void
+BloomFilter::insertColumn(const ColumnData &column)
+{
+    for (size_t i = 0; i < column.size(); ++i)
+        insert(column.valueAt(i));
+}
+
+bool
+BloomFilter::mayContain(const Value &value) const
+{
+    if (bits_.empty())
+        return true; // no filter: cannot prune
+    uint64_t h = hashValue(value);
+    uint64_t h1 = h;
+    uint64_t h2 = mix64(h) | 1;
+    size_t nbits = bits_.size() * 8;
+    for (uint32_t i = 0; i < numHashes_; ++i) {
+        uint64_t bit = (h1 + i * h2) % nbits;
+        if (!(bits_[bit >> 3] & (1u << (bit & 7))))
+            return false;
+    }
+    return true;
+}
+
+Bytes
+BloomFilter::serialize() const
+{
+    Bytes out;
+    BinaryWriter writer(out);
+    writer.putVarU64(numHashes_);
+    writer.putLengthPrefixed(Slice(bits_));
+    return out;
+}
+
+Result<BloomFilter>
+BloomFilter::deserialize(Slice bytes)
+{
+    BinaryReader reader(bytes);
+    auto hashes = reader.getVarU64();
+    if (!hashes.isOk())
+        return hashes.status();
+    if (hashes.value() == 0 || hashes.value() > 64)
+        return Status::corruption("bad bloom hash count");
+    auto bits = reader.getLengthPrefixed();
+    if (!bits.isOk())
+        return bits.status();
+    if (bits.value().size() > kMaxFilterBytes)
+        return Status::corruption("bloom filter too large");
+    BloomFilter filter;
+    filter.numHashes_ = static_cast<uint32_t>(hashes.value());
+    filter.bits_ = bits.value().toBytes();
+    return filter;
+}
+
+} // namespace fusion::format

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-chunk Bloom filters for equality predicates — the companion to
+ * min/max zone maps (Parquet ships the same pair). Zone maps prune
+ * range predicates well but are nearly useless for point lookups on
+ * unsorted columns (min <= v <= max almost always holds); a small
+ * Bloom filter over the chunk's values lets the coordinator skip
+ * chunks for `col = literal` queries without touching storage nodes.
+ *
+ * Classic Bloom filter with double hashing (h1 + i*h2), sized at
+ * ~10 bits per distinct value for ~1% false positives.
+ */
+#ifndef FUSION_FORMAT_BLOOM_H
+#define FUSION_FORMAT_BLOOM_H
+
+#include <cstdint>
+
+#include "column.h"
+#include "value.h"
+
+namespace fusion::format {
+
+/** Bloom filter over a column chunk's values. */
+class BloomFilter
+{
+  public:
+    BloomFilter() = default;
+
+    /** Builds a filter sized for roughly `expected_distinct` values. */
+    explicit BloomFilter(size_t expected_distinct);
+
+    /** Inserts one value. */
+    void insert(const Value &value);
+
+    /** Inserts every value of a column. */
+    void insertColumn(const ColumnData &column);
+
+    /** False means definitely absent; true means possibly present. */
+    bool mayContain(const Value &value) const;
+
+    bool empty() const { return bits_.empty(); }
+    size_t sizeBytes() const { return bits_.size(); }
+
+    /** Serialized form: varint numHashes, varint byte count, raw bits. */
+    Bytes serialize() const;
+    static Result<BloomFilter> deserialize(Slice bytes);
+
+    bool operator==(const BloomFilter &other) const = default;
+
+  private:
+    uint32_t numHashes_ = 0;
+    Bytes bits_;
+};
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_BLOOM_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Column chunk encode/decode. A chunk is the paper's *smallest
+ * computable unit*: fully self-contained bytes (dictionary page plus
+ * data pages, or plain data pages), decodable given only the column's
+ * physical type. This self-containedness is exactly what FAC preserves
+ * by never splitting a chunk across erasure-code blocks.
+ *
+ * Chunk layout:
+ *   u8      encoding (plain | dictionary)
+ *   u8      compression codec
+ *   varint  valueCount
+ *   dictionary only:
+ *     varint dictCount, varint compressedDictLen, <dict page bytes>
+ *     u8 codeBitWidth
+ *   varint  numDataPages
+ *   per page: varint pageValueCount, varint compressedLen, <page bytes>
+ *
+ * Dictionary data pages hold RLE/bit-packed code streams; plain data
+ * pages hold plain-encoded values. All pages are block-compressed.
+ */
+#ifndef FUSION_FORMAT_CHUNK_CODEC_H
+#define FUSION_FORMAT_CHUNK_CODEC_H
+
+#include "bloom.h"
+#include "codec/codec.h"
+#include "column.h"
+#include "metadata.h"
+
+namespace fusion::format {
+
+/** Tuning knobs for chunk encoding. */
+struct ChunkEncodeOptions {
+    codec::Compression compression = codec::Compression::kSnappy;
+    bool enableDictionary = true;
+    /** Use a dictionary only if cardinality <= ratio * valueCount. */
+    double dictMaxCardinalityRatio = 0.5;
+    /** ...and cardinality does not exceed this cap. */
+    size_t maxDictCardinality = 1 << 16;
+    /** Values per data page. */
+    size_t pageValueCount = 20000;
+    /**
+     * Build a per-chunk Bloom filter for equality pruning (extension
+     * beyond the paper; off by default because the filters live in the
+     * footer and add ~10 bits per distinct value of footer weight).
+     */
+    bool enableBloomFilter = false;
+};
+
+/** Result of encoding one column chunk. */
+struct EncodedChunk {
+    Bytes bytes;
+    ChunkEncoding encoding = ChunkEncoding::kPlain;
+    uint64_t plainSize = 0; // plain-encoded size of the same values
+    uint64_t valueCount = 0;
+    Value minValue;
+    Value maxValue;
+    BloomFilter bloom; // empty when disabled
+};
+
+/** Encodes a column's values into a self-contained chunk. */
+EncodedChunk encodeChunk(const ColumnData &column,
+                         const ChunkEncodeOptions &options);
+
+/** Decodes a chunk produced by encodeChunk. */
+Result<ColumnData> decodeChunk(Slice bytes, PhysicalType type);
+
+/** Plain-encodes values (the uncompressed wire form of projections). */
+Bytes plainEncode(const ColumnData &column);
+
+/** Inverse of plainEncode for `count` values of the given type. */
+Result<ColumnData> plainDecode(Slice bytes, PhysicalType type, size_t count);
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_CHUNK_CODEC_H

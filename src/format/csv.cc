@@ -1,0 +1,260 @@
+#include "csv.h"
+
+#include <cstdlib>
+
+namespace fusion::format {
+
+namespace {
+
+/** Splits CSV text into rows of fields, honoring quotes. */
+Result<std::vector<std::vector<std::string>>>
+tokenize(const std::string &text, char delimiter)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&]() {
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&]() {
+        end_field();
+        rows.push_back(std::move(row));
+        row.clear();
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"'; // escaped quote
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        if (c == '"' && !field_started && field.empty()) {
+            in_quotes = true;
+            field_started = true;
+        } else if (c == delimiter) {
+            end_field();
+        } else if (c == '\n') {
+            // Tolerate trailing blank line; \r\n line endings.
+            if (!field.empty() && field.back() == '\r')
+                field.pop_back();
+            end_row();
+        } else {
+            field += c;
+            field_started = true;
+        }
+    }
+    if (in_quotes)
+        return Status::corruption("unterminated quoted CSV field");
+    if (!field.empty() || !row.empty())
+        end_row();
+    return rows;
+}
+
+bool
+parseInt(const std::string &s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+needsQuoting(const std::string &s, char delimiter)
+{
+    for (char c : s)
+        if (c == delimiter || c == '"' || c == '\n' || c == '\r')
+            return true;
+    return false;
+}
+
+std::string
+quoteField(const std::string &s, char delimiter)
+{
+    if (!needsQuoting(s, delimiter))
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Result<Table>
+readCsv(const std::string &text, const Schema &schema,
+        const CsvOptions &options)
+{
+    auto rows = tokenize(text, options.delimiter);
+    if (!rows.isOk())
+        return rows.status();
+
+    size_t start = 0;
+    if (options.hasHeader) {
+        if (rows.value().empty())
+            return Status::corruption("missing CSV header row");
+        const auto &header = rows.value()[0];
+        if (header.size() != schema.numColumns())
+            return Status::corruption("CSV header column count mismatch");
+        for (size_t c = 0; c < header.size(); ++c) {
+            if (header[c] != schema.column(c).name)
+                return Status::corruption("CSV header name '" + header[c] +
+                                          "' != schema column '" +
+                                          schema.column(c).name + "'");
+        }
+        start = 1;
+    }
+
+    Table table(schema);
+    for (size_t r = start; r < rows.value().size(); ++r) {
+        const auto &fields = rows.value()[r];
+        if (fields.size() != schema.numColumns())
+            return Status::corruption("CSV row " + std::to_string(r) +
+                                      " has wrong field count");
+        for (size_t c = 0; c < fields.size(); ++c) {
+            const std::string &field = fields[c];
+            switch (schema.column(c).physical) {
+              case PhysicalType::kInt32: {
+                int64_t v;
+                if (!parseInt(field, v) || v < INT32_MIN || v > INT32_MAX)
+                    return Status::corruption("bad int32 field '" + field +
+                                              "' at row " +
+                                              std::to_string(r));
+                table.column(c).append(static_cast<int32_t>(v));
+                break;
+              }
+              case PhysicalType::kInt64: {
+                int64_t v;
+                if (!parseInt(field, v))
+                    return Status::corruption("bad int64 field '" + field +
+                                              "' at row " +
+                                              std::to_string(r));
+                table.column(c).append(v);
+                break;
+              }
+              case PhysicalType::kDouble: {
+                double v;
+                if (!parseDouble(field, v))
+                    return Status::corruption("bad double field '" + field +
+                                              "' at row " +
+                                              std::to_string(r));
+                table.column(c).append(v);
+                break;
+              }
+              case PhysicalType::kString:
+                table.column(c).append(field);
+                break;
+            }
+        }
+    }
+    return table;
+}
+
+std::string
+writeCsv(const Table &table, const CsvOptions &options)
+{
+    std::string out;
+    const Schema &schema = table.schema();
+    if (options.hasHeader) {
+        for (size_t c = 0; c < schema.numColumns(); ++c) {
+            if (c)
+                out += options.delimiter;
+            out += quoteField(schema.column(c).name, options.delimiter);
+        }
+        out += '\n';
+    }
+    for (size_t r = 0; r < table.numRows(); ++r) {
+        for (size_t c = 0; c < schema.numColumns(); ++c) {
+            if (c)
+                out += options.delimiter;
+            out += quoteField(table.column(c).valueAt(r).toString(),
+                              options.delimiter);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Result<Schema>
+inferCsvSchema(const std::string &text, const CsvOptions &options)
+{
+    if (!options.hasHeader)
+        return Status::invalidArgument(
+            "schema inference needs a header row");
+    auto rows = tokenize(text, options.delimiter);
+    if (!rows.isOk())
+        return rows.status();
+    if (rows.value().size() < 2)
+        return Status::invalidArgument(
+            "schema inference needs at least one data row");
+
+    const auto &header = rows.value()[0];
+    size_t columns = header.size();
+    std::vector<bool> is_int(columns, true), is_real(columns, true);
+    for (size_t r = 1; r < rows.value().size(); ++r) {
+        const auto &fields = rows.value()[r];
+        if (fields.size() != columns)
+            return Status::corruption("ragged CSV row " + std::to_string(r));
+        for (size_t c = 0; c < columns; ++c) {
+            int64_t iv;
+            double dv;
+            if (!parseInt(fields[c], iv))
+                is_int[c] = false;
+            if (!parseDouble(fields[c], dv))
+                is_real[c] = false;
+        }
+    }
+
+    Schema schema;
+    for (size_t c = 0; c < columns; ++c) {
+        ColumnDesc desc;
+        desc.name = header[c];
+        if (is_int[c])
+            desc.physical = PhysicalType::kInt64;
+        else if (is_real[c])
+            desc.physical = PhysicalType::kDouble;
+        else
+            desc.physical = PhysicalType::kString;
+        schema.addColumn(std::move(desc));
+    }
+    return schema;
+}
+
+} // namespace fusion::format

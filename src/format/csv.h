@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CSV import/export for tables: the practical on-ramp for getting real
+ * data (e.g. the NYC taxi or UK price-paid CSVs the paper uses) into
+ * the fpax format. Supports RFC-4180-style quoting, a header row, and
+ * per-column type parsing against a target schema.
+ */
+#ifndef FUSION_FORMAT_CSV_H
+#define FUSION_FORMAT_CSV_H
+
+#include <string>
+
+#include "column.h"
+
+namespace fusion::format {
+
+/** CSV parsing options. */
+struct CsvOptions {
+    char delimiter = ',';
+    /** First row holds column names; validated against the schema. */
+    bool hasHeader = true;
+};
+
+/**
+ * Parses CSV text into a table with the given schema. Numeric fields
+ * are parsed per the column's physical type; kCorruption on malformed
+ * rows (wrong field count, unparsable numbers, unterminated quotes).
+ */
+Result<Table> readCsv(const std::string &text, const Schema &schema,
+                      const CsvOptions &options = {});
+
+/** Serializes a table to CSV (with header when options.hasHeader). */
+std::string writeCsv(const Table &table, const CsvOptions &options = {});
+
+/**
+ * Infers a schema from CSV text: columns that parse as integers become
+ * kInt64, as reals kDouble, otherwise kString. Requires a header row
+ * for the column names.
+ */
+Result<Schema> inferCsvSchema(const std::string &text,
+                              const CsvOptions &options = {});
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_CSV_H

@@ -1,0 +1,182 @@
+#include "metadata.h"
+
+namespace fusion::format {
+
+void
+ChunkMeta::serialize(BinaryWriter &writer) const
+{
+    writer.putVarU64(rowGroupId);
+    writer.putVarU64(columnId);
+    writer.putVarU64(offset);
+    writer.putVarU64(storedSize);
+    writer.putVarU64(plainSize);
+    writer.putVarU64(valueCount);
+    writer.putU8(static_cast<uint8_t>(encoding));
+    minValue.serialize(writer);
+    maxValue.serialize(writer);
+    writer.putLengthPrefixed(Slice(bloomBytes()));
+}
+
+Bytes
+ChunkMeta::bloomBytes() const
+{
+    return bloom.empty() ? Bytes{} : bloom.serialize();
+}
+
+Result<ChunkMeta>
+ChunkMeta::deserialize(BinaryReader &reader)
+{
+    ChunkMeta meta;
+    auto rg = reader.getVarU64();
+    if (!rg.isOk())
+        return rg.status();
+    meta.rowGroupId = static_cast<uint32_t>(rg.value());
+    auto col = reader.getVarU64();
+    if (!col.isOk())
+        return col.status();
+    meta.columnId = static_cast<uint32_t>(col.value());
+    auto off = reader.getVarU64();
+    if (!off.isOk())
+        return off.status();
+    meta.offset = off.value();
+    auto stored = reader.getVarU64();
+    if (!stored.isOk())
+        return stored.status();
+    meta.storedSize = stored.value();
+    auto plain = reader.getVarU64();
+    if (!plain.isOk())
+        return plain.status();
+    meta.plainSize = plain.value();
+    auto count = reader.getVarU64();
+    if (!count.isOk())
+        return count.status();
+    meta.valueCount = count.value();
+    auto enc = reader.getU8();
+    if (!enc.isOk())
+        return enc.status();
+    if (enc.value() > 1)
+        return Status::corruption("bad chunk encoding tag");
+    meta.encoding = static_cast<ChunkEncoding>(enc.value());
+    auto min_v = Value::deserialize(reader);
+    if (!min_v.isOk())
+        return min_v.status();
+    meta.minValue = std::move(min_v.value());
+    auto max_v = Value::deserialize(reader);
+    if (!max_v.isOk())
+        return max_v.status();
+    meta.maxValue = std::move(max_v.value());
+    auto bloom_bytes = reader.getLengthPrefixed();
+    if (!bloom_bytes.isOk())
+        return bloom_bytes.status();
+    if (!bloom_bytes.value().empty()) {
+        auto bloom = BloomFilter::deserialize(bloom_bytes.value());
+        if (!bloom.isOk())
+            return bloom.status();
+        meta.bloom = std::move(bloom.value());
+    }
+    return meta;
+}
+
+std::vector<const ChunkMeta *>
+FileMetadata::allChunks() const
+{
+    std::vector<const ChunkMeta *> out;
+    out.reserve(numChunks());
+    for (const auto &rg : rowGroups)
+        for (const auto &chunk : rg.chunks)
+            out.push_back(&chunk);
+    return out;
+}
+
+size_t
+FileMetadata::numChunks() const
+{
+    size_t n = 0;
+    for (const auto &rg : rowGroups)
+        n += rg.chunks.size();
+    return n;
+}
+
+Bytes
+FileMetadata::serialize() const
+{
+    Bytes out;
+    BinaryWriter writer(out);
+    writer.putVarU64(schema.numColumns());
+    for (const auto &col : schema.columns()) {
+        writer.putString(col.name);
+        writer.putU8(static_cast<uint8_t>(col.physical));
+        writer.putU8(static_cast<uint8_t>(col.logical));
+    }
+    writer.putVarU64(numRows);
+    writer.putVarU64(rowGroups.size());
+    for (const auto &rg : rowGroups) {
+        writer.putVarU64(rg.numRows);
+        writer.putVarU64(rg.chunks.size());
+        for (const auto &chunk : rg.chunks)
+            chunk.serialize(writer);
+    }
+    return out;
+}
+
+Result<FileMetadata>
+FileMetadata::deserialize(Slice bytes)
+{
+    BinaryReader reader(bytes);
+    FileMetadata meta;
+
+    auto ncols = reader.getVarU64();
+    if (!ncols.isOk())
+        return ncols.status();
+    for (uint64_t i = 0; i < ncols.value(); ++i) {
+        ColumnDesc desc;
+        auto name = reader.getString();
+        if (!name.isOk())
+            return name.status();
+        desc.name = std::move(name.value());
+        auto phys = reader.getU8();
+        if (!phys.isOk())
+            return phys.status();
+        if (phys.value() > 3)
+            return Status::corruption("bad physical type tag");
+        desc.physical = static_cast<PhysicalType>(phys.value());
+        auto logical = reader.getU8();
+        if (!logical.isOk())
+            return logical.status();
+        if (logical.value() > 3)
+            return Status::corruption("bad logical type tag");
+        desc.logical = static_cast<LogicalType>(logical.value());
+        meta.schema.addColumn(std::move(desc));
+    }
+
+    auto nrows = reader.getVarU64();
+    if (!nrows.isOk())
+        return nrows.status();
+    meta.numRows = nrows.value();
+
+    auto ngroups = reader.getVarU64();
+    if (!ngroups.isOk())
+        return ngroups.status();
+    for (uint64_t g = 0; g < ngroups.value(); ++g) {
+        RowGroupMeta rg;
+        auto rg_rows = reader.getVarU64();
+        if (!rg_rows.isOk())
+            return rg_rows.status();
+        rg.numRows = rg_rows.value();
+        auto nchunks = reader.getVarU64();
+        if (!nchunks.isOk())
+            return nchunks.status();
+        if (nchunks.value() != meta.schema.numColumns())
+            return Status::corruption("row group chunk count != columns");
+        for (uint64_t c = 0; c < nchunks.value(); ++c) {
+            auto chunk = ChunkMeta::deserialize(reader);
+            if (!chunk.isOk())
+                return chunk.status();
+            rg.chunks.push_back(std::move(chunk.value()));
+        }
+        meta.rowGroups.push_back(std::move(rg));
+    }
+    return meta;
+}
+
+} // namespace fusion::format

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * File footer metadata for the fpax format: per-chunk byte extents,
+ * sizes and min/max statistics (zone maps), per-row-group layout, and
+ * the schema. This is the information FAC uses to find column chunk
+ * boundaries, and the query engine uses for chunk skipping and the
+ * compressibility term of the Cost Equation.
+ */
+#ifndef FUSION_FORMAT_METADATA_H
+#define FUSION_FORMAT_METADATA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom.h"
+#include "common/serde.h"
+#include "types.h"
+#include "value.h"
+
+namespace fusion::format {
+
+/** How a chunk's values are encoded before block compression. */
+enum class ChunkEncoding : uint8_t {
+    kPlain = 0,
+    kDictionary = 1,
+};
+
+/** Footer record describing one column chunk. */
+struct ChunkMeta {
+    uint32_t rowGroupId = 0;
+    uint32_t columnId = 0;
+    uint64_t offset = 0;     // byte offset of the chunk within the file
+    uint64_t storedSize = 0; // bytes occupied in the file (compressed)
+    uint64_t plainSize = 0;  // plain-encoded (uncompressed) byte size
+    uint64_t valueCount = 0;
+    ChunkEncoding encoding = ChunkEncoding::kPlain;
+    Value minValue;
+    Value maxValue;
+    /** Equality-pruning filter over the chunk's values (may be empty,
+     *  e.g. for files written with Bloom filters disabled). */
+    BloomFilter bloom;
+
+    /**
+     * Ratio of uncompressed to stored size — the "compressibility" term
+     * of the paper's Cost Equation (§4.3).
+     */
+    double
+    compressibility() const
+    {
+        return storedSize == 0
+                   ? 1.0
+                   : static_cast<double>(plainSize) /
+                         static_cast<double>(storedSize);
+    }
+
+    void serialize(BinaryWriter &writer) const;
+    static Result<ChunkMeta> deserialize(BinaryReader &reader);
+
+  private:
+    Bytes bloomBytes() const;
+};
+
+/** Footer record describing one row group. */
+struct RowGroupMeta {
+    uint64_t numRows = 0;
+    std::vector<ChunkMeta> chunks; // one per column, in column order
+};
+
+/** Parsed footer of an fpax file. */
+struct FileMetadata {
+    Schema schema;
+    uint64_t numRows = 0;
+    std::vector<RowGroupMeta> rowGroups;
+
+    size_t numRowGroups() const { return rowGroups.size(); }
+
+    const ChunkMeta &
+    chunk(size_t row_group, size_t column) const
+    {
+        return rowGroups.at(row_group).chunks.at(column);
+    }
+
+    /** All chunks of all row groups, in file order. */
+    std::vector<const ChunkMeta *> allChunks() const;
+
+    /** Total chunk count (= row groups x columns). */
+    size_t numChunks() const;
+
+    Bytes serialize() const;
+    static Result<FileMetadata> deserialize(Slice bytes);
+};
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_METADATA_H

@@ -1,0 +1,39 @@
+#include "types.h"
+
+namespace fusion::format {
+
+const char *
+physicalTypeName(PhysicalType t)
+{
+    switch (t) {
+      case PhysicalType::kInt32: return "int32";
+      case PhysicalType::kInt64: return "int64";
+      case PhysicalType::kDouble: return "double";
+      case PhysicalType::kString: return "string";
+    }
+    return "unknown";
+}
+
+size_t
+physicalTypeWidth(PhysicalType t)
+{
+    switch (t) {
+      case PhysicalType::kInt32: return 4;
+      case PhysicalType::kInt64: return 8;
+      case PhysicalType::kDouble: return 8;
+      case PhysicalType::kString: return 0;
+    }
+    return 0;
+}
+
+Result<size_t>
+Schema::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == name)
+            return i;
+    }
+    return Status::notFound("no column named '" + name + "'");
+}
+
+} // namespace fusion::format

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Schema model for the Fusion PAX ("fpax") columnar file format: column
+ * physical/logical types and the table schema.
+ */
+#ifndef FUSION_FORMAT_TYPES_H
+#define FUSION_FORMAT_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fusion::format {
+
+/** On-disk representation of a column's values. */
+enum class PhysicalType : uint8_t {
+    kInt32 = 0,
+    kInt64 = 1,
+    kDouble = 2,
+    kString = 3,
+};
+
+/** Interpretation hint layered on the physical type. */
+enum class LogicalType : uint8_t {
+    kNone = 0,
+    kDate = 1,      // int32 days since epoch
+    kTimestamp = 2, // int64 microseconds since epoch
+    kDecimal = 3,   // int64 scaled by 100 (two decimal places)
+};
+
+const char *physicalTypeName(PhysicalType t);
+
+/** Fixed byte width of a plain-encoded value; 0 for variable (string). */
+size_t physicalTypeWidth(PhysicalType t);
+
+/** A single column declaration. */
+struct ColumnDesc {
+    std::string name;
+    PhysicalType physical = PhysicalType::kInt64;
+    LogicalType logical = LogicalType::kNone;
+
+    bool
+    operator==(const ColumnDesc &o) const
+    {
+        return name == o.name && physical == o.physical &&
+               logical == o.logical;
+    }
+};
+
+/** Ordered list of columns; column ids are positions in this list. */
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<ColumnDesc> columns)
+        : columns_(std::move(columns))
+    {
+    }
+
+    size_t numColumns() const { return columns_.size(); }
+    const ColumnDesc &column(size_t id) const { return columns_.at(id); }
+    const std::vector<ColumnDesc> &columns() const { return columns_; }
+
+    /** Index of the column with the given name. */
+    Result<size_t> columnIndex(const std::string &name) const;
+
+    void addColumn(ColumnDesc desc) { columns_.push_back(std::move(desc)); }
+
+    bool operator==(const Schema &o) const { return columns_ == o.columns_; }
+
+  private:
+    std::vector<ColumnDesc> columns_;
+};
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_TYPES_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A typed scalar value, used for chunk min/max statistics (zone maps)
+ * and query predicate literals.
+ */
+#ifndef FUSION_FORMAT_VALUE_H
+#define FUSION_FORMAT_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/serde.h"
+#include "types.h"
+
+namespace fusion::format {
+
+/**
+ * Scalar wrapper over the four physical types. Ordering is defined only
+ * between values of the same physical type, except that kInt32/kInt64
+ * compare numerically with each other (convenient for predicate
+ * literals written as plain integers).
+ */
+class Value
+{
+  public:
+    Value() : v_(int64_t{0}) {}
+    explicit Value(int32_t v) : v_(v) {}
+    explicit Value(int64_t v) : v_(v) {}
+    explicit Value(double v) : v_(v) {}
+    explicit Value(std::string v) : v_(std::move(v)) {}
+
+    static Value ofInt32(int32_t v) { return Value(v); }
+    static Value ofInt64(int64_t v) { return Value(v); }
+    static Value ofDouble(double v) { return Value(v); }
+    static Value ofString(std::string v) { return Value(std::move(v)); }
+
+    PhysicalType type() const;
+
+    int32_t asInt32() const { return std::get<int32_t>(v_); }
+    int64_t asInt64() const { return std::get<int64_t>(v_); }
+    double asDouble() const { return std::get<double>(v_); }
+    const std::string &asString() const { return std::get<std::string>(v_); }
+
+    /** Numeric view (int32/int64/double); aborts on string. */
+    double numeric() const;
+
+    /** Three-way comparison; FUSION_CHECK on incomparable types. */
+    int compare(const Value &other) const;
+
+    bool operator==(const Value &o) const { return compare(o) == 0; }
+    bool operator<(const Value &o) const { return compare(o) < 0; }
+    bool operator<=(const Value &o) const { return compare(o) <= 0; }
+    bool operator>(const Value &o) const { return compare(o) > 0; }
+    bool operator>=(const Value &o) const { return compare(o) >= 0; }
+
+    std::string toString() const;
+
+    void serialize(BinaryWriter &writer) const;
+    static Result<Value> deserialize(BinaryReader &reader);
+
+  private:
+    std::variant<int32_t, int64_t, double, std::string> v_;
+};
+
+} // namespace fusion::format
+
+#endif // FUSION_FORMAT_VALUE_H

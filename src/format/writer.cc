@@ -1,0 +1,68 @@
+#include "writer.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace fusion::format {
+
+Result<WrittenFile>
+writeTable(const Table &table, const WriterOptions &options)
+{
+    FUSION_RETURN_IF_ERROR(table.validate());
+    if (table.numRows() == 0)
+        return Status::invalidArgument("cannot write an empty table");
+    if (options.rowGroupRows == 0)
+        return Status::invalidArgument("rowGroupRows must be positive");
+
+    WrittenFile out;
+    out.metadata.schema = table.schema();
+    out.metadata.numRows = table.numRows();
+
+    Bytes &file = out.bytes;
+    file.insert(file.end(), kFileMagic, kFileMagic + sizeof(kFileMagic));
+
+    const size_t num_rows = table.numRows();
+    const size_t num_cols = table.numColumns();
+    for (size_t begin = 0; begin < num_rows; begin += options.rowGroupRows) {
+        size_t end = std::min(num_rows, begin + options.rowGroupRows);
+        RowGroupMeta rg;
+        rg.numRows = end - begin;
+        uint32_t rg_id = static_cast<uint32_t>(out.metadata.rowGroups.size());
+
+        for (size_t c = 0; c < num_cols; ++c) {
+            // Materialize this row group's slice of the column.
+            ColumnData slice(table.schema().column(c).physical);
+            for (size_t r = begin; r < end; ++r)
+                slice.appendValue(table.column(c).valueAt(r));
+
+            EncodedChunk encoded = encodeChunk(slice, options.chunk);
+
+            ChunkMeta meta;
+            meta.rowGroupId = rg_id;
+            meta.columnId = static_cast<uint32_t>(c);
+            meta.offset = file.size();
+            meta.storedSize = encoded.bytes.size();
+            meta.plainSize = encoded.plainSize;
+            meta.valueCount = encoded.valueCount;
+            meta.encoding = encoded.encoding;
+            meta.minValue = encoded.minValue;
+            meta.maxValue = encoded.maxValue;
+            meta.bloom = std::move(encoded.bloom);
+            rg.chunks.push_back(std::move(meta));
+
+            appendBytes(file, encoded.bytes);
+        }
+        out.metadata.rowGroups.push_back(std::move(rg));
+    }
+
+    Bytes footer = out.metadata.serialize();
+    appendBytes(file, footer);
+    BinaryWriter writer(file);
+    writer.putU32(static_cast<uint32_t>(footer.size()));
+    file.insert(file.end(), kFileEndMagic,
+                kFileEndMagic + sizeof(kFileEndMagic));
+    return out;
+}
+
+} // namespace fusion::format

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Query model: the subset of SQL Fusion supports (paper §5) — SELECT
+ * with projections and aggregates over one table, with a conjunctive
+ * WHERE clause of column-vs-literal comparisons. Joins are explicitly
+ * out of scope (they belong in the data warehouse above Fusion).
+ */
+#ifndef FUSION_QUERY_AST_H
+#define FUSION_QUERY_AST_H
+
+#include <string>
+#include <vector>
+
+#include "format/column.h"
+#include "format/value.h"
+
+namespace fusion::query {
+
+/** Comparison operators allowed in WHERE predicates. */
+enum class CompareOp : uint8_t {
+    kLt = 0,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+};
+
+const char *compareOpName(CompareOp op);
+
+/** One conjunct of the WHERE clause: <column> <op> <literal>. */
+struct Predicate {
+    std::string column;
+    CompareOp op = CompareOp::kEq;
+    format::Value literal;
+};
+
+/** Aggregate function applied to a projection. */
+enum class AggregateKind : uint8_t {
+    kNone = 0, // plain column projection
+    kCount,
+    kSum,
+    kAvg,
+    kMin,
+    kMax,
+};
+
+const char *aggregateKindName(AggregateKind kind);
+
+/** One item of the SELECT list. */
+struct Projection {
+    std::string column; // empty for COUNT(*)
+    AggregateKind aggregate = AggregateKind::kNone;
+
+    bool isCountStar() const
+    {
+        return aggregate == AggregateKind::kCount && column.empty();
+    }
+};
+
+/** A parsed query. */
+struct Query {
+    std::string table;
+    std::vector<Projection> projections;
+    std::vector<Predicate> filters; // ANDed together
+
+    /** Distinct non-empty column names referenced by projections. */
+    std::vector<std::string> projectionColumns() const;
+
+    /** Distinct column names referenced by filters. */
+    std::vector<std::string> filterColumns() const;
+
+    std::string toString() const;
+};
+
+/** Result of one projection: either row values or an aggregate. */
+struct ProjectionResult {
+    std::string name;
+    bool isAggregate = false;
+    double aggregateValue = 0.0;
+    format::ColumnData values; // populated when !isAggregate
+};
+
+/** Result of a query execution. */
+struct QueryResult {
+    uint64_t rowsMatched = 0;
+    uint64_t rowsScanned = 0;
+    std::vector<ProjectionResult> columns;
+};
+
+} // namespace fusion::query
+
+#endif // FUSION_QUERY_AST_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Row bitmap used by the two-stage executor: storage nodes return one
+ * bitmap per filtered chunk; the coordinator ANDs them into the final
+ * selection whose popcount is the query's exact selectivity (paper
+ * §4.3). Bitmaps are Snappy-compressed on the wire.
+ */
+#ifndef FUSION_QUERY_BITMAP_H
+#define FUSION_QUERY_BITMAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace fusion::query {
+
+/** Fixed-size bitset over row indices [0, size). */
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+    explicit Bitmap(size_t size, bool initial = false);
+
+    size_t size() const { return size_; }
+
+    void
+    set(size_t i)
+    {
+        FUSION_CHECK(i < size_);
+        words_[i >> 6] |= (1ULL << (i & 63));
+    }
+
+    void
+    clear(size_t i)
+    {
+        FUSION_CHECK(i < size_);
+        words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    bool
+    test(size_t i) const
+    {
+        FUSION_CHECK(i < size_);
+        return words_[i >> 6] & (1ULL << (i & 63));
+    }
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** Fraction of set bits, in [0, 1]. */
+    double
+    selectivity() const
+    {
+        return size_ == 0 ? 0.0
+                          : static_cast<double>(count()) /
+                                static_cast<double>(size_);
+    }
+
+    /** In-place intersection; sizes must match. */
+    void intersect(const Bitmap &other);
+
+    /** In-place union; sizes must match. */
+    void unionWith(const Bitmap &other);
+
+    /** Serialized form (varint size + raw words). */
+    Bytes toBytes() const;
+    static Result<Bitmap> fromBytes(Slice bytes);
+
+    /** Size of the Snappy-compressed serialized form — what a storage
+     *  node actually sends to the coordinator. */
+    uint64_t compressedWireSize() const;
+
+    bool operator==(const Bitmap &other) const = default;
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace fusion::query
+
+#endif // FUSION_QUERY_BITMAP_H

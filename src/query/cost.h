@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Pushdown Cost Estimator (paper §4.3). After the filter stage the
+ * coordinator knows the exact query selectivity; each candidate
+ * projection chunk's compressibility comes from footer metadata. The
+ * Cost Equation pushes a projection down only when
+ *
+ *     selectivity x compressibility < 1
+ *
+ * i.e. when the uncompressed projected values are smaller on the wire
+ * than the compressed chunk would be.
+ */
+#ifndef FUSION_QUERY_COST_H
+#define FUSION_QUERY_COST_H
+
+#include <cstdint>
+
+#include "format/metadata.h"
+
+namespace fusion::query {
+
+/** Outcome of the cost model for one chunk's projection. */
+struct PushdownDecision {
+    bool push = true;
+    double selectivity = 0.0;
+    double compressibility = 1.0;
+
+    /** The Cost Equation's left-hand side. */
+    double product() const { return selectivity * compressibility; }
+};
+
+/** Applies the Cost Equation to one chunk. */
+inline PushdownDecision
+decideProjectionPushdown(double selectivity, const format::ChunkMeta &chunk)
+{
+    PushdownDecision decision;
+    decision.selectivity = selectivity;
+    decision.compressibility = chunk.compressibility();
+    decision.push = decision.product() < 1.0;
+    return decision;
+}
+
+/** Estimated wire bytes of a pushed-down projection reply. */
+inline uint64_t
+estimateProjectionReplyBytes(double selectivity,
+                             const format::ChunkMeta &chunk)
+{
+    return static_cast<uint64_t>(selectivity *
+                                 static_cast<double>(chunk.plainSize));
+}
+
+} // namespace fusion::query
+
+#endif // FUSION_QUERY_COST_H

@@ -1,0 +1,227 @@
+#include "eval.h"
+
+#include <optional>
+
+namespace fusion::query {
+
+namespace {
+
+using format::ColumnData;
+using format::PhysicalType;
+using format::Value;
+
+bool
+applyOp(int cmp, CompareOp op)
+{
+    switch (op) {
+      case CompareOp::kLt: return cmp < 0;
+      case CompareOp::kLe: return cmp <= 0;
+      case CompareOp::kGt: return cmp > 0;
+      case CompareOp::kGe: return cmp >= 0;
+      case CompareOp::kEq: return cmp == 0;
+      case CompareOp::kNe: return cmp != 0;
+    }
+    return false;
+}
+
+// Typed scan loop: avoids boxing each row into a Value.
+template <typename T, typename L>
+void
+scanTyped(const std::vector<T> &values, CompareOp op, L literal,
+          Bitmap &out)
+{
+    for (size_t i = 0; i < values.size(); ++i) {
+        int cmp = values[i] < literal ? -1 : (literal < values[i] ? 1 : 0);
+        if (applyOp(cmp, op))
+            out.set(i);
+    }
+}
+
+bool
+literalCompatible(PhysicalType column_type, PhysicalType literal_type)
+{
+    bool column_numeric = column_type != PhysicalType::kString;
+    bool literal_numeric = literal_type != PhysicalType::kString;
+    return column_numeric == literal_numeric;
+}
+
+} // namespace
+
+bool
+compareValues(const Value &lhs, CompareOp op, const Value &rhs)
+{
+    return applyOp(lhs.compare(rhs), op);
+}
+
+Result<Bitmap>
+evalPredicate(const ColumnData &column, CompareOp op, const Value &literal)
+{
+    if (!literalCompatible(column.type(), literal.type()))
+        return Status::invalidArgument(
+            "predicate literal type incompatible with column type");
+
+    Bitmap out(column.size());
+    switch (column.type()) {
+      case PhysicalType::kInt32:
+        scanTyped(column.int32s(), op, literal.numeric(), out);
+        break;
+      case PhysicalType::kInt64:
+        scanTyped(column.int64s(), op, literal.numeric(), out);
+        break;
+      case PhysicalType::kDouble:
+        scanTyped(column.doubles(), op, literal.numeric(), out);
+        break;
+      case PhysicalType::kString:
+        scanTyped(column.strings(), op, literal.asString(), out);
+        break;
+    }
+    return out;
+}
+
+bool
+zoneMapMayMatch(const format::ChunkMeta &meta, const Predicate &pred)
+{
+    const Value &min_v = meta.minValue;
+    const Value &max_v = meta.maxValue;
+    if (!literalCompatible(min_v.type(), pred.literal.type()))
+        return true; // type confusion: be conservative, scan the chunk
+    switch (pred.op) {
+      case CompareOp::kLt: return compareValues(min_v, CompareOp::kLt,
+                                                pred.literal);
+      case CompareOp::kLe: return compareValues(min_v, CompareOp::kLe,
+                                                pred.literal);
+      case CompareOp::kGt: return compareValues(max_v, CompareOp::kGt,
+                                                pred.literal);
+      case CompareOp::kGe: return compareValues(max_v, CompareOp::kGe,
+                                                pred.literal);
+      case CompareOp::kEq:
+        return compareValues(min_v, CompareOp::kLe, pred.literal) &&
+               compareValues(max_v, CompareOp::kGe, pred.literal);
+      case CompareOp::kNe:
+        // Only an all-equal chunk matching the literal can be skipped.
+        return !(min_v == max_v && min_v == pred.literal);
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * Converts an equality literal to the column's stored type when the
+ * conversion is exact, so Bloom hashing (which is type-sensitive) sees
+ * the same bytes the writer inserted. Returns nullopt when conversion
+ * would be lossy or the types are incompatible.
+ */
+std::optional<Value>
+normalizeLiteralForColumn(PhysicalType column_type, const Value &literal)
+{
+    if (literal.type() == column_type)
+        return literal;
+    if (column_type == PhysicalType::kString ||
+        literal.type() == PhysicalType::kString)
+        return std::nullopt;
+    double v = literal.numeric();
+    switch (column_type) {
+      case PhysicalType::kInt32: {
+        auto as_int = static_cast<int32_t>(v);
+        if (static_cast<double>(as_int) == v)
+            return Value(as_int);
+        return std::nullopt;
+      }
+      case PhysicalType::kInt64: {
+        auto as_int = static_cast<int64_t>(v);
+        if (static_cast<double>(as_int) == v)
+            return Value(as_int);
+        return std::nullopt;
+      }
+      case PhysicalType::kDouble:
+        return Value(v);
+      case PhysicalType::kString:
+        break;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+bool
+chunkMayMatch(const format::ChunkMeta &meta, const Predicate &pred)
+{
+    if (!zoneMapMayMatch(meta, pred))
+        return false;
+    if (pred.op != CompareOp::kEq || meta.bloom.empty())
+        return true;
+    auto literal =
+        normalizeLiteralForColumn(meta.minValue.type(), pred.literal);
+    if (!literal.has_value())
+        return true; // inexact conversion: cannot safely consult bloom
+    return meta.bloom.mayContain(*literal);
+}
+
+format::ColumnData
+selectRows(const ColumnData &column, const Bitmap &rows)
+{
+    FUSION_CHECK(column.size() == rows.size());
+    ColumnData out(column.type());
+    switch (column.type()) {
+      case PhysicalType::kInt32:
+        for (size_t i = 0; i < column.size(); ++i)
+            if (rows.test(i))
+                out.append(column.int32s()[i]);
+        break;
+      case PhysicalType::kInt64:
+        for (size_t i = 0; i < column.size(); ++i)
+            if (rows.test(i))
+                out.append(column.int64s()[i]);
+        break;
+      case PhysicalType::kDouble:
+        for (size_t i = 0; i < column.size(); ++i)
+            if (rows.test(i))
+                out.append(column.doubles()[i]);
+        break;
+      case PhysicalType::kString:
+        for (size_t i = 0; i < column.size(); ++i)
+            if (rows.test(i))
+                out.append(column.strings()[i]);
+        break;
+    }
+    return out;
+}
+
+Result<double>
+computeAggregate(AggregateKind kind, const ColumnData &values)
+{
+    if (kind == AggregateKind::kCount)
+        return static_cast<double>(values.size());
+    if (values.type() == PhysicalType::kString)
+        return Status::invalidArgument(
+            "numeric aggregate over a string column");
+    // SQL yields NULL for aggregates over zero rows; without a null
+    // representation we approximate with 0 (documented behaviour).
+    if (values.size() == 0)
+        return 0.0;
+
+    double sum = 0.0, min_v = 0.0, max_v = 0.0;
+    bool first = true;
+    for (size_t i = 0; i < values.size(); ++i) {
+        double v = values.valueAt(i).numeric();
+        sum += v;
+        if (first || v < min_v)
+            min_v = v;
+        if (first || v > max_v)
+            max_v = v;
+        first = false;
+    }
+    switch (kind) {
+      case AggregateKind::kSum: return sum;
+      case AggregateKind::kAvg:
+        return sum / static_cast<double>(values.size());
+      case AggregateKind::kMin: return min_v;
+      case AggregateKind::kMax: return max_v;
+      case AggregateKind::kCount:
+      case AggregateKind::kNone: break;
+    }
+    return Status::invalidArgument("bad aggregate kind");
+}
+
+} // namespace fusion::query

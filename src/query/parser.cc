@@ -1,0 +1,261 @@
+#include "parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fusion::query {
+
+namespace {
+
+/** Hand-rolled recursive-descent parser over a token cursor. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &sql) : sql_(sql) {}
+
+    Result<Query>
+    parse()
+    {
+        Query query;
+        FUSION_RETURN_IF_ERROR(expectKeyword("SELECT"));
+        FUSION_RETURN_IF_ERROR(parseProjections(query));
+        FUSION_RETURN_IF_ERROR(expectKeyword("FROM"));
+        auto table = parseIdentifier();
+        if (!table.isOk())
+            return table.status();
+        query.table = table.value();
+        skipSpace();
+        if (!atEnd()) {
+            FUSION_RETURN_IF_ERROR(expectKeyword("WHERE"));
+            FUSION_RETURN_IF_ERROR(parseFilters(query));
+        }
+        skipSpace();
+        if (!atEnd())
+            return error("unexpected trailing input");
+        return query;
+    }
+
+  private:
+    Status
+    error(const std::string &what)
+    {
+        return Status::invalidArgument(what + " at position " +
+                                       std::to_string(pos_) + " in: " +
+                                       sql_);
+    }
+
+    bool atEnd() const { return pos_ >= sql_.size(); }
+    char peek() const { return atEnd() ? '\0' : sql_[pos_]; }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+            ++pos_;
+    }
+
+    bool
+    consumeChar(char c)
+    {
+        skipSpace();
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Case-insensitive keyword match at the cursor. */
+    bool
+    tryKeyword(const char *keyword)
+    {
+        skipSpace();
+        size_t p = pos_;
+        for (const char *k = keyword; *k; ++k, ++p) {
+            if (p >= sql_.size() ||
+                std::toupper(static_cast<unsigned char>(sql_[p])) != *k)
+                return false;
+        }
+        // Must not run into an identifier character.
+        if (p < sql_.size() &&
+            (std::isalnum(static_cast<unsigned char>(sql_[p])) ||
+             sql_[p] == '_'))
+            return false;
+        pos_ = p;
+        return true;
+    }
+
+    Status
+    expectKeyword(const char *keyword)
+    {
+        if (!tryKeyword(keyword))
+            return error(std::string("expected ") + keyword);
+        return Status::ok();
+    }
+
+    Result<std::string>
+    parseIdentifier()
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (atEnd() ||
+            !(std::isalpha(static_cast<unsigned char>(peek())) ||
+              peek() == '_'))
+            return error("expected identifier");
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_'))
+            ++pos_;
+        return sql_.substr(start, pos_ - start);
+    }
+
+    Status
+    parseProjections(Query &query)
+    {
+        do {
+            skipSpace();
+            Projection proj;
+            if (consumeChar('*')) {
+                proj.column = kStarProjection;
+                query.projections.push_back(std::move(proj));
+                continue;
+            }
+            AggregateKind agg = AggregateKind::kNone;
+            if (tryKeyword("COUNT"))
+                agg = AggregateKind::kCount;
+            else if (tryKeyword("SUM"))
+                agg = AggregateKind::kSum;
+            else if (tryKeyword("AVG"))
+                agg = AggregateKind::kAvg;
+            else if (tryKeyword("MIN"))
+                agg = AggregateKind::kMin;
+            else if (tryKeyword("MAX"))
+                agg = AggregateKind::kMax;
+
+            if (agg != AggregateKind::kNone) {
+                if (!consumeChar('('))
+                    return error("expected ( after aggregate");
+                proj.aggregate = agg;
+                if (consumeChar('*')) {
+                    if (agg != AggregateKind::kCount)
+                        return error("only COUNT accepts *");
+                } else {
+                    auto col = parseIdentifier();
+                    if (!col.isOk())
+                        return col.status();
+                    proj.column = col.value();
+                }
+                if (!consumeChar(')'))
+                    return error("expected ) after aggregate");
+            } else {
+                auto col = parseIdentifier();
+                if (!col.isOk())
+                    return col.status();
+                proj.column = col.value();
+            }
+            query.projections.push_back(std::move(proj));
+        } while (consumeChar(','));
+        return Status::ok();
+    }
+
+    Result<CompareOp>
+    parseOp()
+    {
+        skipSpace();
+        auto two = [&](char a, char b) {
+            if (pos_ + 1 < sql_.size() && sql_[pos_] == a &&
+                sql_[pos_ + 1] == b) {
+                pos_ += 2;
+                return true;
+            }
+            return false;
+        };
+        if (two('<', '=')) return CompareOp::kLe;
+        if (two('>', '=')) return CompareOp::kGe;
+        if (two('=', '=')) return CompareOp::kEq;
+        if (two('!', '=')) return CompareOp::kNe;
+        if (two('<', '>')) return CompareOp::kNe;
+        if (consumeChar('<')) return CompareOp::kLt;
+        if (consumeChar('>')) return CompareOp::kGt;
+        if (consumeChar('=')) return CompareOp::kEq;
+        return error("expected comparison operator");
+    }
+
+    Result<format::Value>
+    parseLiteral()
+    {
+        skipSpace();
+        if (peek() == '\'') {
+            ++pos_;
+            std::string s;
+            while (!atEnd() && peek() != '\'')
+                s += sql_[pos_++];
+            if (atEnd())
+                return error("unterminated string literal");
+            ++pos_;
+            return format::Value::ofString(std::move(s));
+        }
+        size_t start = pos_;
+        if (peek() == '-' || peek() == '+')
+            ++pos_;
+        bool is_float = false;
+        while (!atEnd() &&
+               (std::isdigit(static_cast<unsigned char>(peek())) ||
+                peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                ((peek() == '-' || peek() == '+') &&
+                 (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+            if (peek() == '.' || peek() == 'e' || peek() == 'E')
+                is_float = true;
+            ++pos_;
+        }
+        if (pos_ == start)
+            return error("expected literal");
+        std::string text = sql_.substr(start, pos_ - start);
+        if (is_float)
+            return format::Value::ofDouble(std::strtod(text.c_str(),
+                                                       nullptr));
+        return format::Value::ofInt64(
+            std::strtoll(text.c_str(), nullptr, 10));
+    }
+
+    Status
+    parseFilters(Query &query)
+    {
+        do {
+            Predicate pred;
+            auto col = parseIdentifier();
+            if (!col.isOk())
+                return col.status();
+            pred.column = col.value();
+            auto op = parseOp();
+            if (!op.isOk())
+                return op.status();
+            pred.op = op.value();
+            auto lit = parseLiteral();
+            if (!lit.isOk())
+                return lit.status();
+            pred.literal = std::move(lit.value());
+            query.filters.push_back(std::move(pred));
+        } while (tryKeyword("AND"));
+        return Status::ok();
+    }
+
+    const std::string &sql_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<Query>
+parseQuery(const std::string &sql)
+{
+    Parser parser(sql);
+    auto query = parser.parse();
+    if (!query.isOk())
+        return query.status();
+    if (query.value().projections.empty())
+        return Status::invalidArgument("query selects nothing");
+    return query;
+}
+
+} // namespace fusion::query

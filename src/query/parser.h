@@ -1,0 +1,32 @@
+/**
+ * @file
+ * A small SQL parser for the S3-Select-like dialect Fusion supports:
+ *
+ *   SELECT <item> [, <item>]* FROM <table> [WHERE <pred> [AND <pred>]*]
+ *   item  := * | column | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+ *          | MIN(col) | MAX(col)
+ *   pred  := column (< | <= | > | >= | = | == | != | <>) literal
+ *   literal := integer | float | 'single-quoted string'
+ *
+ * Keywords are case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+ * `SELECT *` is expanded by the store against the table schema.
+ */
+#ifndef FUSION_QUERY_PARSER_H
+#define FUSION_QUERY_PARSER_H
+
+#include <string>
+
+#include "ast.h"
+
+namespace fusion::query {
+
+/** Marker projection column produced by `SELECT *`. */
+inline constexpr const char *kStarProjection = "*";
+
+/** Parses SQL text into a Query; kInvalidArgument with a position hint
+ *  on syntax errors. */
+Result<Query> parseQuery(const std::string &sql);
+
+} // namespace fusion::query
+
+#endif // FUSION_QUERY_PARSER_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The simulated storage cluster: a set of storage nodes plus a client
+ * endpoint, message transfer between them (NIC queueing + wire
+ * latency), placement helpers, failure injection and byte-accurate
+ * network-traffic accounting.
+ */
+#ifndef FUSION_SIM_CLUSTER_H
+#define FUSION_SIM_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "engine.h"
+#include "node.h"
+
+namespace fusion::sim {
+
+/** Cluster shape and per-node parameters. */
+struct ClusterConfig {
+    size_t numNodes = 9; // storage nodes (paper: 9 + 1 client)
+    NodeConfig node;
+    uint64_t placementSeed = 0x5eed;
+};
+
+/** Simulated cluster. Owns the engine, the nodes and a client node. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+
+    SimEngine &engine() { return engine_; }
+    size_t numNodes() const { return nodes_.size(); }
+    StorageNode &node(size_t id) { return *nodes_.at(id); }
+    const StorageNode &node(size_t id) const { return *nodes_.at(id); }
+
+    /** The client endpoint (has NICs/CPU but stores no blocks). */
+    StorageNode &client() { return *client_; }
+
+    const ClusterConfig &config() const { return config_; }
+
+    /**
+     * Picks `count` distinct storage-node ids uniformly at random using
+     * the cluster's placement RNG (deterministic per seed).
+     */
+    std::vector<size_t> chooseNodes(size_t count);
+
+    /** Storage node id a client request for `object_name` routes to
+     *  (hash-based coordinator selection, paper §5). Dead nodes are
+     *  skipped by linear probing. */
+    size_t coordinatorFor(const std::string &object_name) const;
+
+    /**
+     * Simulates sending `bytes` from `src` to `dst`: queues on the
+     * source's egress NIC, crosses the wire (pure latency, no
+     * occupancy), queues on the destination's ingress NIC, then calls
+     * `done`. Counts toward total network traffic.
+     */
+    void transfer(StorageNode &src, StorageNode &dst, uint64_t bytes,
+                  std::function<void()> done);
+
+    void killNode(size_t id) { node(id).setAlive(false); }
+    void reviveNode(size_t id) { node(id).setAlive(true); }
+    size_t aliveNodeCount() const;
+
+    uint64_t totalNetworkBytes() const { return totalNetworkBytes_; }
+    void resetTrafficStats() { totalNetworkBytes_ = 0; }
+
+    /** Mean CPU utilization across storage nodes over [0, now]. */
+    double meanStorageCpuUtilization() const;
+
+  private:
+    ClusterConfig config_;
+    SimEngine engine_;
+    std::vector<std::unique_ptr<StorageNode>> nodes_;
+    std::unique_ptr<StorageNode> client_;
+    Rng placementRng_;
+    uint64_t totalNetworkBytes_ = 0;
+};
+
+} // namespace fusion::sim
+
+#endif // FUSION_SIM_CLUSTER_H

@@ -1,0 +1,40 @@
+#include "engine.h"
+
+namespace fusion::sim {
+
+void
+SimEngine::scheduleAt(SimTime when, std::function<void()> fn)
+{
+    FUSION_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+SimEngine::run()
+{
+    while (!queue_.empty()) {
+        // priority_queue::top returns const&; the event must be copied
+        // out before pop so its callback can schedule more events.
+        Event event = queue_.top();
+        queue_.pop();
+        now_ = event.time;
+        ++eventsProcessed_;
+        event.fn();
+    }
+}
+
+void
+SimEngine::runUntil(SimTime until)
+{
+    while (!queue_.empty() && queue_.top().time <= until) {
+        Event event = queue_.top();
+        queue_.pop();
+        now_ = event.time;
+        ++eventsProcessed_;
+        event.fn();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace fusion::sim

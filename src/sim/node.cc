@@ -1,0 +1,51 @@
+#include "node.h"
+
+namespace fusion::sim {
+
+StorageNode::StorageNode(SimEngine &engine, size_t id,
+                         const NodeConfig &config)
+    : id_(id), config_(config),
+      disk_(engine, "node" + std::to_string(id) + ".disk",
+            config.diskBandwidth),
+      nicIn_(engine, "node" + std::to_string(id) + ".nicIn",
+             config.nicBandwidth),
+      nicOut_(engine, "node" + std::to_string(id) + ".nicOut",
+              config.nicBandwidth),
+      cpu_(engine, "node" + std::to_string(id) + ".cpu", config.cpuRate,
+           config.cpuCores)
+{
+}
+
+void
+StorageNode::putBlock(const std::string &key, Bytes data)
+{
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+        storedBytes_ -= it->second.size();
+        it->second = std::move(data);
+        storedBytes_ += it->second.size();
+        return;
+    }
+    storedBytes_ += data.size();
+    blocks_.emplace(key, std::move(data));
+}
+
+const Bytes *
+StorageNode::findBlock(const std::string &key) const
+{
+    auto it = blocks_.find(key);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool
+StorageNode::dropBlock(const std::string &key)
+{
+    auto it = blocks_.find(key);
+    if (it == blocks_.end())
+        return false;
+    storedBytes_ -= it->second.size();
+    blocks_.erase(it);
+    return true;
+}
+
+} // namespace fusion::sim

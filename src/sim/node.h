@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A simulated storage node: disk, NIC (both directions) and CPU
+ * resources plus an in-memory block store holding real bytes. Nodes
+ * execute pushed-down work in the stores' query flows; this class only
+ * provides the resources, storage and liveness state.
+ */
+#ifndef FUSION_SIM_NODE_H
+#define FUSION_SIM_NODE_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "resource.h"
+
+namespace fusion::sim {
+
+/** Per-node performance parameters (defaults mirror §6's r6525 nodes,
+ *  with the NIC shaped to 25 Gbps as in the paper's experiments).
+ *  cpuRate is per core over the store's decode-work unit (compressed
+ *  bytes + a fraction of decoded output; see ObjectStore). */
+struct NodeConfig {
+    double diskBandwidth = 4.0e9;   // bytes/s sequential NVMe read
+    double diskSeekLatency = 50e-6; // per-request positioning cost
+    double nicBandwidth = 25e9 / 8; // bytes/s each direction
+    double rpcLatency = 150e-6;     // one-way message latency
+    double cpuRate = 6.0e9;         // decode work units/s per core
+    size_t cpuCores = 16;
+    /**
+     * CPU work units consumed per byte sent or received (kernel network
+     * stack / RPC serialization). This is how moving less data saves
+     * CPU — the effect behind the paper's Fig 14d.
+     */
+    double networkCpuFactor = 0.5;
+};
+
+/** One storage (or client/coordinator) node in the simulated cluster. */
+class StorageNode
+{
+  public:
+    StorageNode(SimEngine &engine, size_t id, const NodeConfig &config);
+
+    size_t id() const { return id_; }
+    bool alive() const { return alive_; }
+    void setAlive(bool alive) { alive_ = alive; }
+
+    SimResource &disk() { return disk_; }
+    SimResource &nicIn() { return nicIn_; }
+    SimResource &nicOut() { return nicOut_; }
+    SimResource &cpu() { return cpu_; }
+
+    const NodeConfig &config() const { return config_; }
+
+    /** Stores (or overwrites) a named block on this node. */
+    void putBlock(const std::string &key, Bytes data);
+
+    /** Pointer to a block's bytes, or nullptr if absent. Liveness is
+     *  intentionally not checked here — callers decide how to treat
+     *  dead nodes (e.g. degraded reads still know what *would* be
+     *  there). */
+    const Bytes *findBlock(const std::string &key) const;
+
+    /** Removes a block; true if it existed. */
+    bool dropBlock(const std::string &key);
+
+    /** Simulates full media loss (e.g. disk replacement). */
+    void
+    wipe()
+    {
+        blocks_.clear();
+        storedBytes_ = 0;
+    }
+
+    size_t blockCount() const { return blocks_.size(); }
+    uint64_t storedBytes() const { return storedBytes_; }
+
+  private:
+    size_t id_;
+    NodeConfig config_;
+    bool alive_ = true;
+    SimResource disk_;
+    SimResource nicIn_;
+    SimResource nicOut_;
+    SimResource cpu_;
+    std::unordered_map<std::string, Bytes> blocks_;
+    uint64_t storedBytes_ = 0;
+};
+
+} // namespace fusion::sim
+
+#endif // FUSION_SIM_NODE_H

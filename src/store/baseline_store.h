@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The baseline store (paper §6 "Baseline"): representative of MinIO and
+ * Ceph. Objects are erasure coded into fixed-size blocks with no
+ * format awareness, so column chunks split across nodes. Queries use
+ * the footer zone-map optimization but must reassemble every needed
+ * chunk at a coordinator node before evaluating anything.
+ */
+#ifndef FUSION_STORE_BASELINE_STORE_H
+#define FUSION_STORE_BASELINE_STORE_H
+
+#include "object_store.h"
+
+namespace fusion::store {
+
+/** Fixed-block store with coordinator-side query evaluation. */
+class BaselineStore : public ObjectStore
+{
+  public:
+    BaselineStore(sim::Cluster &cluster, const StoreOptions &options)
+        : ObjectStore(cluster, options)
+    {
+    }
+
+    const char *kindName() const override { return "baseline"; }
+
+  protected:
+    fac::ObjectLayout
+    buildLayout(const std::vector<fac::ChunkExtent> &extents) override;
+
+    Result<QueryPlan> planQuery(const ObjectManifest &manifest,
+                                const query::Query &q) override;
+};
+
+} // namespace fusion::store
+
+#endif // FUSION_STORE_BASELINE_STORE_H

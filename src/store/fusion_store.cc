@@ -1,0 +1,143 @@
+#include "fusion_store.h"
+
+#include <set>
+
+#include "fac/constructors.h"
+#include "query/cost.h"
+
+namespace fusion::store {
+
+fac::ObjectLayout
+FusionStore::buildLayout(const std::vector<fac::ChunkExtent> &extents)
+{
+    fac::FusionLayoutOptions layout_options;
+    layout_options.n = options_.n;
+    layout_options.k = options_.k;
+    layout_options.overheadThreshold = options_.overheadThreshold;
+    layout_options.fallbackBlockSize = options_.fixedBlockSize;
+    return fac::buildFusionLayout(extents, layout_options);
+}
+
+Result<ObjectStore::QueryPlan>
+FusionStore::planQuery(const ObjectManifest &manifest,
+                       const query::Query &q)
+{
+    auto plane_r = executeDataPlane(manifest, q);
+    if (!plane_r.isOk())
+        return plane_r.status();
+    const DataPlane &plane = plane_r.value();
+
+    const format::FileMetadata &meta = manifest.fileMeta;
+    const format::Schema &schema = meta.schema;
+
+    QueryPlan plan;
+    plan.coordinatorId = cluster_.coordinatorFor(manifest.name);
+    plan.outcome.result = plane.result;
+    plan.clientReplyBytes = plane.resultWireBytes;
+
+    // ---- filter stage ----
+    // Chunks decoded in-situ during this stage stay warm on their node
+    // for the projection stage of the same query (the paper's Fig 13c
+    // shows both systems paying the disk/decode cost once).
+    std::set<std::pair<size_t, uint32_t>> warm_chunks;
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        if (!plane.rowGroupBitmaps[rg].has_value()) {
+            ++plan.outcome.rowGroupsSkipped;
+            continue;
+        }
+        ++plan.outcome.rowGroupsScanned;
+        for (const auto &col_name : q.filterColumns()) {
+            size_t col = schema.columnIndex(col_name).value();
+            const format::ChunkMeta &chunk = meta.chunk(rg, col);
+            uint32_t chunk_id = manifest.chunkIdFor(rg, col);
+            if (chunkIntactOnSingleNode(manifest, chunk_id)) {
+                size_t node = manifest.nodesForChunk(chunk_id)[0];
+                plan.filterTasks.push_back(
+                    {node, options_.requestRpcBytes, chunk.storedSize,
+                     chunkDecodeWork(chunk),
+                     plane.filterReplyWireSize.at({rg, col}), 0.0});
+                warm_chunks.insert({node, chunk_id});
+                ++plan.outcome.filterChunkPushdowns;
+            } else {
+                // Split or degraded chunk: fall back to reassembly at
+                // the coordinator, which also evaluates the filter.
+                appendChunkFetchTasks(manifest, chunk_id,
+                                      plan.coordinatorId,
+                                      chunkDecodeWork(chunk),
+                                      plan.filterTasks);
+                ++plan.outcome.filterChunkFetches;
+            }
+        }
+    }
+
+    // Bitmap consolidation at the coordinator (cheap, byte-counted).
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg)
+        plan.interStageCoordWork +=
+            static_cast<double>(plane.rowGroupBitmapWireSize[rg]);
+
+    // ---- projection stage (fine-grained adaptive pushdown) ----
+    // Columns only referenced by aggregates can use aggregate pushdown
+    // (extension; off by default as in the paper).
+    std::set<std::string> plain_projected;
+    for (const auto &proj : q.projections)
+        if (proj.aggregate == query::AggregateKind::kNone)
+            plain_projected.insert(proj.column);
+
+    for (const auto &col_name : q.projectionColumns()) {
+        size_t col = schema.columnIndex(col_name).value();
+        bool aggregate_only = plain_projected.count(col_name) == 0;
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+            const auto &bitmap = plane.rowGroupBitmaps[rg];
+            if (!bitmap.has_value() || bitmap->count() == 0)
+                continue;
+            const format::ChunkMeta &chunk = meta.chunk(rg, col);
+            uint32_t chunk_id = manifest.chunkIdFor(rg, col);
+
+            if (!chunkIntactOnSingleNode(manifest, chunk_id)) {
+                appendChunkFetchTasks(manifest, chunk_id,
+                                      plan.coordinatorId,
+                                      chunkDecodeWork(chunk),
+                                      plan.projectionTasks);
+                ++plan.outcome.projectionFetches;
+                continue;
+            }
+            size_t node = manifest.nodesForChunk(chunk_id)[0];
+            uint64_t request = options_.requestRpcBytes +
+                               plane.rowGroupBitmapWireSize[rg];
+            // If this node decoded the chunk during the filter stage of
+            // this query, projection reuses the decoded form: no second
+            // disk read, only the row-selection pass.
+            bool warm = warm_chunks.count({node, chunk_id}) > 0;
+            uint64_t disk_bytes = warm ? 0 : chunk.storedSize;
+            double decode_work =
+                warm ? chunkSelectWork(chunk) : chunkDecodeWork(chunk);
+
+            if (options_.aggregatePushdown && aggregate_only) {
+                // Node returns a (count, sum, min, max) scalar tuple.
+                plan.projectionTasks.push_back(
+                    {node, request, disk_bytes, decode_work, 32, 0.0});
+                ++plan.outcome.projectionPushdowns;
+                continue;
+            }
+
+            auto decision = query::decideProjectionPushdown(
+                plane.selectivity, chunk);
+            bool push = options_.adaptivePushdown ? decision.push : true;
+            if (push) {
+                plan.projectionTasks.push_back(
+                    {node, request, disk_bytes, decode_work,
+                     plane.projectionReplySize.at({rg, col}), 0.0});
+                ++plan.outcome.projectionPushdowns;
+            } else {
+                // Fetch the compressed chunk; decode + select locally.
+                plan.projectionTasks.push_back(
+                    {node, options_.requestRpcBytes, chunk.storedSize, 0.0,
+                     chunk.storedSize, chunkDecodeWork(chunk)});
+                ++plan.outcome.projectionFetches;
+            }
+        }
+    }
+    return plan;
+}
+
+} // namespace fusion::store

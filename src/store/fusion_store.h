@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Fusion store (paper §4-§5): FAC stripe layout (with fixed-block
+ * fallback under the storage-overhead threshold) plus the two-stage
+ * fine-grained adaptive pushdown executor:
+ *
+ *   filter stage    — filters run in-situ on the storage nodes holding
+ *                     each (intact) chunk; nodes return compressed
+ *                     bitmaps; the coordinator ANDs them and learns the
+ *                     exact query selectivity.
+ *   projection stage— per chunk, the Cost Equation
+ *                     (selectivity x compressibility < 1) decides
+ *                     between pushing the projection down and fetching
+ *                     the compressed chunk to the coordinator.
+ *
+ * Chunks that are split (fixed fallback) or on dead nodes transparently
+ * use the baseline fetch/reassemble path for correctness.
+ */
+#ifndef FUSION_STORE_FUSION_STORE_H
+#define FUSION_STORE_FUSION_STORE_H
+
+#include "object_store.h"
+
+namespace fusion::store {
+
+/** The analytics object store this repository reproduces. */
+class FusionStore : public ObjectStore
+{
+  public:
+    FusionStore(sim::Cluster &cluster, const StoreOptions &options)
+        : ObjectStore(cluster, options)
+    {
+    }
+
+    const char *kindName() const override { return "fusion"; }
+
+  protected:
+    fac::ObjectLayout
+    buildLayout(const std::vector<fac::ChunkExtent> &extents) override;
+
+    Result<QueryPlan> planQuery(const ObjectManifest &manifest,
+                                const query::Query &q) override;
+};
+
+} // namespace fusion::store
+
+#endif // FUSION_STORE_FUSION_STORE_H

@@ -1,0 +1,53 @@
+#include "manifest.h"
+
+#include <algorithm>
+
+namespace fusion::store {
+
+std::vector<size_t>
+ObjectManifest::nodesForChunk(uint32_t chunk_id) const
+{
+    std::vector<size_t> nodes;
+    for (const auto &piece : chunkPieces.at(chunk_id)) {
+        size_t node = stripeNodes.at(piece.stripe).at(piece.blockIndex);
+        if (std::find(nodes.begin(), nodes.end(), node) == nodes.end())
+            nodes.push_back(node);
+    }
+    return nodes;
+}
+
+std::string
+ObjectManifest::blockKey(size_t stripe, size_t block_index) const
+{
+    return name + "#s" + std::to_string(stripe) + "#b" +
+           std::to_string(block_index);
+}
+
+void
+ObjectManifest::buildLocationMap()
+{
+    chunkPieces.assign(extents.size(), {});
+    for (size_t s = 0; s < layout.stripes.size(); ++s) {
+        const auto &stripe = layout.stripes[s];
+        for (size_t b = 0; b < stripe.dataBlocks.size(); ++b) {
+            uint64_t block_offset = 0;
+            for (const auto &piece : stripe.dataBlocks[b].pieces) {
+                if (!piece.isPadding()) {
+                    chunkPieces.at(piece.chunkId)
+                        .push_back({s, b, block_offset, piece.chunkOffset,
+                                    piece.size});
+                }
+                block_offset += piece.size;
+            }
+        }
+    }
+    // Keep pieces of each chunk in chunk-offset order for reassembly.
+    for (auto &pieces : chunkPieces) {
+        std::sort(pieces.begin(), pieces.end(),
+                  [](const PieceLocation &a, const PieceLocation &b) {
+                      return a.chunkOffset < b.chunkOffset;
+                  });
+    }
+}
+
+} // namespace fusion::store

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-object bookkeeping: the stripe layout, block placement, and the
+ * chunk location map (paper §5, "Metadata Management"). The manifest is
+ * what Fusion replicates k+1 ways; in the simulator it lives with the
+ * store and its durability is modeled, not enforced.
+ */
+#ifndef FUSION_STORE_MANIFEST_H
+#define FUSION_STORE_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "fac/layout.h"
+#include "format/metadata.h"
+
+namespace fusion::store {
+
+/** Where one piece of a chunk physically lives. */
+struct PieceLocation {
+    size_t stripe = 0;      // stripe index within the object
+    size_t blockIndex = 0;  // data block index within the stripe [0, k)
+    uint64_t blockOffset = 0; // byte offset of the piece inside the block
+    uint64_t chunkOffset = 0; // byte offset of the piece inside the chunk
+    uint64_t size = 0;
+};
+
+/** Complete placement record for one stored object. */
+struct ObjectManifest {
+    std::string name;
+    uint64_t objectSize = 0;
+    bool isFpax = false;
+    format::FileMetadata fileMeta; // valid when isFpax
+
+    fac::ObjectLayout layout;
+    /** Chunk extents the layout was built over, indexed by chunk id.
+     *  For fpax objects: the column chunks in file order, plus two
+     *  pseudo-chunks for the file header and footer bytes. */
+    std::vector<fac::ChunkExtent> extents;
+    /** Ids of the pseudo-chunks (header, footer); empty if none. */
+    std::vector<uint32_t> metaChunkIds;
+
+    /** Node ids per stripe for all n blocks (k data + n-k parity). */
+    std::vector<std::vector<size_t>> stripeNodes;
+
+    /** Location map: pieces of each chunk id, in chunk-offset order. */
+    std::vector<std::vector<PieceLocation>> chunkPieces;
+
+    /** Number of column chunks (excluding pseudo-chunks). */
+    size_t
+    numDataChunks() const
+    {
+        return extents.size() - metaChunkIds.size();
+    }
+
+    /** Chunk id for (row group, column) of an fpax object. */
+    uint32_t
+    chunkIdFor(size_t row_group, size_t column) const
+    {
+        return static_cast<uint32_t>(
+            row_group * fileMeta.schema.numColumns() + column);
+    }
+
+    /** Distinct node ids storing pieces of the given chunk. */
+    std::vector<size_t> nodesForChunk(uint32_t chunk_id) const;
+
+    /** Storage key of a block on its node. */
+    std::string blockKey(size_t stripe, size_t block_index) const;
+
+    /**
+     * Derives chunkPieces from the layout. Must be called after layout,
+     * extents and stripeNodes are set.
+     */
+    void buildLocationMap();
+};
+
+} // namespace fusion::store
+
+#endif // FUSION_STORE_MANIFEST_H

@@ -1,0 +1,868 @@
+#include "object_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "format/chunk_codec.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "query/cost.h"
+#include "query/eval.h"
+
+namespace fusion::store {
+
+namespace {
+
+ec::ReedSolomon
+makeCode(size_t n, size_t k)
+{
+    auto rs = ec::ReedSolomon::create(n, k);
+    FUSION_CHECK_MSG(rs.isOk(), "bad (n, k) erasure-code parameters");
+    return std::move(rs.value());
+}
+
+} // namespace
+
+ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
+    : cluster_(cluster), options_(options),
+      rs_(makeCode(options.n, options.k))
+{
+    FUSION_CHECK_MSG(cluster.numNodes() >= options.n,
+                     "cluster smaller than erasure-code width n");
+}
+
+bool
+ObjectStore::contains(const std::string &name) const
+{
+    return manifests_.count(name) > 0;
+}
+
+Result<const ObjectManifest *>
+ObjectStore::manifest(const std::string &name) const
+{
+    auto it = manifests_.find(name);
+    if (it == manifests_.end())
+        return Status::notFound("no object named '" + name + "'");
+    return &it->second;
+}
+
+Status
+ObjectStore::deleteObject(const std::string &name)
+{
+    auto it = manifests_.find(name);
+    if (it == manifests_.end())
+        return Status::notFound("no object named '" + name + "'");
+    const ObjectManifest &old = it->second;
+    for (size_t s = 0; s < old.stripeNodes.size(); ++s) {
+        for (size_t b = 0; b < old.stripeNodes[s].size(); ++b)
+            cluster_.node(old.stripeNodes[s][b])
+                .dropBlock(old.blockKey(s, b));
+    }
+    manifests_.erase(it);
+    return Status::ok();
+}
+
+std::vector<std::string>
+ObjectStore::listObjects() const
+{
+    std::vector<std::string> names;
+    names.reserve(manifests_.size());
+    for (const auto &[name, manifest] : manifests_)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+ObjectStore::StoreStats
+ObjectStore::stats() const
+{
+    StoreStats out;
+    out.objectCount = manifests_.size();
+    uint64_t data_bytes = 0, extra_bytes = 0;
+    for (const auto &[name, manifest] : manifests_) {
+        out.logicalBytes += manifest.objectSize;
+        out.storedBytes += manifest.layout.storedBytes();
+        data_bytes += manifest.layout.dataBytes;
+        extra_bytes += manifest.layout.paddingBytes +
+                       manifest.layout.parityBytes();
+    }
+    if (data_bytes > 0) {
+        double optimal = static_cast<double>(data_bytes) *
+                         static_cast<double>(options_.n - options_.k) /
+                         static_cast<double>(options_.k);
+        out.overheadVsOptimal =
+            (static_cast<double>(extra_bytes) - optimal) / optimal;
+    }
+    out.minNodeBytes = UINT64_MAX;
+    for (size_t i = 0; i < cluster_.numNodes(); ++i) {
+        uint64_t bytes = cluster_.node(i).storedBytes();
+        out.minNodeBytes = std::min(out.minNodeBytes, bytes);
+        out.maxNodeBytes = std::max(out.maxNodeBytes, bytes);
+    }
+    if (out.minNodeBytes == UINT64_MAX)
+        out.minNodeBytes = 0;
+    return out;
+}
+
+Result<PutResult>
+ObjectStore::put(const std::string &name, Bytes object)
+{
+    if (object.empty())
+        return Status::invalidArgument("cannot store an empty object");
+    if (contains(name)) {
+        // Updates are fresh inserts (paper §5): drop the old placement.
+        FUSION_RETURN_IF_ERROR(deleteObject(name));
+    }
+
+    ObjectManifest manifest;
+    manifest.name = name;
+    manifest.objectSize = object.size();
+
+    // Identify column chunk boundaries from the format footer.
+    auto reader = format::FileReader::open(Slice(object));
+    if (reader.isOk()) {
+        manifest.isFpax = true;
+        manifest.fileMeta = reader.value().metadata();
+        uint32_t id = 0;
+        uint64_t chunks_end = sizeof(format::kFileMagic);
+        for (const auto *chunk : manifest.fileMeta.allChunks()) {
+            manifest.extents.push_back(
+                {id++, chunk->offset, chunk->storedSize});
+            chunks_end =
+                std::max(chunks_end, chunk->offset + chunk->storedSize);
+        }
+        // File header and footer become pseudo-chunks so Get can
+        // reassemble the byte-identical object.
+        manifest.extents.push_back({id, 0, sizeof(format::kFileMagic)});
+        manifest.metaChunkIds.push_back(id++);
+        manifest.extents.push_back(
+            {id, chunks_end, manifest.objectSize - chunks_end});
+        manifest.metaChunkIds.push_back(id++);
+    } else {
+        // Opaque object: one extent; format-unaware coding applies.
+        manifest.extents.push_back({0, 0, manifest.objectSize});
+    }
+
+    auto layout_start = std::chrono::steady_clock::now();
+    manifest.layout = buildLayout(manifest.extents);
+    double layout_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      layout_start)
+            .count();
+    FUSION_RETURN_IF_ERROR(manifest.layout.validate(manifest.extents));
+
+    // Place each stripe on n distinct random nodes (paper §4.2).
+    std::vector<uint64_t> node_bytes(cluster_.numNodes(), 0);
+    for (size_t s = 0; s < manifest.layout.stripes.size(); ++s)
+        manifest.stripeNodes.push_back(cluster_.chooseNodes(options_.n));
+
+    // Materialize data blocks and parity, then store them.
+    for (size_t s = 0; s < manifest.layout.stripes.size(); ++s) {
+        const fac::StripeLayout &stripe = manifest.layout.stripes[s];
+        std::vector<Bytes> data_blocks(options_.k);
+        for (size_t b = 0; b < stripe.dataBlocks.size(); ++b) {
+            Bytes &block = data_blocks[b];
+            block.reserve(stripe.dataBlocks[b].size());
+            for (const auto &piece : stripe.dataBlocks[b].pieces) {
+                if (piece.isPadding()) {
+                    block.insert(block.end(), piece.size, 0);
+                } else {
+                    const auto &extent = manifest.extents.at(piece.chunkId);
+                    const uint8_t *src = object.data() + extent.offset +
+                                         piece.chunkOffset;
+                    block.insert(block.end(), src, src + piece.size);
+                }
+            }
+        }
+        std::vector<Slice> views;
+        views.reserve(options_.k);
+        for (const auto &block : data_blocks)
+            views.emplace_back(block);
+        std::vector<Bytes> parity = rs_.encodeParity(views);
+
+        for (size_t b = 0; b < options_.n; ++b) {
+            Bytes *bytes = (b < options_.k)
+                               ? &data_blocks[b]
+                               : &parity[b - options_.k];
+            if (bytes->empty())
+                continue; // implicit zero block
+            size_t node_id = manifest.stripeNodes[s][b];
+            node_bytes[node_id] += bytes->size();
+            cluster_.node(node_id).putBlock(manifest.blockKey(s, b),
+                                            std::move(*bytes));
+        }
+    }
+    manifest.buildLocationMap();
+
+    PutResult result;
+    result.layoutKind = manifest.layout.kind;
+    result.overheadVsOptimal = manifest.layout.overheadVsOptimal();
+    result.objectBytes = manifest.objectSize;
+    result.storedBytes = manifest.layout.storedBytes();
+    result.numChunks = manifest.numDataChunks();
+    result.numStripes = manifest.layout.stripes.size();
+    result.splitFraction = [&] {
+        // Split statistics over column chunks only.
+        auto spans = manifest.layout.chunkSpans(manifest.extents.size());
+        size_t split = 0, total = manifest.numDataChunks();
+        for (size_t c = 0; c < total; ++c)
+            split += spans[c] > 1 ? 1 : 0;
+        return total ? static_cast<double>(split) / total : 0.0;
+    }();
+    result.layoutSeconds = layout_seconds;
+
+    // Analytic put-time model: client uploads to the coordinator, which
+    // streams blocks to nodes in parallel; the slowest node bounds it.
+    const sim::NodeConfig &nc = cluster_.config().node;
+    double client_transfer = static_cast<double>(manifest.objectSize) /
+                                 nc.nicBandwidth +
+                             nc.rpcLatency;
+    double slowest_node = 0.0;
+    for (uint64_t bytes : node_bytes) {
+        double t = static_cast<double>(bytes) / nc.nicBandwidth +
+                   static_cast<double>(bytes) / nc.diskBandwidth;
+        slowest_node = std::max(slowest_node, t);
+    }
+    result.simulatedPutSeconds =
+        client_transfer + slowest_node + layout_seconds;
+
+    manifests_.emplace(name, std::move(manifest));
+    return result;
+}
+
+void
+ObjectStore::putAsync(const std::string &name, Bytes object,
+                      std::function<void(Result<PutResult>)> done)
+{
+    auto result = put(name, std::move(object));
+    if (!result.isOk()) {
+        done(result.status());
+        return;
+    }
+    const ObjectManifest &manifest = manifests_.at(name);
+
+    // Per-node bytes this put wrote (data at true size, parity full).
+    std::vector<uint64_t> node_bytes(cluster_.numNodes(), 0);
+    for (size_t s = 0; s < manifest.layout.stripes.size(); ++s) {
+        const fac::StripeLayout &stripe = manifest.layout.stripes[s];
+        for (size_t b = 0; b < options_.n; ++b) {
+            uint64_t size = (b < options_.k)
+                                ? (b < stripe.dataBlocks.size()
+                                       ? stripe.dataBlocks[b].size()
+                                       : 0)
+                                : stripe.blockSize();
+            node_bytes[manifest.stripeNodes[s][b]] += size;
+        }
+    }
+
+    sim::StorageNode *client = &cluster_.client();
+    sim::StorageNode *coord = &cluster_.node(cluster_.coordinatorFor(name));
+    const double start = cluster_.engine().now();
+    const double seek = cluster_.config().node.diskSeekLatency;
+
+    auto shared = std::make_shared<PutResult>(std::move(result.value()));
+    auto stream_blocks = [this, shared, node_bytes, coord, seek, start,
+                          done = std::move(done)]() mutable {
+        auto join = std::make_shared<sim::Join>(
+            node_bytes.size(),
+            [this, shared, start, done = std::move(done)]() {
+                shared->simulatedPutSeconds =
+                    cluster_.engine().now() - start;
+                done(*shared);
+            });
+        for (size_t node_id = 0; node_id < node_bytes.size(); ++node_id) {
+            uint64_t bytes = node_bytes[node_id];
+            sim::StorageNode *node = &cluster_.node(node_id);
+            if (bytes == 0 || node == coord) {
+                // Local blocks skip the network but still hit the disk.
+                node->disk().acquire(static_cast<double>(bytes),
+                                     bytes ? seek : 0.0,
+                                     [join]() { join->signal(); });
+                continue;
+            }
+            cluster_.transfer(*coord, *node, bytes,
+                              [node, bytes, seek, join]() {
+                                  node->disk().acquire(
+                                      static_cast<double>(bytes), seek,
+                                      [join]() { join->signal(); });
+                              });
+        }
+    };
+    cluster_.transfer(*client, *coord, shared->objectBytes,
+                      std::move(stream_blocks));
+}
+
+Result<Bytes>
+ObjectStore::recoverBlock(const ObjectManifest &manifest, size_t stripe,
+                          size_t block_index)
+{
+    const fac::StripeLayout &layout_stripe = manifest.layout.stripes[stripe];
+    const uint64_t block_size = layout_stripe.blockSize();
+    const size_t k = options_.k, n = options_.n;
+
+    auto true_size = [&](size_t b) -> uint64_t {
+        if (b >= k)
+            return block_size;
+        if (b >= layout_stripe.dataBlocks.size())
+            return 0;
+        return layout_stripe.dataBlocks[b].size();
+    };
+
+    std::vector<std::optional<Bytes>> shards(n);
+    for (size_t b = 0; b < n; ++b) {
+        if (true_size(b) == 0) {
+            shards[b] = Bytes(block_size, 0); // implicit zero block
+            continue;
+        }
+        const sim::StorageNode &node =
+            cluster_.node(manifest.stripeNodes[stripe][b]);
+        if (!node.alive())
+            continue;
+        const Bytes *block = node.findBlock(manifest.blockKey(stripe, b));
+        if (!block)
+            continue;
+        Bytes padded = *block;
+        padded.resize(block_size, 0);
+        shards[b] = std::move(padded);
+    }
+    FUSION_RETURN_IF_ERROR(rs_.reconstruct(shards, block_size));
+    Bytes out = std::move(*shards[block_index]);
+    out.resize(true_size(block_index));
+    return out;
+}
+
+Result<Bytes>
+ObjectStore::readChunkBytes(const ObjectManifest &manifest,
+                            uint32_t chunk_id)
+{
+    const fac::ChunkExtent &extent = manifest.extents.at(chunk_id);
+    Bytes out(extent.size);
+    for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
+        size_t node_id =
+            manifest.stripeNodes[piece.stripe][piece.blockIndex];
+        const sim::StorageNode &node = cluster_.node(node_id);
+        const Bytes *block =
+            node.alive()
+                ? node.findBlock(
+                      manifest.blockKey(piece.stripe, piece.blockIndex))
+                : nullptr;
+        if (block) {
+            FUSION_CHECK(piece.blockOffset + piece.size <= block->size());
+            std::copy(block->begin() + piece.blockOffset,
+                      block->begin() + piece.blockOffset + piece.size,
+                      out.begin() + piece.chunkOffset);
+        } else {
+            auto recovered =
+                recoverBlock(manifest, piece.stripe, piece.blockIndex);
+            if (!recovered.isOk())
+                return recovered.status();
+            FUSION_CHECK(piece.blockOffset + piece.size <=
+                         recovered.value().size());
+            std::copy(recovered.value().begin() + piece.blockOffset,
+                      recovered.value().begin() + piece.blockOffset +
+                          piece.size,
+                      out.begin() + piece.chunkOffset);
+        }
+    }
+    return out;
+}
+
+Result<Bytes>
+ObjectStore::get(const std::string &name)
+{
+    auto m = manifest(name);
+    if (!m.isOk())
+        return m.status();
+    const ObjectManifest &manifest = *m.value();
+    Bytes out(manifest.objectSize);
+    for (const auto &extent : manifest.extents) {
+        auto chunk = readChunkBytes(manifest, extent.id);
+        if (!chunk.isOk())
+            return chunk.status();
+        std::copy(chunk.value().begin(), chunk.value().end(),
+                  out.begin() + extent.offset);
+    }
+    return out;
+}
+
+Result<Bytes>
+ObjectStore::get(const std::string &name, uint64_t offset, uint64_t size)
+{
+    auto m = manifest(name);
+    if (!m.isOk())
+        return m.status();
+    if (offset + size > m.value()->objectSize)
+        return Status::outOfRange("read beyond object end");
+    // Reassemble only the chunks overlapping the range.
+    Bytes out(size);
+    for (const auto &extent : m.value()->extents) {
+        uint64_t lo = std::max(offset, extent.offset);
+        uint64_t hi = std::min(offset + size, extent.offset + extent.size);
+        if (lo >= hi)
+            continue;
+        auto chunk = readChunkBytes(*m.value(), extent.id);
+        if (!chunk.isOk())
+            return chunk.status();
+        std::copy(chunk.value().begin() + (lo - extent.offset),
+                  chunk.value().begin() + (hi - extent.offset),
+                  out.begin() + (lo - offset));
+    }
+    return out;
+}
+
+Result<size_t>
+ObjectStore::repairNode(size_t node_id)
+{
+    if (node_id >= cluster_.numNodes())
+        return Status::invalidArgument("no such node");
+    sim::StorageNode &node = cluster_.node(node_id);
+    if (!node.alive())
+        return Status::failedPrecondition("revive the node before repair");
+
+    size_t rebuilt = 0;
+    for (const auto &[name, manifest] : manifests_) {
+        for (size_t s = 0; s < manifest.stripeNodes.size(); ++s) {
+            const fac::StripeLayout &stripe = manifest.layout.stripes[s];
+            for (size_t b = 0; b < options_.n; ++b) {
+                if (manifest.stripeNodes[s][b] != node_id)
+                    continue;
+                uint64_t want_size =
+                    (b < options_.k)
+                        ? (b < stripe.dataBlocks.size()
+                               ? stripe.dataBlocks[b].size()
+                               : 0)
+                        : stripe.blockSize();
+                if (want_size == 0)
+                    continue;
+                if (node.findBlock(manifest.blockKey(s, b)))
+                    continue; // still intact
+                auto block = recoverBlock(manifest, s, b);
+                if (!block.isOk())
+                    return block.status();
+                node.putBlock(manifest.blockKey(s, b),
+                              std::move(block.value()));
+                ++rebuilt;
+            }
+        }
+    }
+    return rebuilt;
+}
+
+Result<query::Query>
+ObjectStore::resolveQuery(const query::Query &q,
+                          const format::Schema &schema) const
+{
+    query::Query resolved = q;
+    resolved.projections.clear();
+    for (const auto &proj : q.projections) {
+        if (proj.column == query::kStarProjection &&
+            proj.aggregate == query::AggregateKind::kNone) {
+            for (const auto &col : schema.columns())
+                resolved.projections.push_back(
+                    {col.name, query::AggregateKind::kNone});
+            continue;
+        }
+        if (!proj.column.empty()) {
+            auto idx = schema.columnIndex(proj.column);
+            if (!idx.isOk())
+                return idx.status();
+        }
+        resolved.projections.push_back(proj);
+    }
+    for (const auto &pred : resolved.filters) {
+        auto idx = schema.columnIndex(pred.column);
+        if (!idx.isOk())
+            return idx.status();
+    }
+    return resolved;
+}
+
+Result<std::shared_ptr<const format::ColumnData>>
+ObjectStore::decodedChunk(const ObjectManifest &manifest, size_t row_group,
+                          size_t column)
+{
+    uint32_t chunk_id = manifest.chunkIdFor(row_group, column);
+    auto key = std::make_pair(manifest.name, uint64_t{chunk_id});
+    auto it = decodeCache_.find(key);
+    if (it != decodeCache_.end())
+        return it->second;
+
+    auto bytes = readChunkBytes(manifest, chunk_id);
+    if (!bytes.isOk())
+        return bytes.status();
+    auto decoded = format::decodeChunk(
+        Slice(bytes.value()),
+        manifest.fileMeta.schema.column(column).physical);
+    if (!decoded.isOk())
+        return decoded.status();
+    auto shared = std::make_shared<const format::ColumnData>(
+        std::move(decoded.value()));
+    decodeCache_.emplace(std::move(key), shared);
+    return std::static_pointer_cast<const format::ColumnData>(shared);
+}
+
+Result<std::shared_ptr<const query::Bitmap>>
+ObjectStore::chunkFilterBitmap(const ObjectManifest &manifest,
+                               size_t row_group, size_t column,
+                               const query::Predicate &pred)
+{
+    std::string pred_key = pred.column + compareOpName(pred.op) +
+                           pred.literal.toString();
+    auto key = std::make_tuple(
+        manifest.name, uint64_t{manifest.chunkIdFor(row_group, column)},
+        std::move(pred_key));
+    auto it = bitmapCache_.find(key);
+    if (it != bitmapCache_.end())
+        return it->second;
+
+    auto chunk = decodedChunk(manifest, row_group, column);
+    if (!chunk.isOk())
+        return chunk.status();
+    auto bitmap = query::evalPredicate(*chunk.value(), pred.op,
+                                       pred.literal);
+    if (!bitmap.isOk())
+        return bitmap.status();
+    auto shared = std::make_shared<const query::Bitmap>(
+        std::move(bitmap.value()));
+    bitmapCache_.emplace(std::move(key), shared);
+    return std::static_pointer_cast<const query::Bitmap>(shared);
+}
+
+Result<ObjectStore::DataPlane>
+ObjectStore::executeDataPlane(const ObjectManifest &manifest,
+                              const query::Query &q)
+{
+    std::string cache_key = manifest.name + "|" + q.toString();
+    auto cached = planCache_.find(cache_key);
+    if (cached != planCache_.end())
+        return *cached->second;
+
+    const format::FileMetadata &meta = manifest.fileMeta;
+    const format::Schema &schema = meta.schema;
+    DataPlane plane;
+
+    // ---- filter stage (real) ----
+    uint64_t matched = 0;
+    plane.rowGroupBitmaps.resize(meta.numRowGroups());
+    plane.rowGroupBitmapWireSize.assign(meta.numRowGroups(), 0);
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        bool may_match = true;
+        for (const auto &pred : q.filters) {
+            size_t col = schema.columnIndex(pred.column).value();
+            if (!query::chunkMayMatch(meta.chunk(rg, col), pred)) {
+                may_match = false;
+                break;
+            }
+        }
+        if (!may_match)
+            continue; // skipped row group: nullopt bitmap
+
+        query::Bitmap bitmap(meta.rowGroups[rg].numRows, true);
+        // Predicates grouped per column: a storage node ANDs all
+        // predicates on its chunk and returns one bitmap.
+        for (const auto &col_name : q.filterColumns()) {
+            size_t col = schema.columnIndex(col_name).value();
+            query::Bitmap col_bitmap(meta.rowGroups[rg].numRows, true);
+            for (const auto &pred : q.filters) {
+                if (pred.column != col_name)
+                    continue;
+                auto chunk_bitmap =
+                    chunkFilterBitmap(manifest, rg, col, pred);
+                if (!chunk_bitmap.isOk())
+                    return chunk_bitmap.status();
+                col_bitmap.intersect(*chunk_bitmap.value());
+            }
+            plane.filterReplyWireSize[{rg, col}] =
+                col_bitmap.compressedWireSize();
+            bitmap.intersect(col_bitmap);
+        }
+        matched += bitmap.count();
+        plane.result.rowsScanned += meta.rowGroups[rg].numRows;
+        plane.rowGroupBitmapWireSize[rg] = bitmap.compressedWireSize();
+        plane.rowGroupBitmaps[rg] = std::move(bitmap);
+    }
+    plane.result.rowsMatched = matched;
+    plane.selectivity =
+        meta.numRows == 0
+            ? 0.0
+            : static_cast<double>(matched) /
+                  static_cast<double>(meta.numRows);
+
+    // ---- projection stage (real) ----
+    std::map<std::string, format::ColumnData> projected;
+    for (const auto &name : q.projectionColumns()) {
+        size_t col = schema.columnIndex(name).value();
+        format::ColumnData values(schema.column(col).physical);
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+            const auto &bitmap = plane.rowGroupBitmaps[rg];
+            if (!bitmap.has_value() || bitmap->count() == 0)
+                continue;
+            auto chunk = decodedChunk(manifest, rg, col);
+            if (!chunk.isOk())
+                return chunk.status();
+            format::ColumnData selected =
+                query::selectRows(*chunk.value(), *bitmap);
+            uint64_t wire = format::plainEncode(selected).size();
+            plane.projectionReplySize[{rg, col}] = wire;
+            for (size_t i = 0; i < selected.size(); ++i)
+                values.appendValue(selected.valueAt(i));
+        }
+        projected.emplace(name, std::move(values));
+    }
+
+    for (const auto &proj : q.projections) {
+        query::ProjectionResult out;
+        if (proj.aggregate != query::AggregateKind::kNone) {
+            out.isAggregate = true;
+            out.name = std::string(aggregateKindName(proj.aggregate)) +
+                       "(" + (proj.isCountStar() ? "*" : proj.column) + ")";
+            if (proj.isCountStar()) {
+                out.aggregateValue = static_cast<double>(matched);
+            } else {
+                auto agg = query::computeAggregate(
+                    proj.aggregate, projected.at(proj.column));
+                if (!agg.isOk())
+                    return agg.status();
+                out.aggregateValue = agg.value();
+            }
+            plane.resultWireBytes += 16;
+        } else {
+            out.name = proj.column;
+            out.values = projected.at(proj.column);
+            plane.resultWireBytes +=
+                format::plainEncode(out.values).size();
+        }
+        plane.result.columns.push_back(std::move(out));
+    }
+
+    auto shared = std::make_shared<const DataPlane>(std::move(plane));
+    planCache_.emplace(std::move(cache_key), shared);
+    return *shared;
+}
+
+bool
+ObjectStore::chunkIntactOnSingleNode(const ObjectManifest &manifest,
+                                     uint32_t chunk_id) const
+{
+    auto nodes = manifest.nodesForChunk(chunk_id);
+    return nodes.size() == 1 && cluster_.node(nodes[0]).alive();
+}
+
+uint64_t
+ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
+                                   uint32_t chunk_id, size_t coordinator,
+                                   double coord_cpu_work,
+                                   std::vector<SimTask> &tasks)
+{
+    uint64_t total = 0;
+    size_t first_new = tasks.size();
+    std::set<std::pair<size_t, size_t>> degraded_stripes;
+
+    for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
+        size_t node_id =
+            manifest.stripeNodes[piece.stripe][piece.blockIndex];
+        if (cluster_.node(node_id).alive()) {
+            tasks.push_back({node_id, options_.requestRpcBytes, piece.size,
+                             0.0, piece.size, 0.0});
+            total += piece.size;
+        } else {
+            degraded_stripes.insert({piece.stripe, piece.blockIndex});
+        }
+    }
+
+    // Degraded read: pull k surviving blocks of each affected stripe and
+    // decode the erasure code at the coordinator.
+    for (const auto &[stripe, block] : degraded_stripes) {
+        (void)block;
+        const fac::StripeLayout &ls = manifest.layout.stripes[stripe];
+        size_t fetched = 0;
+        for (size_t b = 0; b < options_.n && fetched < options_.k; ++b) {
+            size_t node_id = manifest.stripeNodes[stripe][b];
+            if (!cluster_.node(node_id).alive())
+                continue;
+            uint64_t size = (b < options_.k)
+                                ? (b < ls.dataBlocks.size()
+                                       ? ls.dataBlocks[b].size()
+                                       : 0)
+                                : ls.blockSize();
+            tasks.push_back({node_id, options_.requestRpcBytes, size, 0.0,
+                             size, 0.0});
+            total += size;
+            ++fetched;
+        }
+        // EC decode cost: k blocks combined per recovered block.
+        coord_cpu_work +=
+            static_cast<double>(ls.blockSize()) * options_.k;
+    }
+
+    if (tasks.size() > first_new)
+        tasks.back().coordCpuWork += coord_cpu_work;
+    else if (coord_cpu_work > 0 && !tasks.empty())
+        tasks.back().coordCpuWork += coord_cpu_work;
+    (void)coordinator;
+    return total;
+}
+
+void
+ObjectStore::accountPlanResources(QueryPlan &plan) const
+{
+    const sim::NodeConfig &nc = cluster_.config().node;
+    QueryOutcome &out = plan.outcome;
+
+    auto account_task = [&](const SimTask &task) {
+        bool remote = task.nodeId != plan.coordinatorId;
+        if (remote) {
+            out.networkBytes += task.requestBytes + task.replyBytes;
+            out.networkSeconds +=
+                static_cast<double>(task.requestBytes + task.replyBytes) /
+                    nc.nicBandwidth +
+                2 * nc.rpcLatency;
+        }
+        if (task.diskBytes > 0) {
+            out.diskSeconds +=
+                static_cast<double>(task.diskBytes) / nc.diskBandwidth +
+                nc.diskSeekLatency;
+        }
+        out.cpuSeconds +=
+            (task.nodeCpuWork + task.coordCpuWork) / nc.cpuRate;
+    };
+    for (const auto &task : plan.filterTasks)
+        account_task(task);
+    for (const auto &task : plan.projectionTasks)
+        account_task(task);
+    out.cpuSeconds += plan.interStageCoordWork / nc.cpuRate;
+    out.networkBytes += options_.clientRequestBytes + plan.clientReplyBytes;
+    out.networkSeconds +=
+        static_cast<double>(options_.clientRequestBytes +
+                            plan.clientReplyBytes) /
+            nc.nicBandwidth +
+        2 * nc.rpcLatency;
+}
+
+void
+ObjectStore::runTask(const SimTask &task, size_t coordinator,
+                     std::shared_ptr<sim::Join> join)
+{
+    sim::StorageNode *node = &cluster_.node(task.nodeId);
+    sim::StorageNode *coord = &cluster_.node(coordinator);
+    const double seek = cluster_.config().node.diskSeekLatency;
+
+    auto node_work = [this, node, coord, task, join, seek]() {
+        node->disk().acquire(
+            static_cast<double>(task.diskBytes),
+            task.diskBytes ? seek : 0.0, [this, node, coord, task, join]() {
+                node->cpu().acquire(task.nodeCpuWork, [this, node, coord,
+                                                       task, join]() {
+                    auto coord_work = [coord, task, join]() {
+                        coord->cpu().acquire(task.coordCpuWork,
+                                             [join]() { join->signal(); });
+                    };
+                    if (node == coord) {
+                        coord_work();
+                    } else {
+                        cluster_.transfer(*node, *coord, task.replyBytes,
+                                          std::move(coord_work));
+                    }
+                });
+            });
+    };
+
+    if (task.nodeId == coordinator) {
+        node_work();
+    } else {
+        cluster_.transfer(*coord, *node, task.requestBytes,
+                          std::move(node_work));
+    }
+}
+
+void
+ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
+                           std::function<void(Result<QueryOutcome>)> done)
+{
+    accountPlanResources(*plan);
+
+    sim::StorageNode *client = &cluster_.client();
+    sim::StorageNode *coord = &cluster_.node(plan->coordinatorId);
+    const double start = cluster_.engine().now();
+
+    auto finish = [this, plan, done, client, coord, start]() {
+        cluster_.transfer(*coord, *client, plan->clientReplyBytes,
+                          [this, plan, done, start]() {
+                              plan->outcome.latencySeconds =
+                                  cluster_.engine().now() - start;
+                              done(plan->outcome);
+                          });
+    };
+
+    auto projection_stage = [this, plan, finish, coord]() {
+        coord->cpu().acquire(
+            plan->interStageCoordWork, [this, plan, finish]() {
+                auto join = std::make_shared<sim::Join>(
+                    plan->projectionTasks.size(), finish);
+                for (const auto &task : plan->projectionTasks)
+                    runTask(task, plan->coordinatorId, join);
+            });
+    };
+
+    auto filter_stage = [this, plan, projection_stage]() {
+        auto join = std::make_shared<sim::Join>(plan->filterTasks.size(),
+                                                projection_stage);
+        for (const auto &task : plan->filterTasks)
+            runTask(task, plan->coordinatorId, join);
+    };
+
+    cluster_.transfer(*client, *coord, options_.clientRequestBytes,
+                      filter_stage);
+}
+
+void
+ObjectStore::queryAsync(const query::Query &q,
+                        std::function<void(Result<QueryOutcome>)> done)
+{
+    auto m = manifest(q.table);
+    if (!m.isOk()) {
+        done(m.status());
+        return;
+    }
+    if (!m.value()->isFpax) {
+        done(Status::failedPrecondition(
+            "object '" + q.table + "' is not an analytics (fpax) object"));
+        return;
+    }
+    auto resolved = resolveQuery(q, m.value()->fileMeta.schema);
+    if (!resolved.isOk()) {
+        done(resolved.status());
+        return;
+    }
+    auto plan = planQuery(*m.value(), resolved.value());
+    if (!plan.isOk()) {
+        done(plan.status());
+        return;
+    }
+    simulateQuery(std::make_shared<QueryPlan>(std::move(plan.value())),
+                  std::move(done));
+}
+
+Result<QueryOutcome>
+ObjectStore::query(const query::Query &q)
+{
+    std::optional<Result<QueryOutcome>> captured;
+    queryAsync(q, [&captured](Result<QueryOutcome> outcome) {
+        captured.emplace(std::move(outcome));
+    });
+    cluster_.engine().run();
+    FUSION_CHECK_MSG(captured.has_value(), "query did not complete");
+    return std::move(*captured);
+}
+
+Result<QueryOutcome>
+ObjectStore::querySql(const std::string &sql)
+{
+    auto q = query::parseQuery(sql);
+    if (!q.isOk())
+        return q.status();
+    return query(q.value());
+}
+
+} // namespace fusion::store

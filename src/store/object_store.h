@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The analytics object store core. ObjectStore implements the shared
+ * machinery — Put (layout + erasure coding + placement), Get (chunk
+ * reassembly with degraded reads through RS recovery), node repair,
+ * the data plane (real decode / filter / projection with memoization)
+ * and the DES query timing flow. Subclasses define how objects are
+ * laid out and how queries are planned:
+ *
+ *   BaselineStore — fixed-size blocks (MinIO/Ceph practice): chunks
+ *                   split across nodes; queries reassemble chunks at a
+ *                   coordinator before evaluating.
+ *   FusionStore   — FAC layout: chunks intact on single nodes; queries
+ *                   run the paper's two-stage adaptive pushdown.
+ *
+ * Query execution is hybrid: results are computed on real bytes (and
+ * are identical across stores — asserted in tests), while elapsed time
+ * is charged to simulated disk/NIC/CPU resources from the byte counts
+ * the plan moves. Repeated identical work is memoized so thousand-query
+ * experiments run in seconds.
+ */
+#ifndef FUSION_STORE_OBJECT_STORE_H
+#define FUSION_STORE_OBJECT_STORE_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ec/reed_solomon.h"
+#include "manifest.h"
+#include "query/ast.h"
+#include "query/bitmap.h"
+#include "query/parser.h"
+#include "sim/cluster.h"
+
+namespace fusion::store {
+
+/** Store-wide configuration. */
+struct StoreOptions {
+    size_t n = 9;
+    size_t k = 6;
+    /** Block size for fixed-size coding (baseline and Fusion fallback).
+     *  The paper uses 100 MB on ~10 GB files; scale proportionally. */
+    uint64_t fixedBlockSize = 4ULL << 20;
+    /** FAC fallback threshold (paper: 2%). */
+    double overheadThreshold = 0.02;
+    /** Bytes of a pushdown/fetch request message. */
+    uint64_t requestRpcBytes = 256;
+    /** Bytes of the client's query request. */
+    uint64_t clientRequestBytes = 512;
+    /** Apply the Cost Equation per chunk (Fusion). When false, every
+     *  projection on an intact chunk is pushed down. */
+    bool adaptivePushdown = true;
+    /** Extension (paper future work): compute aggregates on storage
+     *  nodes so pure-aggregate projections reply with scalars. */
+    bool aggregatePushdown = false;
+};
+
+/** Outcome of a Put. */
+struct PutResult {
+    fac::LayoutKind layoutKind = fac::LayoutKind::kFixed;
+    double overheadVsOptimal = 0.0;
+    uint64_t objectBytes = 0;
+    uint64_t storedBytes = 0; // data + padding + parity
+    size_t numChunks = 0;     // column chunks (pseudo-chunks excluded)
+    size_t numStripes = 0;
+    double splitFraction = 0.0;
+    double layoutSeconds = 0.0; // wall-clock of stripe construction
+    double simulatedPutSeconds = 0.0;
+};
+
+/** Outcome of a query, including the paper's breakdown dimensions. */
+struct QueryOutcome {
+    query::QueryResult result;
+    double latencySeconds = 0.0;   // simulated wall time
+    double diskSeconds = 0.0;      // resource-seconds by class
+    double cpuSeconds = 0.0;
+    double networkSeconds = 0.0;
+    uint64_t networkBytes = 0;     // remote bytes moved for this query
+    size_t rowGroupsScanned = 0;
+    size_t rowGroupsSkipped = 0;
+    size_t filterChunkFetches = 0;   // chunks reassembled for filtering
+    size_t filterChunkPushdowns = 0; // filters executed on storage nodes
+    size_t projectionPushdowns = 0;
+    size_t projectionFetches = 0;
+};
+
+/** Base class; see file comment. */
+class ObjectStore
+{
+  public:
+    ObjectStore(sim::Cluster &cluster, const StoreOptions &options);
+    virtual ~ObjectStore() = default;
+
+    /** "baseline" or "fusion". */
+    virtual const char *kindName() const = 0;
+
+    /** Stores an object; fpax objects get format-aware treatment. */
+    Result<PutResult> put(const std::string &name, Bytes object);
+
+    /**
+     * put() plus a simulated write path through the cluster: the client
+     * uploads to the coordinator, which streams data and parity blocks
+     * to their nodes (NIC + disk, queued against any concurrent work).
+     * `done` fires in simulated time with simulatedPutSeconds measured
+     * by the DES instead of the analytic model.
+     */
+    void putAsync(const std::string &name, Bytes object,
+                  std::function<void(Result<PutResult>)> done);
+
+    /** Reassembles the full object (degraded-read capable). */
+    Result<Bytes> get(const std::string &name);
+
+    /** Byte-range read of an object. */
+    Result<Bytes> get(const std::string &name, uint64_t offset,
+                      uint64_t size);
+
+    bool contains(const std::string &name) const;
+    Result<const ObjectManifest *> manifest(const std::string &name) const;
+
+    /** Removes an object and drops its blocks from the nodes. */
+    Status deleteObject(const std::string &name);
+
+    /** Names of all stored objects, sorted. */
+    std::vector<std::string> listObjects() const;
+
+    /** Aggregate capacity statistics for the whole store. */
+    struct StoreStats {
+        size_t objectCount = 0;
+        uint64_t logicalBytes = 0; // sum of object sizes
+        uint64_t storedBytes = 0;  // data + padding + parity on nodes
+        uint64_t minNodeBytes = 0; // least-loaded storage node
+        uint64_t maxNodeBytes = 0; // most-loaded storage node
+        double overheadVsOptimal = 0.0; // aggregate, as in the paper
+
+        double
+        nodeImbalance() const
+        {
+            return minNodeBytes == 0
+                       ? 0.0
+                       : static_cast<double>(maxNodeBytes) /
+                             static_cast<double>(minNodeBytes);
+        }
+    };
+    StoreStats stats() const;
+
+    /**
+     * Executes a query asynchronously in simulated time; `done` fires
+     * when the simulated reply reaches the client. Call
+     * cluster().engine().run() to drive the simulation.
+     */
+    void queryAsync(const query::Query &q,
+                    std::function<void(Result<QueryOutcome>)> done);
+
+    /** Plans, simulates and runs the engine to completion. */
+    Result<QueryOutcome> query(const query::Query &q);
+
+    /** Parses SQL, then query(). */
+    Result<QueryOutcome> querySql(const std::string &sql);
+
+    /**
+     * Rebuilds every block that should live on `node_id` from the other
+     * nodes' blocks (after a wipe). Returns blocks rebuilt.
+     */
+    Result<size_t> repairNode(size_t node_id);
+
+    sim::Cluster &cluster() { return cluster_; }
+    const StoreOptions &options() const { return options_; }
+
+  protected:
+    /** One coordinator<->node interaction in a query plan. */
+    struct SimTask {
+        size_t nodeId = 0;
+        uint64_t requestBytes = 0; // coordinator -> node
+        uint64_t diskBytes = 0;    // sequential read at the node
+        double nodeCpuWork = 0.0;  // decode/eval bytes at the node
+        uint64_t replyBytes = 0;   // node -> coordinator
+        double coordCpuWork = 0.0; // decode/eval bytes at coordinator
+    };
+
+    /** A fully planned query: real results plus simulation byte counts. */
+    struct QueryPlan {
+        size_t coordinatorId = 0;
+        std::vector<SimTask> filterTasks;
+        std::vector<SimTask> projectionTasks;
+        /** Coordinator CPU work between the stages (bitmap combine and
+         *  any chunk decodes that had to happen at the coordinator). */
+        double interStageCoordWork = 0.0;
+        uint64_t clientReplyBytes = 0;
+        QueryOutcome outcome;
+    };
+
+    /** Subclass hook: choose the stripe layout for a new object. */
+    virtual fac::ObjectLayout
+    buildLayout(const std::vector<fac::ChunkExtent> &extents) = 0;
+
+    /** Subclass hook: plan a (resolved) query against a manifest. */
+    virtual Result<QueryPlan> planQuery(const ObjectManifest &manifest,
+                                        const query::Query &q) = 0;
+
+    /**
+     * CPU work units to read-decompress-decode a chunk and evaluate one
+     * operation over it: the compressed bytes stream through the
+     * decompressor and a quarter of the decoded output is touched per
+     * evaluation pass (dictionary decode short-circuits most bytes).
+     */
+    static double
+    chunkDecodeWork(const format::ChunkMeta &chunk)
+    {
+        return static_cast<double>(chunk.storedSize) +
+               0.25 * static_cast<double>(chunk.plainSize);
+    }
+
+    /** CPU work to select/materialize rows from an already decoded
+     *  chunk (projection on a chunk the node just filtered). */
+    static double
+    chunkSelectWork(const format::ChunkMeta &chunk)
+    {
+        return 0.25 * static_cast<double>(chunk.plainSize);
+    }
+
+    // ---- data plane (real bytes, memoized) ----
+
+    /** Reassembled raw bytes of one chunk (degraded-read capable). */
+    Result<Bytes> readChunkBytes(const ObjectManifest &manifest,
+                                 uint32_t chunk_id);
+
+    /** Decoded column chunk, cached. */
+    Result<std::shared_ptr<const format::ColumnData>>
+    decodedChunk(const ObjectManifest &manifest, size_t row_group,
+                 size_t column);
+
+    /** Filter bitmap of one predicate over one chunk, cached. */
+    Result<std::shared_ptr<const query::Bitmap>>
+    chunkFilterBitmap(const ObjectManifest &manifest, size_t row_group,
+                      size_t column, const query::Predicate &pred);
+
+    /** Results of the real data-plane execution shared by planners. */
+    struct DataPlane {
+        query::QueryResult result;
+        /** Final ANDed bitmap per row group; empty optional = skipped
+         *  via zone maps (no scan needed). */
+        std::vector<std::optional<query::Bitmap>> rowGroupBitmaps;
+        double selectivity = 0.0; // matched / total rows
+        /** Plain-encoded selected-values size per (row group, column)
+         *  actually projected — the pushdown reply payload. */
+        std::map<std::pair<size_t, size_t>, uint64_t> projectionReplySize;
+        /** Snappy-compressed wire size of the final per-row-group
+         *  bitmap (what the coordinator forwards for projection
+         *  pushdown); 0 for skipped row groups. */
+        std::vector<uint64_t> rowGroupBitmapWireSize;
+        /** Snappy-compressed wire size of the per-(row group, filter
+         *  column) bitmap a storage node returns from filter pushdown
+         *  (predicates on the same column are ANDed node-side). */
+        std::map<std::pair<size_t, size_t>, uint64_t> filterReplyWireSize;
+        uint64_t resultWireBytes = 0;
+    };
+
+    /** Runs filters, projections and aggregates on real data. */
+    Result<DataPlane> executeDataPlane(const ObjectManifest &manifest,
+                                       const query::Query &q);
+
+    /** Expands `SELECT *` and validates column names against a schema. */
+    Result<query::Query> resolveQuery(const query::Query &q,
+                                      const format::Schema &schema) const;
+
+    /** True if every piece of the chunk lives on one alive node. */
+    bool chunkIntactOnSingleNode(const ObjectManifest &manifest,
+                                 uint32_t chunk_id) const;
+
+    /**
+     * Appends fetch tasks that pull a chunk's raw bytes to the
+     * coordinator (one task per remote piece; degraded chunks fetch
+     * k surviving stripe blocks instead). Returns total fetched bytes.
+     */
+    uint64_t appendChunkFetchTasks(const ObjectManifest &manifest,
+                                   uint32_t chunk_id, size_t coordinator,
+                                   double coord_cpu_work,
+                                   std::vector<SimTask> &tasks);
+
+    sim::Cluster &cluster_;
+    StoreOptions options_;
+    ec::ReedSolomon rs_;
+    std::unordered_map<std::string, ObjectManifest> manifests_;
+
+  private:
+    void simulateQuery(std::shared_ptr<QueryPlan> plan,
+                       std::function<void(Result<QueryOutcome>)> done);
+    void runTask(const SimTask &task, size_t coordinator,
+                 std::shared_ptr<sim::Join> join);
+    Result<Bytes> recoverBlock(const ObjectManifest &manifest,
+                               size_t stripe, size_t block_index);
+    void accountPlanResources(QueryPlan &plan) const;
+
+    // caches
+    std::map<std::pair<std::string, uint64_t>,
+             std::shared_ptr<const format::ColumnData>>
+        decodeCache_;
+    std::map<std::tuple<std::string, uint64_t, std::string>,
+             std::shared_ptr<const query::Bitmap>>
+        bitmapCache_;
+    std::map<std::string, std::shared_ptr<const DataPlane>> planCache_;
+};
+
+} // namespace fusion::store
+
+#endif // FUSION_STORE_OBJECT_STORE_H

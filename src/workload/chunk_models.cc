@@ -1,0 +1,104 @@
+#include "chunk_models.h"
+
+#include <cmath>
+
+namespace fusion::workload {
+
+namespace {
+
+constexpr uint64_t kMB = 1000000;
+
+// Builds extents laid out contiguously in row-group-major order from
+// per-column mean sizes, with +-10% jitter like real encoded chunks.
+std::vector<fac::ChunkExtent>
+fromColumnMeans(const std::vector<double> &column_mb, size_t row_groups,
+                uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<fac::ChunkExtent> chunks;
+    uint32_t id = 0;
+    uint64_t offset = 0;
+    for (size_t rg = 0; rg < row_groups; ++rg) {
+        for (double mean : column_mb) {
+            double jitter = rng.uniformReal(0.9, 1.1);
+            uint64_t size = static_cast<uint64_t>(mean * jitter * kMB);
+            size = std::max<uint64_t>(size, 64 * 1024);
+            chunks.push_back({id++, offset, size});
+            offset += size;
+        }
+    }
+    return chunks;
+}
+
+} // namespace
+
+std::vector<fac::ChunkExtent>
+lineitemChunkModel(uint64_t seed)
+{
+    // Paper Fig 12, average chunk size per column (MB).
+    static const std::vector<double> kColumnMb = {
+        48, 148, 60, 7, 23, 173, 15, 15, 7, 4, 45, 45, 45, 8, 11, 386};
+    return fromColumnMeans(kColumnMb, 10, seed);
+}
+
+std::vector<fac::ChunkExtent>
+taxiChunkModel(uint64_t seed)
+{
+    // 8.4 GB over 320 chunks ~ 26 MB average, moderately uniform.
+    std::vector<double> column_mb = {8,  12, 38, 38, 10, 32, 22, 40, 40, 40,
+                                     40, 10, 2,  8,  18, 10, 1,  24, 6,  36};
+    return fromColumnMeans(column_mb, 16, seed);
+}
+
+std::vector<fac::ChunkExtent>
+recipeChunkModel(uint64_t seed)
+{
+    // 0.98 GB over 84 chunks; text columns dominate.
+    std::vector<double> column_mb = {2, 6, 22, 32, 10, 0.3, 10};
+    return fromColumnMeans(column_mb, 12, seed);
+}
+
+std::vector<fac::ChunkExtent>
+ukppChunkModel(uint64_t seed)
+{
+    // 1.5 GB over 240 chunks; uuid/text columns dominate.
+    std::vector<double> column_mb = {36, 4,  2, 8, 1, 0.8, 0.8, 6,
+                                     2,  12, 4, 6, 4, 2,   0.8, 0.6};
+    return fromColumnMeans(column_mb, 15, seed);
+}
+
+std::vector<fac::ChunkExtent>
+zipfChunkModel(size_t count, double theta, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<fac::ChunkExtent> chunks;
+    uint64_t offset = 0;
+    if (theta > 0.0) {
+        ZipfSampler zipf(100, theta);
+        for (size_t i = 0; i < count; ++i) {
+            // Rank r maps to r MB, so sizes span [1 MB, 100 MB].
+            uint64_t size = zipf.sample(rng) * kMB;
+            chunks.push_back({static_cast<uint32_t>(i), offset, size});
+            offset += size;
+        }
+    } else {
+        for (size_t i = 0; i < count; ++i) {
+            uint64_t size =
+                static_cast<uint64_t>(rng.uniformInt(1, 100)) * kMB;
+            chunks.push_back({static_cast<uint32_t>(i), offset, size});
+            offset += size;
+        }
+    }
+    return chunks;
+}
+
+uint64_t
+modelTotalBytes(const std::vector<fac::ChunkExtent> &chunks)
+{
+    uint64_t total = 0;
+    for (const auto &chunk : chunks)
+        total += chunk.size;
+    return total;
+}
+
+} // namespace fusion::workload

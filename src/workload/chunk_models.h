@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper-scale column-chunk size models. The placement and overhead
+ * experiments (Figs 4a, 4d, 12, 16a-c) depend only on the list of chunk
+ * sizes, so they run at the paper's full scale (GB files, MB chunks)
+ * using models calibrated to the numbers the paper reports, instead of
+ * materializing gigabytes of data.
+ */
+#ifndef FUSION_WORKLOAD_CHUNK_MODELS_H
+#define FUSION_WORKLOAD_CHUNK_MODELS_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "fac/layout.h"
+
+namespace fusion::workload {
+
+/**
+ * TPC-H lineitem at SF ~10: 16 columns x 10 row groups = 160 chunks,
+ * ~10 GB total. Per-column mean chunk sizes come from paper Fig 12
+ * (MB): 48, 148, 60, 7, 23, 173, 15, 15, 7, 4, 45, 45, 45, 8, 11, 386.
+ */
+std::vector<fac::ChunkExtent> lineitemChunkModel(uint64_t seed);
+
+/** NYC taxi: 20 columns x 16 row groups = 320 chunks, ~8.4 GB, fairly
+ *  uniform sizes (paper Fig 4c). */
+std::vector<fac::ChunkExtent> taxiChunkModel(uint64_t seed);
+
+/** recipeNLG: 7 columns x 12 row groups = 84 chunks, ~0.98 GB,
+ *  dominated by the three long-text columns. */
+std::vector<fac::ChunkExtent> recipeChunkModel(uint64_t seed);
+
+/** UK property prices: 16 columns x 15 row groups = 240 chunks,
+ *  ~1.5 GB, skewed toward the identifier/text columns. */
+std::vector<fac::ChunkExtent> ukppChunkModel(uint64_t seed);
+
+/** Synthetic model for Fig 16a: `count` chunks with sizes in
+ *  [1 MB, 100 MB] drawn Zipf(theta) over a linear size grid. */
+std::vector<fac::ChunkExtent> zipfChunkModel(size_t count, double theta,
+                                             uint64_t seed);
+
+/** Sum of chunk sizes. */
+uint64_t modelTotalBytes(const std::vector<fac::ChunkExtent> &chunks);
+
+} // namespace fusion::workload
+
+#endif // FUSION_WORKLOAD_CHUNK_MODELS_H

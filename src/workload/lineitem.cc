@@ -1,0 +1,147 @@
+#include "lineitem.h"
+
+#include "common/random.h"
+
+namespace fusion::workload {
+
+using format::LogicalType;
+using format::PhysicalType;
+using format::Schema;
+using format::Table;
+
+namespace {
+
+const char *kFlagValues[] = {"N", "A", "R"};
+const char *kStatusValues[] = {"O", "F"};
+const char *kInstructValues[] = {"DELIVER IN PERSON", "COLLECT COD",
+                               "NONE", "TAKE BACK RETURN"};
+const char *kModeValues[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+
+// dbgen builds comments from a grammar over a fixed vocabulary; a
+// vocabulary-driven generator reproduces its mild compressibility.
+const char *kWords[] = {
+    "furiously", "quickly", "carefully", "blithely", "slyly", "express",
+    "regular",   "special", "pending",   "final",    "ironic", "even",
+    "bold",      "silent",  "daring",    "accounts", "packages", "deposits",
+    "requests",  "theodolites", "platelets", "instructions", "foxes",
+    "ideas",     "dependencies", "excuses", "sleep", "haggle", "nag",
+    "cajole",    "integrate", "wake", "among", "above", "against",
+};
+
+std::string
+makeComment(Rng &rng)
+{
+    // dbgen comments are 10-43 chars.
+    size_t target = static_cast<size_t>(rng.uniformInt(10, 43));
+    std::string out;
+    while (out.size() < target) {
+        if (!out.empty())
+            out += ' ';
+        out += kWords[rng.pickIndex(std::size(kWords))];
+    }
+    out.resize(target, ' ');
+    return out;
+}
+
+} // namespace
+
+Schema
+lineitemSchema()
+{
+    return Schema({
+        {"l_orderkey", PhysicalType::kInt64, LogicalType::kNone},
+        {"l_partkey", PhysicalType::kInt64, LogicalType::kNone},
+        {"l_suppkey", PhysicalType::kInt64, LogicalType::kNone},
+        {"l_linenumber", PhysicalType::kInt32, LogicalType::kNone},
+        {"l_quantity", PhysicalType::kInt32, LogicalType::kNone},
+        {"l_extendedprice", PhysicalType::kDouble, LogicalType::kDecimal},
+        {"l_discount", PhysicalType::kDouble, LogicalType::kDecimal},
+        {"l_tax", PhysicalType::kDouble, LogicalType::kDecimal},
+        {"l_returnflag", PhysicalType::kString, LogicalType::kNone},
+        {"l_linestatus", PhysicalType::kString, LogicalType::kNone},
+        {"l_shipdate", PhysicalType::kInt32, LogicalType::kDate},
+        {"l_commitdate", PhysicalType::kInt32, LogicalType::kDate},
+        {"l_receiptdate", PhysicalType::kInt32, LogicalType::kDate},
+        {"l_shipinstruct", PhysicalType::kString, LogicalType::kNone},
+        {"l_shipmode", PhysicalType::kString, LogicalType::kNone},
+        {"l_comment", PhysicalType::kString, LogicalType::kNone},
+    });
+}
+
+Table
+makeLineitemTable(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    Table t(lineitemSchema());
+
+    // TPC-H dates span 1992-01-01 .. 1998-12-31 (days since 1992-01-01).
+    constexpr int32_t kDateSpan = 2557;
+
+    int64_t order_key = 0;
+    int32_t lines_left = 0;
+    int32_t line_number = 0;
+    for (size_t i = 0; i < rows; ++i) {
+        if (lines_left == 0) {
+            // Orders have 1-7 lineitems; keys stride by 4 like dbgen.
+            order_key += 1 + static_cast<int64_t>(rng.uniformInt(0, 3));
+            lines_left = static_cast<int32_t>(rng.uniformInt(1, 7));
+            line_number = 0;
+        }
+        --lines_left;
+        ++line_number;
+
+        int64_t part_key = rng.uniformInt(1, 200000);
+        int32_t quantity = static_cast<int32_t>(rng.uniformInt(1, 50));
+        // dbgen: extendedprice = quantity * part retail price.
+        double retail = 900.0 + (part_key % 1000) / 10.0 +
+                        (part_key % 99) * 1.0;
+        double price = quantity * retail;
+        int32_t ship_date =
+            static_cast<int32_t>(rng.uniformInt(0, kDateSpan - 60));
+
+        t.column(kOrderKey).append(order_key);
+        t.column(kPartKey).append(part_key);
+        t.column(kSuppKey).append(rng.uniformInt(1, 10000));
+        t.column(kLineNumber).append(line_number);
+        t.column(kQuantity).append(quantity);
+        t.column(kExtendedPrice).append(price);
+        t.column(kDiscount)
+            .append(static_cast<double>(rng.uniformInt(0, 10)) / 100.0);
+        t.column(kTax).append(
+            static_cast<double>(rng.uniformInt(0, 8)) / 100.0);
+
+        // Return flag depends on receipt date vs. a cutoff, like dbgen.
+        bool old = ship_date < kDateSpan / 2;
+        const char *flag =
+            old ? kFlagValues[rng.uniformInt(1, 2)] : kFlagValues[0];
+        t.column(kReturnFlag).append(std::string(flag));
+        t.column(kLineStatus)
+            .append(std::string(old ? kStatusValues[1] : kStatusValues[0]));
+
+        t.column(kShipDate).append(ship_date);
+        t.column(kCommitDate)
+            .append(ship_date +
+                    static_cast<int32_t>(rng.uniformInt(-30, 30)));
+        t.column(kReceiptDate)
+            .append(ship_date + static_cast<int32_t>(rng.uniformInt(1, 30)));
+        t.column(kShipInstruct)
+            .append(std::string(
+                kInstructValues[rng.pickIndex(std::size(kInstructValues))]));
+        t.column(kShipMode).append(
+            std::string(kModeValues[rng.pickIndex(std::size(kModeValues))]));
+        t.column(kComment).append(makeComment(rng));
+    }
+    return t;
+}
+
+Result<format::WrittenFile>
+buildLineitemFile(size_t rows, uint64_t seed)
+{
+    Table t = makeLineitemTable(rows, seed);
+    format::WriterOptions options;
+    options.rowGroupRows = (rows + 9) / 10; // 10 row groups (Table 3)
+    return format::writeTable(t, options);
+}
+
+} // namespace fusion::workload

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TPC-H lineitem generator. Reproduces the 16-column schema with the
+ * column ids (0-15) used throughout the paper's figures, and value
+ * distributions that mirror dbgen closely enough that the per-column
+ * chunk sizes and compression ratios show the paper's shape: tiny
+ * highly-repetitive flag/date columns, large high-cardinality price
+ * columns, and a dominant free-text comment column (paper Figs 6, 12).
+ */
+#ifndef FUSION_WORKLOAD_LINEITEM_H
+#define FUSION_WORKLOAD_LINEITEM_H
+
+#include "format/column.h"
+#include "format/writer.h"
+
+namespace fusion::workload {
+
+/** Column ids of lineitem, matching the paper's figures. */
+enum LineitemColumn : size_t {
+    kOrderKey = 0,      // c0
+    kPartKey = 1,       // c1
+    kSuppKey = 2,       // c2
+    kLineNumber = 3,    // c3
+    kQuantity = 4,      // c4
+    kExtendedPrice = 5, // c5
+    kDiscount = 6,      // c6
+    kTax = 7,           // c7
+    kReturnFlag = 8,    // c8
+    kLineStatus = 9,    // c9
+    kShipDate = 10,     // c10
+    kCommitDate = 11,   // c11
+    kReceiptDate = 12,  // c12
+    kShipInstruct = 13, // c13
+    kShipMode = 14,     // c14
+    kComment = 15,      // c15
+};
+
+/** The 16-column lineitem schema. */
+format::Schema lineitemSchema();
+
+/** Generates `rows` lineitem rows (deterministic per seed). */
+format::Table makeLineitemTable(size_t rows, uint64_t seed);
+
+/**
+ * Generates and encodes a lineitem fpax file with 10 row groups (160
+ * column chunks, as in paper Table 3).
+ */
+Result<format::WrittenFile> buildLineitemFile(size_t rows, uint64_t seed);
+
+} // namespace fusion::workload
+
+#endif // FUSION_WORKLOAD_LINEITEM_H

@@ -1,0 +1,120 @@
+#include "queries.h"
+
+#include <algorithm>
+
+#include "lineitem.h"
+#include "taxi.h"
+
+namespace fusion::workload {
+
+using format::ColumnData;
+using format::PhysicalType;
+using format::Value;
+using query::AggregateKind;
+using query::CompareOp;
+using query::Query;
+
+Value
+quantileLiteral(const ColumnData &column, double q)
+{
+    FUSION_CHECK(!column.empty());
+    FUSION_CHECK(q >= 0.0 && q <= 1.0);
+    size_t rank = static_cast<size_t>(q * (column.size() - 1));
+
+    auto nth = [&](auto values) {
+        std::nth_element(values.begin(), values.begin() + rank,
+                         values.end());
+        return values[rank];
+    };
+    switch (column.type()) {
+      case PhysicalType::kInt32: return Value(nth(column.int32s()));
+      case PhysicalType::kInt64: return Value(nth(column.int64s()));
+      case PhysicalType::kDouble: return Value(nth(column.doubles()));
+      case PhysicalType::kString: return Value(nth(column.strings()));
+    }
+    FUSION_CHECK(false);
+    return Value();
+}
+
+Query
+microbenchQuery(const std::string &table, const std::string &column,
+                const ColumnData &data, double target_selectivity)
+{
+    Query q;
+    q.table = table;
+    q.projections.push_back({column, AggregateKind::kNone});
+    // <= rather than <: on low-cardinality columns (flags, discounts)
+    // a strict < against the low quantile would match zero rows; <=
+    // yields the smallest achievable non-zero selectivity instead.
+    q.filters.push_back(
+        {column, CompareOp::kLe, quantileLiteral(data, target_selectivity)});
+    return q;
+}
+
+Query
+lineitemQ1(const std::string &table, const format::Table &lineitem)
+{
+    // TPC-H Q1 shape: summary columns for rows shipped before a cutoff.
+    Query q;
+    q.table = table;
+    for (const char *col :
+         {"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+          "l_returnflag", "l_linestatus"})
+        q.projections.push_back({col, AggregateKind::kNone});
+    q.filters.push_back(
+        {"l_shipdate", CompareOp::kLt,
+         quantileLiteral(lineitem.column(kShipDate), 0.014)});
+    return q;
+}
+
+Query
+lineitemQ2(const std::string &table, const format::Table &lineitem)
+{
+    // TPC-H Q6 shape (forecasting revenue change): narrow date band,
+    // discount band, small quantities.
+    Query q;
+    q.table = table;
+    q.projections.push_back({"l_extendedprice", AggregateKind::kNone});
+    q.projections.push_back({"l_discount", AggregateKind::kNone});
+    // Date cut (top ~22% of the span) times the discount (~6/11) and
+    // quantity (23/50) cuts lands near the paper's 5.4%.
+    q.filters.push_back(
+        {"l_shipdate", CompareOp::kGe,
+         quantileLiteral(lineitem.column(kShipDate), 0.78)});
+    q.filters.push_back({"l_discount", CompareOp::kGe, Value(0.05)});
+    q.filters.push_back({"l_quantity", CompareOp::kLt, Value(int64_t{24})});
+    return q;
+}
+
+Query
+taxiQ3(const std::string &table, const format::Table &taxi)
+{
+    // "How many rides took place every day in 2015?" -- scans rides
+    // with date below the 2015 year boundary (37.5% of 2015-2017).
+    Query q;
+    q.table = table;
+    q.projections.push_back({"", AggregateKind::kCount}); // COUNT(*)
+    // Filter on the raw timestamp: like the paper's date column it has
+    // low compressibility (~1.6), so even at 37.5% selectivity the
+    // Cost Equation keeps pushdown on.
+    q.filters.push_back(
+        {"pickup_time", CompareOp::kLt,
+         quantileLiteral(taxi.column(kPickupTime), 0.375)});
+    return q;
+}
+
+Query
+taxiQ4(const std::string &table, const format::Table &taxi)
+{
+    // "What is the average fare in January 2015?"
+    Query q;
+    q.table = table;
+    q.projections.push_back({"pickup_date", AggregateKind::kNone});
+    q.projections.push_back({"fare_amount", AggregateKind::kAvg});
+    q.filters.push_back(
+        {"pickup_time", CompareOp::kLt,
+         quantileLiteral(taxi.column(kPickupTime), 0.063)});
+    return q;
+}
+
+} // namespace fusion::workload

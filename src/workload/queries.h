@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Query suites from the paper's evaluation (§6): the single-column
+ * microbenchmark with calibrated selectivity, and the four real-world
+ * queries of Table 4 (TPC-H Q1/Q6-style and two Timescale taxi
+ * queries). Selectivities are calibrated against the generated data by
+ * picking literals at the requested quantile.
+ */
+#ifndef FUSION_WORKLOAD_QUERIES_H
+#define FUSION_WORKLOAD_QUERIES_H
+
+#include <string>
+
+#include "format/column.h"
+#include "query/ast.h"
+
+namespace fusion::workload {
+
+/** Value at quantile q (0..1) of a column; exact (sorts a copy). */
+format::Value quantileLiteral(const format::ColumnData &column, double q);
+
+/**
+ * Paper §6 microbenchmark: SELECT col FROM table WHERE col < value,
+ * with `value` calibrated on `data` so the selectivity is ~`target`.
+ * String columns use a string quantile literal.
+ */
+query::Query microbenchQuery(const std::string &table,
+                             const std::string &column,
+                             const format::ColumnData &data,
+                             double target_selectivity);
+
+/** Q1 (projection heavy): pricing-summary style, 1 filter (shipdate),
+ *  6 projections; paper selectivity 1.4%. */
+query::Query lineitemQ1(const std::string &table,
+                        const format::Table &lineitem);
+
+/** Q2 (filter heavy): forecasting-revenue style, 3 filters,
+ *  2 projections; paper selectivity 5.4%. */
+query::Query lineitemQ2(const std::string &table,
+                        const format::Table &lineitem);
+
+/** Q3 (high selectivity): rides per day in 2015; COUNT(*) with one
+ *  date filter; paper selectivity 37.5%. */
+query::Query taxiQ3(const std::string &table, const format::Table &taxi);
+
+/** Q4 (low selectivity): average fare in January 2015; 1 filter,
+ *  2 projections; paper selectivity 6.3%. */
+query::Query taxiQ4(const std::string &table, const format::Table &taxi);
+
+} // namespace fusion::workload
+
+#endif // FUSION_WORKLOAD_QUERIES_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NYC yellow-taxi-style generator: 20 columns of trip records spanning
+ * 2015-2017 (paper Table 3). Compared to lineitem the chunk sizes are
+ * much more uniform (paper Fig 4c) because most columns are numeric
+ * with moderate cardinality; the fare column is engineered to be very
+ * highly compressible (metered fares cluster on a small value grid),
+ * which drives the paper's Q4 pushdown-disable case.
+ */
+#ifndef FUSION_WORKLOAD_TAXI_H
+#define FUSION_WORKLOAD_TAXI_H
+
+#include "format/column.h"
+#include "format/writer.h"
+
+namespace fusion::workload {
+
+/** Column ids of the taxi table. */
+enum TaxiColumn : size_t {
+    kVendorId = 0,
+    kPickupDate = 1, // days since 2015-01-01
+    kPickupTime = 2, // seconds since 2015-01-01
+    kDropoffTime = 3,
+    kPassengerCount = 4,
+    kTripDistance = 5,
+    kTripDuration = 6, // seconds
+    kPickupLongitude = 7,
+    kPickupLatitude = 8,
+    kDropoffLongitude = 9,
+    kDropoffLatitude = 10,
+    kRateCode = 11,
+    kStoreAndFwd = 12,
+    kPaymentType = 13,
+    kFareAmount = 14,
+    kExtra = 15,
+    kMtaTax = 16,
+    kTipAmount = 17,
+    kTollsAmount = 18,
+    kTotalAmount = 19,
+};
+
+format::Schema taxiSchema();
+
+/** Generates `rows` taxi trips (deterministic per seed). */
+format::Table makeTaxiTable(size_t rows, uint64_t seed);
+
+/** Encodes a taxi fpax file with 16 row groups (320 chunks, Table 3). */
+Result<format::WrittenFile> buildTaxiFile(size_t rows, uint64_t seed);
+
+} // namespace fusion::workload
+
+#endif // FUSION_WORKLOAD_TAXI_H

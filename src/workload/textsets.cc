@@ -1,0 +1,188 @@
+#include "textsets.h"
+
+#include "common/random.h"
+
+namespace fusion::workload {
+
+using format::LogicalType;
+using format::PhysicalType;
+using format::Schema;
+using format::Table;
+
+namespace {
+
+const char *kFoodWords[] = {
+    "butter", "sugar",  "flour",   "onion",  "garlic", "pepper", "salt",
+    "cream",  "cheese", "tomato",  "basil",  "oregano", "chicken",
+    "beef",   "pork",   "shrimp",  "rice",   "pasta",  "olive", "oil",
+    "lemon",  "ginger", "cinnamon", "vanilla", "chocolate", "egg",
+    "milk",   "yeast",  "baking",  "powder", "chop",   "dice", "simmer",
+    "bake",   "whisk",  "saute",   "boil",   "drain",  "serve", "mix",
+};
+
+std::string
+foodText(Rng &rng, size_t min_words, size_t max_words)
+{
+    size_t count = static_cast<size_t>(
+        rng.uniformInt(static_cast<int64_t>(min_words),
+                       static_cast<int64_t>(max_words)));
+    std::string out;
+    for (size_t i = 0; i < count; ++i) {
+        if (i)
+            out += ' ';
+        out += kFoodWords[rng.pickIndex(std::size(kFoodWords))];
+    }
+    return out;
+}
+
+const char *kSources[] = {"Gathered", "Recipes1M"};
+
+const char *kCounties[] = {
+    "GREATER LONDON", "WEST MIDLANDS", "GREATER MANCHESTER", "KENT",
+    "ESSEX", "HAMPSHIRE", "SURREY", "HERTFORDSHIRE", "LANCASHIRE",
+    "MERSEYSIDE", "WEST YORKSHIRE", "SOUTH YORKSHIRE", "DEVON",
+    "NORFOLK", "SUFFOLK", "CHESHIRE",
+};
+const char *kPropertyTypes[] = {"D", "S", "T", "F", "O"};
+const char *kStreetSuffix[] = {"ROAD", "STREET", "LANE", "CLOSE",
+                               "AVENUE", "DRIVE", "WAY", "GARDENS"};
+
+std::string
+uuidLike(Rng &rng)
+{
+    const char *hex = "0123456789ABCDEF";
+    std::string out;
+    out.reserve(36);
+    for (int i = 0; i < 36; ++i) {
+        if (i == 8 || i == 13 || i == 18 || i == 23)
+            out += '-';
+        else
+            out += hex[rng.uniformInt(0, 15)];
+    }
+    return out;
+}
+
+std::string
+postcode(Rng &rng)
+{
+    std::string out;
+    out += static_cast<char>('A' + rng.uniformInt(0, 25));
+    out += static_cast<char>('A' + rng.uniformInt(0, 25));
+    out += static_cast<char>('0' + rng.uniformInt(1, 9));
+    out += ' ';
+    out += static_cast<char>('0' + rng.uniformInt(0, 9));
+    out += static_cast<char>('A' + rng.uniformInt(0, 25));
+    out += static_cast<char>('A' + rng.uniformInt(0, 25));
+    return out;
+}
+
+} // namespace
+
+Schema
+recipeSchema()
+{
+    return Schema({
+        {"id", PhysicalType::kInt64, LogicalType::kNone},
+        {"title", PhysicalType::kString, LogicalType::kNone},
+        {"ingredients", PhysicalType::kString, LogicalType::kNone},
+        {"directions", PhysicalType::kString, LogicalType::kNone},
+        {"link", PhysicalType::kString, LogicalType::kNone},
+        {"source", PhysicalType::kString, LogicalType::kNone},
+        {"ner", PhysicalType::kString, LogicalType::kNone},
+    });
+}
+
+Table
+makeRecipeTable(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    Table t(recipeSchema());
+    for (size_t i = 0; i < rows; ++i) {
+        t.column(0).append(static_cast<int64_t>(i));
+        t.column(1).append(foodText(rng, 2, 6));
+        t.column(2).append(foodText(rng, 20, 60));
+        t.column(3).append(foodText(rng, 40, 120));
+        t.column(4).append("www.recipes.example/" + randomString(rng, 16));
+        t.column(5).append(
+            std::string(kSources[rng.pickIndex(std::size(kSources))]));
+        t.column(6).append(foodText(rng, 8, 20));
+    }
+    return t;
+}
+
+Result<format::WrittenFile>
+buildRecipeFile(size_t rows, uint64_t seed)
+{
+    Table t = makeRecipeTable(rows, seed);
+    format::WriterOptions options;
+    options.rowGroupRows = (rows + 11) / 12; // 84 chunks / 7 columns
+    return format::writeTable(t, options);
+}
+
+Schema
+ukppSchema()
+{
+    return Schema({
+        {"transaction_id", PhysicalType::kString, LogicalType::kNone},
+        {"price", PhysicalType::kInt64, LogicalType::kNone},
+        {"transfer_date", PhysicalType::kInt32, LogicalType::kDate},
+        {"postcode", PhysicalType::kString, LogicalType::kNone},
+        {"property_type", PhysicalType::kString, LogicalType::kNone},
+        {"old_new", PhysicalType::kString, LogicalType::kNone},
+        {"duration", PhysicalType::kString, LogicalType::kNone},
+        {"paon", PhysicalType::kString, LogicalType::kNone},
+        {"saon", PhysicalType::kString, LogicalType::kNone},
+        {"street", PhysicalType::kString, LogicalType::kNone},
+        {"locality", PhysicalType::kString, LogicalType::kNone},
+        {"town", PhysicalType::kString, LogicalType::kNone},
+        {"district", PhysicalType::kString, LogicalType::kNone},
+        {"county", PhysicalType::kString, LogicalType::kNone},
+        {"ppd_category", PhysicalType::kString, LogicalType::kNone},
+        {"record_status", PhysicalType::kString, LogicalType::kNone},
+    });
+}
+
+Table
+makeUkppTable(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    Table t(ukppSchema());
+    for (size_t i = 0; i < rows; ++i) {
+        t.column(0).append(uuidLike(rng));
+        t.column(1).append(rng.uniformInt(40, 2000) * 500);
+        t.column(2).append(
+            static_cast<int32_t>(rng.uniformInt(0, 10000)));
+        t.column(3).append(postcode(rng));
+        t.column(4).append(std::string(
+            kPropertyTypes[rng.pickIndex(std::size(kPropertyTypes))]));
+        t.column(5).append(std::string(rng.chance(0.1) ? "Y" : "N"));
+        t.column(6).append(std::string(rng.chance(0.75) ? "F" : "L"));
+        t.column(7).append(std::to_string(rng.uniformInt(1, 300)));
+        t.column(8).append(
+            rng.chance(0.15) ? "FLAT " + std::to_string(rng.uniformInt(1, 40))
+                             : std::string());
+        t.column(9).append(
+            randomString(rng, 6) + " " +
+            kStreetSuffix[rng.pickIndex(std::size(kStreetSuffix))]);
+        t.column(10).append(rng.chance(0.3) ? randomString(rng, 8)
+                                            : std::string());
+        t.column(11).append("TOWN" + std::to_string(rng.uniformInt(0, 999)));
+        t.column(12).append("DIST" + std::to_string(rng.uniformInt(0, 399)));
+        t.column(13).append(
+            std::string(kCounties[rng.pickIndex(std::size(kCounties))]));
+        t.column(14).append(std::string(rng.chance(0.9) ? "A" : "B"));
+        t.column(15).append(std::string("A"));
+    }
+    return t;
+}
+
+Result<format::WrittenFile>
+buildUkppFile(size_t rows, uint64_t seed)
+{
+    Table t = makeUkppTable(rows, seed);
+    format::WriterOptions options;
+    options.rowGroupRows = (rows + 14) / 15; // 240 chunks / 16 columns
+    return format::writeTable(t, options);
+}
+
+} // namespace fusion::workload

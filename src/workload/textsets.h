@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Text-heavy dataset generators used in the storage-overhead studies:
+ * a recipeNLG-style table (7 columns dominated by long free text) and a
+ * UK property-prices-style table (16 columns mixing identifiers,
+ * categorical codes and place names). Paper Table 3 / Figs 4c, 4d, 16b.
+ */
+#ifndef FUSION_WORKLOAD_TEXTSETS_H
+#define FUSION_WORKLOAD_TEXTSETS_H
+
+#include "format/column.h"
+#include "format/writer.h"
+
+namespace fusion::workload {
+
+format::Schema recipeSchema();
+format::Table makeRecipeTable(size_t rows, uint64_t seed);
+/** 12 row groups x 7 columns = 84 chunks (paper Table 3). */
+Result<format::WrittenFile> buildRecipeFile(size_t rows, uint64_t seed);
+
+format::Schema ukppSchema();
+format::Table makeUkppTable(size_t rows, uint64_t seed);
+/** 15 row groups x 16 columns = 240 chunks (paper Table 3). */
+Result<format::WrittenFile> buildUkppFile(size_t rows, uint64_t seed);
+
+} // namespace fusion::workload
+
+#endif // FUSION_WORKLOAD_TEXTSETS_H

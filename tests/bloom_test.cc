@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the Bloom-filter extension: membership semantics, false
+ * positive rate, serialization, footer integration and end-to-end
+ * equality-predicate chunk skipping.
+ */
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/bloom.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "query/eval.h"
+#include "sim/cluster.h"
+#include "store/fusion_store.h"
+
+namespace fusion::format {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives)
+{
+    BloomFilter filter(1000);
+    Rng rng(1);
+    std::vector<int64_t> inserted;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(0, 1 << 30);
+        inserted.push_back(v);
+        filter.insert(Value::ofInt64(v));
+    }
+    for (int64_t v : inserted)
+        EXPECT_TRUE(filter.mayContain(Value::ofInt64(v)));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget)
+{
+    BloomFilter filter(2000);
+    Rng rng(2);
+    std::set<int64_t> inserted;
+    while (inserted.size() < 2000) {
+        int64_t v = rng.uniformInt(0, 1 << 30);
+        if (inserted.insert(v).second)
+            filter.insert(Value::ofInt64(v));
+    }
+    int false_positives = 0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; ++i) {
+        int64_t v = rng.uniformInt(1 << 30, 1LL << 40);
+        false_positives += filter.mayContain(Value::ofInt64(v)) ? 1 : 0;
+    }
+    double fpp = static_cast<double>(false_positives) / probes;
+    EXPECT_LT(fpp, 0.03); // target ~1%
+}
+
+TEST(BloomFilterTest, AllTypes)
+{
+    BloomFilter filter(100);
+    filter.insert(Value::ofInt32(-5));
+    filter.insert(Value::ofInt64(1LL << 40));
+    filter.insert(Value::ofDouble(2.75));
+    filter.insert(Value::ofString("fusion"));
+    EXPECT_TRUE(filter.mayContain(Value::ofInt32(-5)));
+    EXPECT_TRUE(filter.mayContain(Value::ofInt64(1LL << 40)));
+    EXPECT_TRUE(filter.mayContain(Value::ofDouble(2.75)));
+    EXPECT_TRUE(filter.mayContain(Value::ofString("fusion")));
+    EXPECT_FALSE(filter.mayContain(Value::ofString("absent-key")));
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip)
+{
+    BloomFilter filter(500);
+    for (int i = 0; i < 500; ++i)
+        filter.insert(Value::ofInt64(i * 7));
+    auto back = BloomFilter::deserialize(Slice(filter.serialize()));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_TRUE(back.value() == filter);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_TRUE(back.value().mayContain(Value::ofInt64(i * 7)));
+}
+
+TEST(BloomFilterTest, EmptyFilterNeverPrunes)
+{
+    BloomFilter filter;
+    EXPECT_TRUE(filter.empty());
+    EXPECT_TRUE(filter.mayContain(Value::ofInt64(42)));
+}
+
+TEST(BloomFilterTest, CorruptDeserializeRejected)
+{
+    Bytes garbage = {0xff, 0xff, 0xff};
+    EXPECT_FALSE(BloomFilter::deserialize(Slice(garbage)).isOk());
+    BloomFilter filter(10);
+    Bytes truncated = filter.serialize();
+    truncated.resize(2);
+    EXPECT_FALSE(BloomFilter::deserialize(Slice(truncated)).isOk());
+}
+
+Table
+makeIdTable(size_t rows)
+{
+    Schema schema({{"user_id", PhysicalType::kInt64, LogicalType::kNone},
+                   {"score", PhysicalType::kDouble, LogicalType::kNone}});
+    Table t(schema);
+    Rng rng(3);
+    for (size_t i = 0; i < rows; ++i) {
+        // Unsorted ids: zone maps cannot prune equality lookups.
+        t.column(0).append(rng.uniformInt(0, 1 << 24) * 2); // even ids
+        t.column(1).append(rng.uniform());
+    }
+    return t;
+}
+
+TEST(BloomIntegrationTest, FooterCarriesFilters)
+{
+    Table t = makeIdTable(4000);
+    WriterOptions options;
+    options.rowGroupRows = 1000;
+    options.chunk.enableBloomFilter = true;
+    auto file = writeTable(t, options);
+    ASSERT_TRUE(file.isOk());
+    auto reader = FileReader::open(Slice(file.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+    for (size_t rg = 0; rg < 4; ++rg)
+        EXPECT_FALSE(reader.value().metadata().chunk(rg, 0).bloom.empty());
+}
+
+TEST(BloomIntegrationTest, EqualityPruningSkipsChunks)
+{
+    Table t = makeIdTable(4000);
+    WriterOptions options;
+    options.rowGroupRows = 1000;
+    options.chunk.enableBloomFilter = true;
+    auto file = writeTable(t, options);
+    ASSERT_TRUE(file.isOk());
+    const auto &meta = file.value().metadata;
+
+    // Odd ids are never present; zone maps cannot prune (odd values lie
+    // inside [min, max]) but blooms almost surely can.
+    query::Predicate absent{"user_id", query::CompareOp::kEq,
+                            Value::ofInt64(1234567)};
+    size_t zone_pruned = 0, bloom_pruned = 0;
+    for (size_t rg = 0; rg < 4; ++rg) {
+        zone_pruned +=
+            query::zoneMapMayMatch(meta.chunk(rg, 0), absent) ? 0 : 1;
+        bloom_pruned +=
+            query::chunkMayMatch(meta.chunk(rg, 0), absent) ? 0 : 1;
+    }
+    EXPECT_EQ(zone_pruned, 0u);
+    EXPECT_GE(bloom_pruned, 3u);
+
+    // Present values must never be pruned.
+    for (size_t rg = 0; rg < 4; ++rg) {
+        int64_t present = t.column(0).int64s()[rg * 1000 + 17];
+        query::Predicate pred{"user_id", query::CompareOp::kEq,
+                              Value::ofInt64(present)};
+        EXPECT_TRUE(query::chunkMayMatch(meta.chunk(rg, 0), pred));
+    }
+}
+
+TEST(BloomIntegrationTest, CrossTypeLiteralsAreSafe)
+{
+    Table t = makeIdTable(2000);
+    WriterOptions options;
+    options.chunk.enableBloomFilter = true;
+    auto file = writeTable(t, options);
+    ASSERT_TRUE(file.isOk());
+    const ChunkMeta &chunk = file.value().metadata.chunk(0, 0);
+
+    int64_t present = t.column(0).int64s()[5];
+    // Double literal with an exact int value: convertible, usable.
+    query::Predicate exact{"user_id", query::CompareOp::kEq,
+                           Value::ofDouble(static_cast<double>(present))};
+    EXPECT_TRUE(query::chunkMayMatch(chunk, exact));
+    // Fractional literal: zone map may pass, bloom must be skipped
+    // (conversion inexact) — conservative true.
+    query::Predicate fractional{"user_id", query::CompareOp::kEq,
+                                Value::ofDouble(present + 0.5)};
+    EXPECT_TRUE(query::chunkMayMatch(chunk, fractional));
+}
+
+TEST(BloomIntegrationTest, StoreSkipsRowGroupsOnPointLookups)
+{
+    Table t = makeIdTable(8000);
+    WriterOptions writer_options;
+    writer_options.rowGroupRows = 1000;
+    writer_options.chunk.enableBloomFilter = true;
+    auto file = writeTable(t, writer_options);
+    ASSERT_TRUE(file.isOk());
+
+    sim::ClusterConfig config;
+    sim::Cluster cluster(config);
+    store::FusionStore store(cluster, store::StoreOptions{});
+    ASSERT_TRUE(store.put("events", file.value().bytes).isOk());
+
+    // Lookup of an absent odd id: every row group bloom-pruned.
+    auto absent = store.querySql(
+        "SELECT score FROM events WHERE user_id = 999999999");
+    ASSERT_TRUE(absent.isOk());
+    EXPECT_EQ(absent.value().result.rowsMatched, 0u);
+    EXPECT_GE(absent.value().rowGroupsSkipped, 7u);
+
+    // Lookup of a present id returns it and scans its row group.
+    int64_t present = t.column(0).int64s()[4321];
+    auto hit = store.querySql(
+        "SELECT score FROM events WHERE user_id = " +
+        std::to_string(present));
+    ASSERT_TRUE(hit.isOk());
+    EXPECT_GE(hit.value().result.rowsMatched, 1u);
+}
+
+} // namespace
+} // namespace fusion::format

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for src/common: Status/Result, binary serde, RNG/Zipf and
+ * statistics helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <memory>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace fusion {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::corruption("bad bytes");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+    EXPECT_EQ(s.message(), "bad bytes");
+    EXPECT_EQ(s.toString(), "Corruption: bad bytes");
+}
+
+TEST(StatusTest, AllFactoryCodes)
+{
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(Status::notFound("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(Status::alreadyExists("x").code(), StatusCode::kAlreadyExists);
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Status::resourceExhausted("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(Status::unimplemented("x").code(), StatusCode::kUnimplemented);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError)
+{
+    Result<int> r(Status::notFound("nope"));
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+    ASSERT_TRUE(r.isOk());
+    std::unique_ptr<int> v = std::move(r).value();
+    EXPECT_EQ(*v, 5);
+}
+
+TEST(SerdeTest, FixedWidthRoundTrip)
+{
+    Bytes buf;
+    BinaryWriter w(buf);
+    w.putU8(0xab);
+    w.putU16(0xbeef);
+    w.putU32(0xdeadbeef);
+    w.putU64(0x0123456789abcdefULL);
+    w.putI32(-12345);
+    w.putI64(-9876543210LL);
+    w.putDouble(3.14159);
+    w.putBool(true);
+
+    BinaryReader r{Slice(buf)};
+    EXPECT_EQ(r.getU8().value(), 0xab);
+    EXPECT_EQ(r.getU16().value(), 0xbeef);
+    EXPECT_EQ(r.getU32().value(), 0xdeadbeefU);
+    EXPECT_EQ(r.getU64().value(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.getI32().value(), -12345);
+    EXPECT_EQ(r.getI64().value(), -9876543210LL);
+    EXPECT_DOUBLE_EQ(r.getDouble().value(), 3.14159);
+    EXPECT_TRUE(r.getBool().value());
+    EXPECT_TRUE(r.atEnd());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(VarintRoundTrip, Unsigned)
+{
+    Bytes buf;
+    BinaryWriter w(buf);
+    w.putVarU64(GetParam());
+    BinaryReader r{Slice(buf)};
+    auto v = r.getVarU64();
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(v.value(), GetParam());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST_P(VarintRoundTrip, SignedBothSigns)
+{
+    for (int64_t sign : {1, -1}) {
+        int64_t x = sign * static_cast<int64_t>(GetParam() >> 1);
+        Bytes buf;
+        BinaryWriter w(buf);
+        w.putVarI64(x);
+        BinaryReader r{Slice(buf)};
+        auto v = r.getVarI64();
+        ASSERT_TRUE(v.isOk());
+        EXPECT_EQ(v.value(), x);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                      16384ULL, (1ULL << 32) - 1, 1ULL << 32,
+                      (1ULL << 56) + 123, UINT64_MAX));
+
+TEST(SerdeTest, LengthPrefixedRoundTrip)
+{
+    Bytes buf;
+    BinaryWriter w(buf);
+    w.putString("hello");
+    w.putString("");
+    w.putString(std::string(1000, 'x'));
+
+    BinaryReader r{Slice(buf)};
+    EXPECT_EQ(r.getString().value(), "hello");
+    EXPECT_EQ(r.getString().value(), "");
+    EXPECT_EQ(r.getString().value(), std::string(1000, 'x'));
+}
+
+TEST(SerdeTest, TruncatedInputIsCorruption)
+{
+    Bytes buf;
+    BinaryWriter w(buf);
+    w.putU32(7);
+    BinaryReader r{Slice(buf)};
+    EXPECT_TRUE(r.getU64().status().code() == StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, TruncatedVarintIsCorruption)
+{
+    Bytes buf = {0x80, 0x80}; // continuation bits but no terminator
+    BinaryReader r{Slice(buf)};
+    EXPECT_EQ(r.getVarU64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, OverlongVarintIsCorruption)
+{
+    Bytes buf(11, 0x80); // 11 continuation bytes exceeds 64-bit range
+    buf.push_back(0x01);
+    BinaryReader r{Slice(buf)};
+    EXPECT_EQ(r.getVarU64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, LengthPrefixBeyondInputIsCorruption)
+{
+    Bytes buf;
+    BinaryWriter w(buf);
+    w.putVarU64(100); // claims 100 bytes follow
+    buf.push_back('x');
+    BinaryReader r{Slice(buf)};
+    EXPECT_EQ(r.getLengthPrefixed().status().code(),
+              StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, SeekBoundsChecked)
+{
+    Bytes buf(4, 0);
+    BinaryReader r{Slice(buf)};
+    EXPECT_TRUE(r.seek(4).isOk());
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(r.seek(5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SliceTest, SubsliceAndEquality)
+{
+    Bytes buf = {1, 2, 3, 4, 5};
+    Slice s(buf);
+    EXPECT_EQ(s.size(), 5u);
+    Slice sub = s.subslice(1, 3);
+    EXPECT_EQ(sub.size(), 3u);
+    EXPECT_EQ(sub[0], 2);
+    Bytes expect = {2, 3, 4};
+    EXPECT_TRUE(sub == Slice(expect));
+    EXPECT_EQ(s.subslice(5).size(), 0u);
+    // Clamped length.
+    EXPECT_EQ(s.subslice(3, 100).size(), 2u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(RngTest, UniformIntCoversAllValues)
+{
+    Rng rng(7);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.uniformInt(0, 9)];
+    for (int count : seen)
+        EXPECT_GT(count, 700); // ~1000 expected each
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+class ZipfSkew : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkew, RanksInBoundsAndMonotoneFrequency)
+{
+    const double theta = GetParam();
+    ZipfSampler zipf(100, theta);
+    Rng rng(42);
+    std::vector<int> counts(101, 0);
+    for (int i = 0; i < 50000; ++i) {
+        size_t rank = zipf.sample(rng);
+        ASSERT_GE(rank, 1u);
+        ASSERT_LE(rank, 100u);
+        ++counts[rank];
+    }
+    if (theta > 0.5) {
+        // Rank 1 must dominate rank 50 under real skew.
+        EXPECT_GT(counts[1], counts[50] * 2);
+    }
+    if (theta == 0.0) {
+        // Uniform: first and last deciles should be comparable.
+        int head = 0, tail = 0;
+        for (int i = 1; i <= 10; ++i)
+            head += counts[i];
+        for (int i = 91; i <= 100; ++i)
+            tail += counts[i];
+        EXPECT_NEAR(static_cast<double>(head) / tail, 1.0, 0.2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSkew,
+                         ::testing::Values(0.0, 0.5, 0.99, 1.2));
+
+TEST(ShuffleTest, IsPermutation)
+{
+    Rng rng(5);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto orig = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+    EXPECT_NE(v, orig); // astronomically unlikely to be identity
+}
+
+TEST(SampleHistogramTest, ExactPercentiles)
+{
+    SampleHistogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1);
+    EXPECT_DOUBLE_EQ(h.max(), 100);
+    EXPECT_DOUBLE_EQ(h.p50(), 50);
+    EXPECT_DOUBLE_EQ(h.p99(), 99);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(SampleHistogramTest, UnsortedInsertOrder)
+{
+    SampleHistogram h;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    h.add(0.5); // interleave add after a percentile query
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+}
+
+TEST(StreamingStatsTest, Moments)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(UnitsTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2 * kKiB), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3 * kMiB + kMiB / 2), "3.50 MiB");
+    EXPECT_EQ(formatBytes(kGiB), "1.00 GiB");
+}
+
+TEST(UnitsTest, FormatSecondsAdaptiveUnits)
+{
+    EXPECT_EQ(formatSeconds(1.5), "1.500 s");
+    EXPECT_EQ(formatSeconds(0.020), "20.000 ms");
+    EXPECT_EQ(formatSeconds(42e-6), "42.000 us");
+    EXPECT_EQ(formatSeconds(5e-9), "5.0 ns");
+}
+
+TEST(UnitsTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.123), "12.3%");
+    EXPECT_EQ(formatPercent(0.5, 0), "50%");
+    EXPECT_EQ(formatPercent(1.0, 2), "100.00%");
+}
+
+TEST(RandomStringTest, LengthAndAlphabet)
+{
+    Rng rng(3);
+    std::string s = randomString(rng, 64);
+    EXPECT_EQ(s.size(), 64u);
+    for (char c : s)
+        EXPECT_TRUE(c >= 'a' && c <= 'z');
+}
+
+} // namespace
+} // namespace fusion

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for CSV import/export: quoting, type parsing, schema inference
+ * and round trips into the columnar format.
+ */
+#include <gtest/gtest.h>
+
+#include "format/csv.h"
+#include "format/reader.h"
+#include "format/writer.h"
+
+namespace fusion::format {
+namespace {
+
+Schema
+simpleSchema()
+{
+    return Schema({{"name", PhysicalType::kString, LogicalType::kNone},
+                   {"count", PhysicalType::kInt64, LogicalType::kNone},
+                   {"price", PhysicalType::kDouble, LogicalType::kNone}});
+}
+
+TEST(CsvReadTest, BasicParsing)
+{
+    auto t = readCsv("name,count,price\nfoo,3,1.5\nbar,-7,0.25\n",
+                     simpleSchema());
+    ASSERT_TRUE(t.isOk()) << t.status().toString();
+    EXPECT_EQ(t.value().numRows(), 2u);
+    EXPECT_EQ(t.value().column(0).strings()[0], "foo");
+    EXPECT_EQ(t.value().column(1).int64s()[1], -7);
+    EXPECT_DOUBLE_EQ(t.value().column(2).doubles()[1], 0.25);
+}
+
+TEST(CsvReadTest, QuotedFields)
+{
+    auto t = readCsv("name,count,price\n"
+                     "\"hello, world\",1,2.0\n"
+                     "\"she said \"\"hi\"\"\",2,3.0\n"
+                     "\"multi\nline\",3,4.0\n",
+                     simpleSchema());
+    ASSERT_TRUE(t.isOk()) << t.status().toString();
+    EXPECT_EQ(t.value().column(0).strings()[0], "hello, world");
+    EXPECT_EQ(t.value().column(0).strings()[1], "she said \"hi\"");
+    EXPECT_EQ(t.value().column(0).strings()[2], "multi\nline");
+}
+
+TEST(CsvReadTest, CrlfLineEndings)
+{
+    auto t = readCsv("name,count,price\r\nfoo,1,2.0\r\n", simpleSchema());
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().column(0).strings()[0], "foo");
+}
+
+TEST(CsvReadTest, NoTrailingNewline)
+{
+    auto t = readCsv("name,count,price\nfoo,1,2.0", simpleSchema());
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().numRows(), 1u);
+}
+
+TEST(CsvReadTest, HeaderValidation)
+{
+    EXPECT_EQ(readCsv("wrong,count,price\nfoo,1,2.0\n", simpleSchema())
+                  .status()
+                  .code(),
+              StatusCode::kCorruption);
+    EXPECT_EQ(readCsv("name,count\nfoo,1\n", simpleSchema())
+                  .status()
+                  .code(),
+              StatusCode::kCorruption);
+}
+
+TEST(CsvReadTest, MalformedFieldsRejected)
+{
+    EXPECT_FALSE(
+        readCsv("name,count,price\nfoo,notanumber,2.0\n", simpleSchema())
+            .isOk());
+    EXPECT_FALSE(
+        readCsv("name,count,price\nfoo,1,2.0,extra\n", simpleSchema())
+            .isOk());
+    EXPECT_FALSE(
+        readCsv("name,count,price\n\"unterminated,1,2.0\n", simpleSchema())
+            .isOk());
+}
+
+TEST(CsvReadTest, Int32RangeChecked)
+{
+    Schema schema({{"v", PhysicalType::kInt32, LogicalType::kNone}});
+    EXPECT_TRUE(readCsv("v\n2147483647\n", schema, {}).isOk());
+    EXPECT_FALSE(readCsv("v\n2147483648\n", schema, {}).isOk());
+}
+
+TEST(CsvWriteTest, RoundTrip)
+{
+    Table t(simpleSchema());
+    t.column(0).append(std::string("plain"));
+    t.column(0).append(std::string("with, comma"));
+    t.column(0).append(std::string("with \"quote\""));
+    for (int i = 0; i < 3; ++i) {
+        t.column(1).append(int64_t{i * 10});
+        t.column(2).append(i + 0.5);
+    }
+    std::string csv = writeCsv(t);
+    auto back = readCsv(csv, simpleSchema());
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    for (size_t c = 0; c < 3; ++c)
+        EXPECT_TRUE(back.value().column(c) == t.column(c)) << "col " << c;
+}
+
+TEST(CsvInferTest, TypesFromValues)
+{
+    auto schema = inferCsvSchema(
+        "id,ratio,label\n1,0.5,abc\n2,7,xyz\n-3,1e3,9q\n");
+    ASSERT_TRUE(schema.isOk());
+    EXPECT_EQ(schema.value().column(0).physical, PhysicalType::kInt64);
+    EXPECT_EQ(schema.value().column(1).physical, PhysicalType::kDouble);
+    EXPECT_EQ(schema.value().column(2).physical, PhysicalType::kString);
+}
+
+TEST(CsvInferTest, NeedsDataRows)
+{
+    EXPECT_FALSE(inferCsvSchema("a,b\n").isOk());
+}
+
+TEST(CsvIntegrationTest, CsvToFpaxAndBack)
+{
+    std::string csv = "name,count,price\n";
+    for (int i = 0; i < 500; ++i)
+        csv += "item" + std::to_string(i % 7) + "," +
+               std::to_string(i * 3) + "," + std::to_string(i * 0.5) + "\n";
+
+    auto schema = inferCsvSchema(csv);
+    ASSERT_TRUE(schema.isOk());
+    auto table = readCsv(csv, schema.value());
+    ASSERT_TRUE(table.isOk());
+
+    WriterOptions options;
+    options.rowGroupRows = 128;
+    auto file = writeTable(table.value(), options);
+    ASSERT_TRUE(file.isOk());
+    auto reader = FileReader::open(Slice(file.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+    auto back = reader.value().readTable();
+    ASSERT_TRUE(back.isOk());
+    for (size_t c = 0; c < table.value().numColumns(); ++c)
+        EXPECT_TRUE(back.value().column(c) == table.value().column(c));
+}
+
+TEST(CsvTest, CustomDelimiter)
+{
+    CsvOptions options;
+    options.delimiter = ';';
+    auto t = readCsv("name;count;price\nfoo;1;2.0\n", simpleSchema(),
+                     options);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().column(0).strings()[0], "foo");
+    std::string out = writeCsv(t.value(), options);
+    EXPECT_NE(out.find("name;count;price"), std::string::npos);
+}
+
+} // namespace
+} // namespace fusion::format

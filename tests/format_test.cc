@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Unit tests for src/format: values, columns, chunk codec, writer and
+ * reader, footer statistics and corruption handling.
+ */
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/chunk_codec.h"
+#include "format/column.h"
+#include "format/metadata.h"
+#include "format/reader.h"
+#include "format/value.h"
+#include "format/writer.h"
+
+namespace fusion::format {
+namespace {
+
+TEST(ValueTest, TypeAndAccessors)
+{
+    EXPECT_EQ(Value::ofInt32(3).type(), PhysicalType::kInt32);
+    EXPECT_EQ(Value::ofInt64(3).type(), PhysicalType::kInt64);
+    EXPECT_EQ(Value::ofDouble(3.0).type(), PhysicalType::kDouble);
+    EXPECT_EQ(Value::ofString("x").type(), PhysicalType::kString);
+    EXPECT_EQ(Value::ofInt32(-7).asInt32(), -7);
+    EXPECT_EQ(Value::ofString("hi").asString(), "hi");
+}
+
+TEST(ValueTest, NumericCrossTypeComparison)
+{
+    EXPECT_TRUE(Value::ofInt32(3) < Value::ofInt64(4));
+    EXPECT_TRUE(Value::ofInt64(5) > Value::ofDouble(4.5));
+    EXPECT_TRUE(Value::ofInt32(7) == Value::ofDouble(7.0));
+}
+
+TEST(ValueTest, StringComparison)
+{
+    EXPECT_TRUE(Value::ofString("apple") < Value::ofString("banana"));
+    EXPECT_TRUE(Value::ofString("b") == Value::ofString("b"));
+}
+
+TEST(ValueTest, SerdeRoundTrip)
+{
+    std::vector<Value> values = {Value::ofInt32(-5), Value::ofInt64(1LL << 40),
+                                 Value::ofDouble(2.5),
+                                 Value::ofString("fusion")};
+    Bytes buf;
+    BinaryWriter w(buf);
+    for (const auto &v : values)
+        v.serialize(w);
+    BinaryReader r{Slice(buf)};
+    for (const auto &v : values) {
+        auto got = Value::deserialize(r);
+        ASSERT_TRUE(got.isOk());
+        EXPECT_TRUE(got.value() == v);
+    }
+}
+
+TEST(ColumnDataTest, TypedAppendAndBoxing)
+{
+    ColumnData col(PhysicalType::kDouble);
+    col.append(1.5);
+    col.append(2.5);
+    EXPECT_EQ(col.size(), 2u);
+    EXPECT_TRUE(col.valueAt(1) == Value::ofDouble(2.5));
+    col.appendValue(Value::ofDouble(3.5));
+    EXPECT_EQ(col.doubles().back(), 3.5);
+}
+
+TEST(TableTest, ValidateCatchesRaggedColumns)
+{
+    Schema schema({{"a", PhysicalType::kInt64, LogicalType::kNone},
+                   {"b", PhysicalType::kInt64, LogicalType::kNone}});
+    Table t(schema);
+    t.column(0).append(int64_t{1});
+    t.column(0).append(int64_t{2});
+    t.column(1).append(int64_t{1});
+    EXPECT_FALSE(t.validate().isOk());
+    t.column(1).append(int64_t{2});
+    EXPECT_TRUE(t.validate().isOk());
+}
+
+TEST(SchemaTest, ColumnIndexLookup)
+{
+    Schema schema({{"x", PhysicalType::kInt32, LogicalType::kNone},
+                   {"y", PhysicalType::kString, LogicalType::kNone}});
+    EXPECT_EQ(schema.columnIndex("y").value(), 1u);
+    EXPECT_EQ(schema.columnIndex("z").status().code(),
+              StatusCode::kNotFound);
+}
+
+ColumnData
+makeIntColumn(size_t n, int64_t cardinality, uint64_t seed)
+{
+    Rng rng(seed);
+    ColumnData col(PhysicalType::kInt64);
+    for (size_t i = 0; i < n; ++i)
+        col.append(rng.uniformInt(0, cardinality - 1));
+    return col;
+}
+
+ColumnData
+makeStringColumn(size_t n, size_t len, uint64_t seed)
+{
+    Rng rng(seed);
+    ColumnData col(PhysicalType::kString);
+    for (size_t i = 0; i < n; ++i)
+        col.append(randomString(rng, len));
+    return col;
+}
+
+struct ChunkCase {
+    const char *name;
+    PhysicalType type;
+    int64_t cardinality; // for int columns
+    bool enableDict;
+};
+
+class ChunkRoundTrip : public ::testing::TestWithParam<ChunkCase>
+{
+};
+
+TEST_P(ChunkRoundTrip, Exact)
+{
+    const auto &c = GetParam();
+    ColumnData col = (c.type == PhysicalType::kString)
+                         ? makeStringColumn(5000, 12, 17)
+                         : makeIntColumn(5000, c.cardinality, 17);
+    ChunkEncodeOptions options;
+    options.enableDictionary = c.enableDict;
+    EncodedChunk encoded = encodeChunk(col, options);
+    EXPECT_EQ(encoded.valueCount, col.size());
+    auto decoded = decodeChunk(Slice(encoded.bytes), col.type());
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    EXPECT_TRUE(decoded.value() == col);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ChunkRoundTrip,
+    ::testing::Values(
+        ChunkCase{"lowCardinalityDict", PhysicalType::kInt64, 4, true},
+        ChunkCase{"midCardinalityDict", PhysicalType::kInt64, 500, true},
+        ChunkCase{"highCardinalityPlain", PhysicalType::kInt64, 1 << 30,
+                  true},
+        ChunkCase{"dictDisabled", PhysicalType::kInt64, 4, false},
+        ChunkCase{"strings", PhysicalType::kString, 0, true}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(ChunkCodecTest, LowCardinalityUsesDictionary)
+{
+    ColumnData col = makeIntColumn(10000, 3, 5);
+    EncodedChunk encoded = encodeChunk(col, {});
+    EXPECT_EQ(encoded.encoding, ChunkEncoding::kDictionary);
+    // 10000 int64 values with 3 distinct values must compress massively.
+    EXPECT_LT(encoded.bytes.size(), encoded.plainSize / 20);
+}
+
+TEST(ChunkCodecTest, HighCardinalityFallsBackToPlain)
+{
+    Rng rng(9);
+    ColumnData col(PhysicalType::kInt64);
+    for (int i = 0; i < 10000; ++i)
+        col.append(static_cast<int64_t>(rng.next()));
+    EncodedChunk encoded = encodeChunk(col, {});
+    EXPECT_EQ(encoded.encoding, ChunkEncoding::kPlain);
+}
+
+TEST(ChunkCodecTest, MinMaxStats)
+{
+    ColumnData col(PhysicalType::kInt32);
+    for (int32_t v : {5, -2, 17, 0, 9})
+        col.append(v);
+    EncodedChunk encoded = encodeChunk(col, {});
+    EXPECT_TRUE(encoded.minValue == Value::ofInt32(-2));
+    EXPECT_TRUE(encoded.maxValue == Value::ofInt32(17));
+}
+
+TEST(ChunkCodecTest, PlainEncodeDecodeAllTypes)
+{
+    for (PhysicalType t :
+         {PhysicalType::kInt32, PhysicalType::kInt64, PhysicalType::kDouble,
+          PhysicalType::kString}) {
+        ColumnData col(t);
+        for (int i = 0; i < 100; ++i) {
+            switch (t) {
+              case PhysicalType::kInt32: col.append(int32_t(i - 50)); break;
+              case PhysicalType::kInt64:
+                col.append(int64_t(i) << 32);
+                break;
+              case PhysicalType::kDouble: col.append(i * 0.25); break;
+              case PhysicalType::kString:
+                col.append("s" + std::to_string(i));
+                break;
+            }
+        }
+        Bytes plain = plainEncode(col);
+        auto back = plainDecode(Slice(plain), t, col.size());
+        ASSERT_TRUE(back.isOk());
+        EXPECT_TRUE(back.value() == col);
+    }
+}
+
+TEST(ChunkCodecTest, CorruptChunkIsDetected)
+{
+    ColumnData col = makeIntColumn(1000, 7, 3);
+    EncodedChunk encoded = encodeChunk(col, {});
+    Bytes corrupt = encoded.bytes;
+    corrupt.resize(corrupt.size() / 2);
+    EXPECT_FALSE(decodeChunk(Slice(corrupt), col.type()).isOk());
+    Bytes bad_tag = encoded.bytes;
+    bad_tag[0] = 0x7f;
+    EXPECT_FALSE(decodeChunk(Slice(bad_tag), col.type()).isOk());
+}
+
+Table
+makeTestTable(size_t rows)
+{
+    Schema schema({{"id", PhysicalType::kInt64, LogicalType::kNone},
+                   {"flag", PhysicalType::kString, LogicalType::kNone},
+                   {"price", PhysicalType::kDouble, LogicalType::kNone},
+                   {"day", PhysicalType::kInt32, LogicalType::kDate}});
+    Table t(schema);
+    Rng rng(21);
+    const char *flags[] = {"A", "N", "R"};
+    for (size_t i = 0; i < rows; ++i) {
+        t.column(0).append(static_cast<int64_t>(i));
+        t.column(1).append(std::string(flags[rng.uniformInt(0, 2)]));
+        t.column(2).append(rng.uniformReal(1.0, 1000.0));
+        t.column(3).append(static_cast<int32_t>(rng.uniformInt(0, 3650)));
+    }
+    return t;
+}
+
+TEST(WriterReaderTest, RoundTripWholeTable)
+{
+    Table t = makeTestTable(10000);
+    WriterOptions options;
+    options.rowGroupRows = 3000; // 4 row groups, last one short
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+
+    auto reader = FileReader::open(Slice(written.value().bytes));
+    ASSERT_TRUE(reader.isOk()) << reader.status().toString();
+    EXPECT_EQ(reader.value().metadata().numRows, 10000u);
+    EXPECT_EQ(reader.value().metadata().numRowGroups(), 4u);
+    EXPECT_EQ(reader.value().metadata().numChunks(), 16u);
+
+    auto back = reader.value().readTable();
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value().numRows(), t.numRows());
+    for (size_t c = 0; c < t.numColumns(); ++c)
+        EXPECT_TRUE(back.value().column(c) == t.column(c));
+}
+
+TEST(WriterReaderTest, FooterMatchesWriterMetadata)
+{
+    Table t = makeTestTable(5000);
+    auto written = writeTable(t, {});
+    ASSERT_TRUE(written.isOk());
+    auto reader = FileReader::open(Slice(written.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+
+    const FileMetadata &wrote = written.value().metadata;
+    const FileMetadata &read = reader.value().metadata();
+    ASSERT_EQ(read.numRowGroups(), wrote.numRowGroups());
+    for (size_t g = 0; g < read.numRowGroups(); ++g) {
+        for (size_t c = 0; c < read.schema.numColumns(); ++c) {
+            const ChunkMeta &a = wrote.chunk(g, c);
+            const ChunkMeta &b = read.chunk(g, c);
+            EXPECT_EQ(a.offset, b.offset);
+            EXPECT_EQ(a.storedSize, b.storedSize);
+            EXPECT_EQ(a.plainSize, b.plainSize);
+            EXPECT_EQ(a.valueCount, b.valueCount);
+            EXPECT_TRUE(a.minValue == b.minValue);
+            EXPECT_TRUE(a.maxValue == b.maxValue);
+        }
+    }
+}
+
+TEST(WriterReaderTest, ChunkExtentsAreDisjointAndOrdered)
+{
+    Table t = makeTestTable(8000);
+    WriterOptions options;
+    options.rowGroupRows = 2000;
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+    auto chunks = written.value().metadata.allChunks();
+    uint64_t cursor = sizeof(kFileMagic);
+    for (const auto *chunk : chunks) {
+        EXPECT_EQ(chunk->offset, cursor);
+        cursor += chunk->storedSize;
+    }
+    EXPECT_LT(cursor, written.value().bytes.size());
+}
+
+TEST(WriterReaderTest, SingleChunkDecode)
+{
+    Table t = makeTestTable(4000);
+    WriterOptions options;
+    options.rowGroupRows = 1000;
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+    auto reader = FileReader::open(Slice(written.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+
+    auto chunk = reader.value().readChunk(2, 1); // row group 2, "flag"
+    ASSERT_TRUE(chunk.isOk());
+    EXPECT_EQ(chunk.value().size(), 1000u);
+    for (size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(chunk.value().strings()[i], t.column(1).strings()[2000 + i]);
+}
+
+TEST(WriterReaderTest, ZoneMapsBoundRowGroupValues)
+{
+    Table t = makeTestTable(6000);
+    WriterOptions options;
+    options.rowGroupRows = 1500;
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+    const auto &meta = written.value().metadata;
+    for (size_t g = 0; g < meta.numRowGroups(); ++g) {
+        const ChunkMeta &id_chunk = meta.chunk(g, 0);
+        EXPECT_TRUE(id_chunk.minValue ==
+                    Value::ofInt64(static_cast<int64_t>(g * 1500)));
+        EXPECT_TRUE(id_chunk.maxValue ==
+                    Value::ofInt64(static_cast<int64_t>(g * 1500 + 1499)));
+    }
+}
+
+TEST(WriterReaderTest, EmptyTableRejected)
+{
+    Schema schema({{"a", PhysicalType::kInt64, LogicalType::kNone}});
+    Table t(schema);
+    EXPECT_EQ(writeTable(t, {}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(WriterReaderTest, CorruptMagicRejected)
+{
+    Table t = makeTestTable(100);
+    auto written = writeTable(t, {});
+    ASSERT_TRUE(written.isOk());
+    Bytes bad = written.value().bytes;
+    bad[0] = 'X';
+    EXPECT_EQ(FileReader::open(Slice(bad)).status().code(),
+              StatusCode::kCorruption);
+}
+
+TEST(WriterReaderTest, TruncatedFileRejected)
+{
+    Table t = makeTestTable(100);
+    auto written = writeTable(t, {});
+    ASSERT_TRUE(written.isOk());
+    Bytes bad = written.value().bytes;
+    bad.resize(bad.size() - 3);
+    EXPECT_EQ(FileReader::open(Slice(bad)).status().code(),
+              StatusCode::kCorruption);
+}
+
+TEST(WriterReaderTest, CompressibilityReflectsData)
+{
+    // A 3-value string column compresses enormously; random doubles don't.
+    Schema schema({{"flag", PhysicalType::kString, LogicalType::kNone},
+                   {"noise", PhysicalType::kDouble, LogicalType::kNone}});
+    Table t(schema);
+    Rng rng(31);
+    for (int i = 0; i < 20000; ++i) {
+        t.column(0).append(std::string(i % 3 == 0 ? "AAA" : "BBB"));
+        t.column(1).append(rng.uniform());
+    }
+    auto written = writeTable(t, {});
+    ASSERT_TRUE(written.isOk());
+    const auto &meta = written.value().metadata;
+    double flag_ratio = meta.chunk(0, 0).compressibility();
+    double noise_ratio = meta.chunk(0, 1).compressibility();
+    EXPECT_GT(flag_ratio, 20.0);
+    EXPECT_LT(noise_ratio, 1.5);
+}
+
+TEST(MetadataTest, SerializeDeserializeRoundTrip)
+{
+    FileMetadata meta;
+    meta.schema = Schema({{"c0", PhysicalType::kInt64, LogicalType::kNone},
+                          {"c1", PhysicalType::kString,
+                           LogicalType::kNone}});
+    meta.numRows = 123;
+    RowGroupMeta rg;
+    rg.numRows = 123;
+    ChunkMeta chunk;
+    chunk.rowGroupId = 0;
+    chunk.columnId = 0;
+    chunk.offset = 8;
+    chunk.storedSize = 100;
+    chunk.plainSize = 400;
+    chunk.valueCount = 123;
+    chunk.encoding = ChunkEncoding::kDictionary;
+    chunk.minValue = Value::ofInt64(1);
+    chunk.maxValue = Value::ofInt64(99);
+    rg.chunks.push_back(chunk);
+    chunk.columnId = 1;
+    chunk.minValue = Value::ofString("a");
+    chunk.maxValue = Value::ofString("z");
+    rg.chunks.push_back(chunk);
+    meta.rowGroups.push_back(rg);
+
+    Bytes buf = meta.serialize();
+    auto back = FileMetadata::deserialize(Slice(buf));
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_TRUE(back.value().schema == meta.schema);
+    EXPECT_EQ(back.value().numRows, 123u);
+    ASSERT_EQ(back.value().numChunks(), 2u);
+    EXPECT_EQ(back.value().chunk(0, 0).plainSize, 400u);
+    EXPECT_TRUE(back.value().chunk(0, 1).maxValue == Value::ofString("z"));
+}
+
+TEST(MetadataTest, CompressibilityFormula)
+{
+    ChunkMeta meta;
+    meta.plainSize = 900;
+    meta.storedSize = 100;
+    EXPECT_DOUBLE_EQ(meta.compressibility(), 9.0);
+    meta.storedSize = 0;
+    EXPECT_DOUBLE_EQ(meta.compressibility(), 1.0);
+}
+
+
+TEST(WriterReaderTest, ReadColumnsProjectsSubset)
+{
+    Table t = makeTestTable(3000);
+    WriterOptions options;
+    options.rowGroupRows = 1000;
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+    auto reader = FileReader::open(Slice(written.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+
+    auto projected = reader.value().readColumns({"price", "id"});
+    ASSERT_TRUE(projected.isOk()) << projected.status().toString();
+    ASSERT_EQ(projected.value().numColumns(), 2u);
+    EXPECT_EQ(projected.value().schema().column(0).name, "price");
+    EXPECT_EQ(projected.value().schema().column(1).name, "id");
+    EXPECT_TRUE(projected.value().column(0) == t.column(2));
+    EXPECT_TRUE(projected.value().column(1) == t.column(0));
+
+    EXPECT_FALSE(reader.value().readColumns({"missing"}).isOk());
+}
+
+// Property: round trip holds across row-group sizes including 1 and
+// sizes larger than the table.
+class RowGroupSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RowGroupSweep, RoundTrip)
+{
+    Table t = makeTestTable(700);
+    WriterOptions options;
+    options.rowGroupRows = GetParam();
+    auto written = writeTable(t, options);
+    ASSERT_TRUE(written.isOk());
+    auto reader = FileReader::open(Slice(written.value().bytes));
+    ASSERT_TRUE(reader.isOk());
+    auto back = reader.value().readTable();
+    ASSERT_TRUE(back.isOk());
+    for (size_t c = 0; c < t.numColumns(); ++c)
+        EXPECT_TRUE(back.value().column(c) == t.column(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RowGroupSweep,
+                         ::testing::Values(1, 7, 100, 699, 700, 10000));
+
+} // namespace
+} // namespace fusion::format

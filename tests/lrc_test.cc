@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the Locally Repairable Code extension: encode/reconstruct,
+ * local-repair behavior, repair locality, and undecodable-pattern
+ * detection.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "ec/lrc.h"
+
+namespace fusion::ec {
+namespace {
+
+std::vector<Bytes>
+randomBlocks(size_t count, size_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Bytes> blocks(count, Bytes(size));
+    for (auto &block : blocks)
+        for (auto &b : block)
+            b = static_cast<uint8_t>(rng.next());
+    return blocks;
+}
+
+std::vector<std::optional<Bytes>>
+encodeAll(const LrcCode &code, const std::vector<Bytes> &data)
+{
+    std::vector<Slice> views(data.begin(), data.end());
+    auto parity = code.encodeParity(views);
+    std::vector<std::optional<Bytes>> shards;
+    for (const auto &block : data)
+        shards.emplace_back(block);
+    for (auto &block : parity)
+        shards.emplace_back(std::move(block));
+    return shards;
+}
+
+TEST(LrcTest, CreateValidatesParameters)
+{
+    EXPECT_FALSE(LrcCode::create(0, 1, 1).isOk());
+    EXPECT_FALSE(LrcCode::create(6, 4, 2).isOk()); // l does not divide k
+    EXPECT_FALSE(LrcCode::create(250, 5, 5).isOk());
+    auto code = LrcCode::create(6, 2, 2);
+    ASSERT_TRUE(code.isOk());
+    EXPECT_EQ(code.value().n(), 10u);
+    EXPECT_EQ(code.value().groupSize(), 3u);
+}
+
+TEST(LrcTest, LocalParityIsGroupXor)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 64, 1);
+    auto shards = encodeAll(code, data);
+    for (size_t group = 0; group < 2; ++group) {
+        Bytes expect(64, 0);
+        for (size_t j = 0; j < 3; ++j)
+            for (size_t b = 0; b < 64; ++b)
+                expect[b] ^= data[group * 3 + j][b];
+        EXPECT_EQ(*shards[code.localParityIndex(group)], expect);
+    }
+}
+
+TEST(LrcTest, SingleDataFailureRepairsLocally)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 128, 2);
+    for (size_t lost = 0; lost < 6; ++lost) {
+        auto shards = encodeAll(code, data);
+        shards[lost] = std::nullopt;
+        ASSERT_TRUE(code.reconstruct(shards, 128).isOk());
+        EXPECT_EQ(*shards[lost], data[lost]) << "lost " << lost;
+        // Repair locality: a data block needs only groupSize reads.
+        EXPECT_EQ(code.repairReadCount(lost), 3u);
+    }
+    // Global parity repair needs k reads.
+    EXPECT_EQ(code.repairReadCount(8), 6u);
+    EXPECT_EQ(code.repairReadCount(9), 6u);
+}
+
+TEST(LrcTest, LostLocalParityRebuilds)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 64, 3);
+    auto pristine = encodeAll(code, data);
+    auto shards = pristine;
+    shards[code.localParityIndex(0)] = std::nullopt;
+    shards[code.localParityIndex(1)] = std::nullopt;
+    ASSERT_TRUE(code.reconstruct(shards, 64).isOk());
+    for (size_t i = 0; i < code.n(); ++i)
+        EXPECT_EQ(*shards[i], *pristine[i]) << i;
+}
+
+TEST(LrcTest, MultiFailureGlobalRecovery)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 96, 4);
+    auto pristine = encodeAll(code, data);
+
+    // Three failures spread so local repair alone cannot fix them all:
+    // two data blocks in group 0 and one global parity.
+    auto shards = pristine;
+    shards[0] = std::nullopt;
+    shards[1] = std::nullopt;
+    shards[8] = std::nullopt;
+    ASSERT_TRUE(code.reconstruct(shards, 96).isOk());
+    for (size_t i = 0; i < code.n(); ++i)
+        EXPECT_EQ(*shards[i], *pristine[i]) << i;
+}
+
+TEST(LrcTest, RandomDecodablePatterns)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 64, 5);
+    auto pristine = encodeAll(code, data);
+    Rng rng(6);
+    size_t decodable = 0, undecodable = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto shards = pristine;
+        // Erase up to 4 random blocks (l + g = 4 is the max tolerable).
+        std::vector<size_t> ids(code.n());
+        std::iota(ids.begin(), ids.end(), 0);
+        rng.shuffle(ids);
+        size_t erasures = 1 + rng.pickIndex(4);
+        for (size_t e = 0; e < erasures; ++e)
+            shards[ids[e]] = std::nullopt;
+
+        Status status = code.reconstruct(shards, 64);
+        if (status.isOk()) {
+            ++decodable;
+            for (size_t i = 0; i < code.n(); ++i)
+                EXPECT_EQ(*shards[i], *pristine[i]);
+        } else {
+            ++undecodable;
+            EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+    }
+    // Most patterns up to 4 erasures decode; up to 3 always do for this
+    // construction in practice.
+    EXPECT_GT(decodable, 150u);
+}
+
+TEST(LrcTest, ThreeErasuresAlwaysDecode)
+{
+    // LRC(6,2,2) tolerates any 3 erasures (distance 4).
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 32, 7);
+    auto pristine = encodeAll(code, data);
+    const size_t n = code.n();
+    for (size_t a = 0; a < n; ++a) {
+        for (size_t b = a + 1; b < n; ++b) {
+            for (size_t c = b + 1; c < n; ++c) {
+                auto shards = pristine;
+                shards[a] = shards[b] = shards[c] = std::nullopt;
+                ASSERT_TRUE(code.reconstruct(shards, 32).isOk())
+                    << a << "," << b << "," << c;
+                for (size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(*shards[i], *pristine[i]);
+            }
+        }
+    }
+}
+
+TEST(LrcTest, TooManyErasuresDetected)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    auto data = randomBlocks(6, 32, 8);
+    auto shards = encodeAll(code, data);
+    // Five erasures exceed l + g: never decodable.
+    for (size_t i = 0; i < 5; ++i)
+        shards[i] = std::nullopt;
+    EXPECT_EQ(code.reconstruct(shards, 32).code(),
+              StatusCode::kUnavailable);
+}
+
+TEST(LrcTest, VariableSizeBlocks)
+{
+    auto code = LrcCode::create(6, 2, 2).value();
+    Rng rng(9);
+    std::vector<Bytes> data;
+    for (size_t size : {100u, 20u, 80u, 100u, 1u, 50u}) {
+        Bytes block(size);
+        for (auto &b : block)
+            b = static_cast<uint8_t>(rng.next());
+        data.push_back(std::move(block));
+    }
+    std::vector<Slice> views(data.begin(), data.end());
+    auto parity = code.encodeParity(views);
+    for (const auto &block : parity)
+        EXPECT_EQ(block.size(), 100u);
+
+    // Zero-extend data shards and verify recovery of a short block.
+    std::vector<std::optional<Bytes>> shards;
+    for (const auto &block : data) {
+        Bytes padded = block;
+        padded.resize(100, 0);
+        shards.emplace_back(std::move(padded));
+    }
+    for (auto &block : parity)
+        shards.emplace_back(std::move(block));
+    shards[1] = std::nullopt; // the 20-byte block
+    shards[4] = std::nullopt; // the 1-byte block
+    ASSERT_TRUE(code.reconstruct(shards, 100).isOk());
+    EXPECT_TRUE(std::equal(data[1].begin(), data[1].end(),
+                           shards[1]->begin()));
+    EXPECT_TRUE(std::equal(data[4].begin(), data[4].end(),
+                           shards[4]->begin()));
+}
+
+TEST(LrcTest, Azure1222Configuration)
+{
+    auto code = LrcCode::create(12, 2, 2).value();
+    EXPECT_EQ(code.n(), 16u);
+    EXPECT_EQ(code.groupSize(), 6u);
+    auto data = randomBlocks(12, 64, 10);
+    auto pristine = encodeAll(code, data);
+    auto shards = pristine;
+    shards[3] = std::nullopt;
+    ASSERT_TRUE(code.reconstruct(shards, 64).isOk());
+    EXPECT_EQ(*shards[3], data[3]);
+    EXPECT_EQ(code.repairReadCount(3), 6u); // half of RS(16,12)'s 12
+}
+
+} // namespace
+} // namespace fusion::ec

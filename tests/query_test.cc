@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit tests for src/query: bitmaps, predicate evaluation, zone maps,
+ * row selection, aggregates, the Cost Equation and the SQL parser.
+ */
+#include <gtest/gtest.h>
+
+#include "format/column.h"
+#include "query/ast.h"
+#include "query/bitmap.h"
+#include "query/cost.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace fusion::query {
+namespace {
+
+using format::ColumnData;
+using format::PhysicalType;
+using format::Value;
+
+TEST(BitmapTest, SetTestCount)
+{
+    Bitmap b(130);
+    EXPECT_EQ(b.count(), 0u);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 3u);
+    b.clear(64);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitmapTest, InitialAllOnesMasksTail)
+{
+    Bitmap b(70, true);
+    EXPECT_EQ(b.count(), 70u);
+    EXPECT_DOUBLE_EQ(b.selectivity(), 1.0);
+}
+
+TEST(BitmapTest, IntersectAndUnion)
+{
+    Bitmap a(10), b(10);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    Bitmap i = a;
+    i.intersect(b);
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+    Bitmap u = a;
+    u.unionWith(b);
+    EXPECT_EQ(u.count(), 3u);
+}
+
+TEST(BitmapTest, SerdeRoundTrip)
+{
+    Bitmap b(100);
+    for (size_t i = 0; i < 100; i += 7)
+        b.set(i);
+    auto back = Bitmap::fromBytes(Slice(b.toBytes()));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_TRUE(back.value() == b);
+}
+
+TEST(BitmapTest, CorruptTailBitsRejected)
+{
+    Bitmap b(65);
+    Bytes bytes = b.toBytes();
+    bytes.back() |= 0x80; // set a bit beyond size 65 in the last word
+    EXPECT_EQ(Bitmap::fromBytes(Slice(bytes)).status().code(),
+              StatusCode::kCorruption);
+}
+
+TEST(BitmapTest, SparseBitmapCompressesWell)
+{
+    Bitmap sparse(100000);
+    sparse.set(5);
+    EXPECT_LT(sparse.compressedWireSize(), 2000u);
+}
+
+ColumnData
+intColumn(std::initializer_list<int64_t> values)
+{
+    ColumnData col(PhysicalType::kInt64);
+    for (int64_t v : values)
+        col.append(v);
+    return col;
+}
+
+TEST(EvalTest, AllComparisonOps)
+{
+    ColumnData col = intColumn({1, 2, 3, 4, 5});
+    struct Case {
+        CompareOp op;
+        size_t expect;
+    };
+    for (const auto &[op, expect] :
+         {Case{CompareOp::kLt, 2}, Case{CompareOp::kLe, 3},
+          Case{CompareOp::kGt, 2}, Case{CompareOp::kGe, 3},
+          Case{CompareOp::kEq, 1}, Case{CompareOp::kNe, 4}}) {
+        auto bm = evalPredicate(col, op, Value::ofInt64(3));
+        ASSERT_TRUE(bm.isOk());
+        EXPECT_EQ(bm.value().count(), expect)
+            << compareOpName(op);
+    }
+}
+
+TEST(EvalTest, StringPredicates)
+{
+    ColumnData col(PhysicalType::kString);
+    for (const char *s : {"apple", "banana", "cherry"})
+        col.append(std::string(s));
+    auto bm = evalPredicate(col, CompareOp::kEq, Value::ofString("banana"));
+    ASSERT_TRUE(bm.isOk());
+    EXPECT_EQ(bm.value().count(), 1u);
+    EXPECT_TRUE(bm.value().test(1));
+    auto lt = evalPredicate(col, CompareOp::kLt, Value::ofString("b"));
+    ASSERT_TRUE(lt.isOk());
+    EXPECT_EQ(lt.value().count(), 1u);
+}
+
+TEST(EvalTest, CrossNumericTypes)
+{
+    ColumnData col(PhysicalType::kDouble);
+    col.append(1.5);
+    col.append(2.5);
+    auto bm = evalPredicate(col, CompareOp::kGt, Value::ofInt64(2));
+    ASSERT_TRUE(bm.isOk());
+    EXPECT_EQ(bm.value().count(), 1u);
+}
+
+TEST(EvalTest, TypeMismatchRejected)
+{
+    ColumnData col = intColumn({1, 2});
+    EXPECT_FALSE(
+        evalPredicate(col, CompareOp::kEq, Value::ofString("x")).isOk());
+    ColumnData strings(PhysicalType::kString);
+    strings.append(std::string("a"));
+    EXPECT_FALSE(
+        evalPredicate(strings, CompareOp::kLt, Value::ofInt64(1)).isOk());
+}
+
+format::ChunkMeta
+chunkWithRange(int64_t min_v, int64_t max_v)
+{
+    format::ChunkMeta meta;
+    meta.minValue = Value::ofInt64(min_v);
+    meta.maxValue = Value::ofInt64(max_v);
+    return meta;
+}
+
+TEST(ZoneMapTest, PruningIsSoundAndEffective)
+{
+    format::ChunkMeta meta = chunkWithRange(10, 20);
+    // Definitely no match.
+    EXPECT_FALSE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kLt, Value::ofInt64(10)}));
+    EXPECT_FALSE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kGt, Value::ofInt64(20)}));
+    EXPECT_FALSE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kEq, Value::ofInt64(25)}));
+    // Possible matches.
+    EXPECT_TRUE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kLe, Value::ofInt64(10)}));
+    EXPECT_TRUE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kEq, Value::ofInt64(15)}));
+    EXPECT_TRUE(zoneMapMayMatch(
+        meta, {"c", CompareOp::kNe, Value::ofInt64(15)}));
+    // Ne on an all-equal chunk equal to the literal is prunable.
+    format::ChunkMeta constant = chunkWithRange(7, 7);
+    EXPECT_FALSE(zoneMapMayMatch(
+        constant, {"c", CompareOp::kNe, Value::ofInt64(7)}));
+}
+
+// Zone maps must never prune a chunk that contains a matching row.
+class ZoneMapProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ZoneMapProperty, NoFalseNegatives)
+{
+    ColumnData col = intColumn({12, 15, 18, 12, 20, 10});
+    format::ChunkMeta meta = chunkWithRange(10, 20);
+    int64_t literal = GetParam();
+    for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                         CompareOp::kGe, CompareOp::kEq, CompareOp::kNe}) {
+        Predicate pred{"c", op, Value::ofInt64(literal)};
+        auto bm = evalPredicate(col, op, pred.literal);
+        ASSERT_TRUE(bm.isOk());
+        if (bm.value().count() > 0)
+            EXPECT_TRUE(zoneMapMayMatch(meta, pred))
+                << compareOpName(op) << " " << literal;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Literals, ZoneMapProperty,
+                         ::testing::Values(5, 9, 10, 12, 15, 20, 21, 30));
+
+TEST(SelectRowsTest, PicksSetBits)
+{
+    ColumnData col = intColumn({10, 20, 30, 40});
+    Bitmap rows(4);
+    rows.set(1);
+    rows.set(3);
+    ColumnData out = selectRows(col, rows);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.int64s()[0], 20);
+    EXPECT_EQ(out.int64s()[1], 40);
+}
+
+TEST(AggregateTest, AllKinds)
+{
+    ColumnData col = intColumn({1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(
+        computeAggregate(AggregateKind::kCount, col).value(), 4.0);
+    EXPECT_DOUBLE_EQ(computeAggregate(AggregateKind::kSum, col).value(),
+                     10.0);
+    EXPECT_DOUBLE_EQ(computeAggregate(AggregateKind::kAvg, col).value(),
+                     2.5);
+    EXPECT_DOUBLE_EQ(computeAggregate(AggregateKind::kMin, col).value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(computeAggregate(AggregateKind::kMax, col).value(),
+                     4.0);
+}
+
+TEST(AggregateTest, StringNumericAggregateRejected)
+{
+    ColumnData col(PhysicalType::kString);
+    col.append(std::string("a"));
+    EXPECT_FALSE(computeAggregate(AggregateKind::kSum, col).isOk());
+    EXPECT_TRUE(computeAggregate(AggregateKind::kCount, col).isOk());
+}
+
+TEST(CostModelTest, CostEquationBoundary)
+{
+    format::ChunkMeta chunk;
+    chunk.plainSize = 1000;
+    chunk.storedSize = 100; // compressibility 10
+    EXPECT_TRUE(decideProjectionPushdown(0.05, chunk).push);  // 0.5 < 1
+    EXPECT_FALSE(decideProjectionPushdown(0.15, chunk).push); // 1.5 > 1
+    auto d = decideProjectionPushdown(0.2, chunk);
+    EXPECT_DOUBLE_EQ(d.compressibility, 10.0);
+    EXPECT_DOUBLE_EQ(d.product(), 2.0);
+}
+
+TEST(ParserTest, SimpleSelect)
+{
+    auto q = parseQuery("SELECT a, b FROM tbl WHERE c < 5 AND d = 'x'");
+    ASSERT_TRUE(q.isOk()) << q.status().toString();
+    EXPECT_EQ(q.value().table, "tbl");
+    ASSERT_EQ(q.value().projections.size(), 2u);
+    EXPECT_EQ(q.value().projections[0].column, "a");
+    ASSERT_EQ(q.value().filters.size(), 2u);
+    EXPECT_EQ(q.value().filters[0].op, CompareOp::kLt);
+    EXPECT_TRUE(q.value().filters[0].literal == Value::ofInt64(5));
+    EXPECT_TRUE(q.value().filters[1].literal == Value::ofString("x"));
+}
+
+TEST(ParserTest, Aggregates)
+{
+    auto q = parseQuery(
+        "select count(*), avg(fare), SUM(total) from taxi");
+    ASSERT_TRUE(q.isOk()) << q.status().toString();
+    ASSERT_EQ(q.value().projections.size(), 3u);
+    EXPECT_TRUE(q.value().projections[0].isCountStar());
+    EXPECT_EQ(q.value().projections[1].aggregate, AggregateKind::kAvg);
+    EXPECT_EQ(q.value().projections[1].column, "fare");
+    EXPECT_EQ(q.value().projections[2].aggregate, AggregateKind::kSum);
+}
+
+TEST(ParserTest, StarProjection)
+{
+    auto q = parseQuery("SELECT * FROM t WHERE x >= 1.5");
+    ASSERT_TRUE(q.isOk());
+    ASSERT_EQ(q.value().projections.size(), 1u);
+    EXPECT_EQ(q.value().projections[0].column, kStarProjection);
+    EXPECT_TRUE(q.value().filters[0].literal == Value::ofDouble(1.5));
+}
+
+TEST(ParserTest, AllOperators)
+{
+    struct Case {
+        const char *text;
+        CompareOp op;
+    };
+    for (const auto &[text, op] :
+         {Case{"<", CompareOp::kLt}, Case{"<=", CompareOp::kLe},
+          Case{">", CompareOp::kGt}, Case{">=", CompareOp::kGe},
+          Case{"=", CompareOp::kEq}, Case{"==", CompareOp::kEq},
+          Case{"!=", CompareOp::kNe}, Case{"<>", CompareOp::kNe}}) {
+        std::string sql =
+            std::string("SELECT a FROM t WHERE a ") + text + " 3";
+        auto q = parseQuery(sql);
+        ASSERT_TRUE(q.isOk()) << sql;
+        EXPECT_EQ(q.value().filters[0].op, op) << sql;
+    }
+}
+
+TEST(ParserTest, NegativeAndFloatLiterals)
+{
+    auto q = parseQuery("SELECT a FROM t WHERE a > -42 AND b < 3.5e2");
+    ASSERT_TRUE(q.isOk());
+    EXPECT_TRUE(q.value().filters[0].literal == Value::ofInt64(-42));
+    EXPECT_TRUE(q.value().filters[1].literal == Value::ofDouble(350.0));
+}
+
+TEST(ParserTest, SyntaxErrors)
+{
+    EXPECT_FALSE(parseQuery("").isOk());
+    EXPECT_FALSE(parseQuery("SELECT FROM t").isOk());
+    EXPECT_FALSE(parseQuery("SELECT a").isOk());
+    EXPECT_FALSE(parseQuery("SELECT a FROM t WHERE").isOk());
+    EXPECT_FALSE(parseQuery("SELECT a FROM t WHERE a ~ 3").isOk());
+    EXPECT_FALSE(parseQuery("SELECT a FROM t WHERE a < 'open").isOk());
+    EXPECT_FALSE(parseQuery("SELECT a FROM t trailing").isOk());
+    EXPECT_FALSE(parseQuery("SELECT sum(*) FROM t").isOk());
+}
+
+TEST(ParserTest, KeywordsAreNotIdentifierPrefixes)
+{
+    // "FROMx" must not parse as FROM + x.
+    EXPECT_FALSE(parseQuery("SELECT a FROMx t").isOk());
+    // Columns that merely start with a keyword are fine.
+    auto q = parseQuery("SELECT summary FROM t WHERE counter < 1");
+    ASSERT_TRUE(q.isOk());
+    EXPECT_EQ(q.value().projections[0].column, "summary");
+    EXPECT_EQ(q.value().filters[0].column, "counter");
+}
+
+TEST(AstTest, ToStringRoundTripsThroughParser)
+{
+    auto q = parseQuery(
+        "SELECT l_quantity, AVG(fare) FROM t WHERE a < 5 AND b = 'x'");
+    ASSERT_TRUE(q.isOk());
+    auto q2 = parseQuery(q.value().toString());
+    ASSERT_TRUE(q2.isOk()) << q.value().toString();
+    EXPECT_EQ(q2.value().toString(), q.value().toString());
+}
+
+TEST(AstTest, DistinctColumnLists)
+{
+    Query q;
+    q.projections.push_back({"a", AggregateKind::kNone});
+    q.projections.push_back({"a", AggregateKind::kSum});
+    q.projections.push_back({"b", AggregateKind::kNone});
+    q.projections.push_back({"", AggregateKind::kCount});
+    q.filters.push_back({"a", CompareOp::kLt, Value::ofInt64(1)});
+    q.filters.push_back({"c", CompareOp::kGt, Value::ofInt64(1)});
+    q.filters.push_back({"a", CompareOp::kNe, Value::ofInt64(5)});
+    EXPECT_EQ(q.projectionColumns(),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(q.filterColumns(), (std::vector<std::string>{"a", "c"}));
+}
+
+} // namespace
+} // namespace fusion::query

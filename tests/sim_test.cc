@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for src/sim: event ordering, queued resources (single and
+ * multi-server), joins, cluster transfers and utilization accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "sim/node.h"
+#include "sim/resource.h"
+
+namespace fusion::sim {
+namespace {
+
+TEST(SimEngineTest, EventsFireInTimeOrder)
+{
+    SimEngine engine;
+    std::vector<int> order;
+    engine.schedule(3.0, [&] { order.push_back(3); });
+    engine.schedule(1.0, [&] { order.push_back(1); });
+    engine.schedule(2.0, [&] { order.push_back(2); });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+    EXPECT_EQ(engine.eventsProcessed(), 3u);
+}
+
+TEST(SimEngineTest, EqualTimesFireInScheduleOrder)
+{
+    SimEngine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        engine.schedule(1.0, [&order, i] { order.push_back(i); });
+    engine.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngineTest, EventsCanScheduleMoreEvents)
+{
+    SimEngine engine;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            engine.schedule(1.0, chain);
+    };
+    engine.schedule(0.0, chain);
+    engine.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline)
+{
+    SimEngine engine;
+    int fired = 0;
+    engine.schedule(1.0, [&] { ++fired; });
+    engine.schedule(5.0, [&] { ++fired; });
+    engine.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+    engine.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimResourceTest, SingleServerSerializesRequests)
+{
+    SimEngine engine;
+    SimResource resource(engine, "disk", 100.0); // 100 units/s
+    std::vector<double> completions;
+    // Three 100-unit requests issued together take 1, 2, 3 seconds.
+    for (int i = 0; i < 3; ++i)
+        resource.acquire(100.0,
+                         [&] { completions.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_DOUBLE_EQ(completions[0], 1.0);
+    EXPECT_DOUBLE_EQ(completions[1], 2.0);
+    EXPECT_DOUBLE_EQ(completions[2], 3.0);
+    EXPECT_DOUBLE_EQ(resource.workServed(), 300.0);
+    EXPECT_DOUBLE_EQ(resource.busySeconds(), 3.0);
+}
+
+TEST(SimResourceTest, MultiServerRunsInParallel)
+{
+    SimEngine engine;
+    SimResource resource(engine, "cpu", 100.0, 3);
+    std::vector<double> completions;
+    for (int i = 0; i < 3; ++i)
+        resource.acquire(100.0,
+                         [&] { completions.push_back(engine.now()); });
+    engine.run();
+    for (double t : completions)
+        EXPECT_DOUBLE_EQ(t, 1.0);
+    // A fourth request queues behind the earliest-free server.
+    resource.acquire(100.0, [&] { completions.push_back(engine.now()); });
+    engine.run();
+    EXPECT_DOUBLE_EQ(completions.back(), 2.0);
+}
+
+TEST(SimResourceTest, ExtraLatencyAdds)
+{
+    SimEngine engine;
+    SimResource resource(engine, "nic", 1000.0);
+    double done_at = -1;
+    resource.acquire(500.0, 0.25, [&] { done_at = engine.now(); });
+    engine.run();
+    EXPECT_DOUBLE_EQ(done_at, 0.75);
+}
+
+TEST(SimResourceTest, ZeroWorkCompletesImmediately)
+{
+    SimEngine engine;
+    SimResource resource(engine, "nic", 1000.0);
+    bool done = false;
+    resource.acquire(0.0, [&] { done = true; });
+    engine.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(SimResourceTest, UtilizationFraction)
+{
+    SimEngine engine;
+    SimResource resource(engine, "disk", 100.0, 2);
+    resource.acquire(100.0, [] {});
+    engine.run();
+    engine.schedule(1.0, [] {}); // idle second
+    engine.run();
+    // 1 busy server-second over 2 seconds x 2 servers = 0.25.
+    EXPECT_DOUBLE_EQ(resource.utilization(engine.now()), 0.25);
+}
+
+TEST(JoinTest, FiresAfterAllSignals)
+{
+    bool fired = false;
+    auto join = std::make_shared<Join>(3, [&] { fired = true; });
+    join->signal();
+    join->signal();
+    EXPECT_FALSE(fired);
+    join->signal();
+    EXPECT_TRUE(fired);
+}
+
+TEST(JoinTest, ZeroExpectedFiresImmediately)
+{
+    bool fired = false;
+    Join join(0, [&] { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+TEST(ClusterTest, TransferTimingAndTraffic)
+{
+    ClusterConfig config;
+    config.numNodes = 3;
+    config.node.nicBandwidth = 1000.0; // bytes/s
+    config.node.rpcLatency = 0.1;
+    Cluster cluster(config);
+
+    double done_at = -1;
+    cluster.transfer(cluster.node(0), cluster.node(1), 500,
+                     [&] { done_at = cluster.engine().now(); });
+    cluster.engine().run();
+    // Egress 0.5 s + wire 0.1 s + ingress 0.5 s.
+    EXPECT_NEAR(done_at, 1.1, 1e-9);
+    EXPECT_EQ(cluster.totalNetworkBytes(), 500u);
+}
+
+TEST(ClusterTest, ConcurrentTransfersShareNics)
+{
+    ClusterConfig config;
+    config.numNodes = 3;
+    config.node.nicBandwidth = 1000.0;
+    config.node.rpcLatency = 0.0;
+    Cluster cluster(config);
+
+    std::vector<double> done;
+    // Two transfers out of node 0 contend on its egress NIC.
+    cluster.transfer(cluster.node(0), cluster.node(1), 1000,
+                     [&] { done.push_back(cluster.engine().now()); });
+    cluster.transfer(cluster.node(0), cluster.node(2), 1000,
+                     [&] { done.push_back(cluster.engine().now()); });
+    cluster.engine().run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(done[0], 2.0, 1e-9); // 1s egress queue + 1s ingress
+    EXPECT_NEAR(done[1], 3.0, 1e-9);
+}
+
+TEST(ClusterTest, ChooseNodesDistinct)
+{
+    ClusterConfig config;
+    config.numNodes = 9;
+    Cluster cluster(config);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto nodes = cluster.chooseNodes(9);
+        std::sort(nodes.begin(), nodes.end());
+        for (size_t i = 0; i < nodes.size(); ++i)
+            EXPECT_EQ(nodes[i], i);
+    }
+    auto some = cluster.chooseNodes(4);
+    std::set<size_t> distinct(some.begin(), some.end());
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ClusterTest, CoordinatorHashStableAndSkipsDeadNodes)
+{
+    ClusterConfig config;
+    config.numNodes = 5;
+    Cluster cluster(config);
+    size_t coord = cluster.coordinatorFor("my-object");
+    EXPECT_EQ(cluster.coordinatorFor("my-object"), coord);
+    cluster.killNode(coord);
+    size_t moved = cluster.coordinatorFor("my-object");
+    EXPECT_NE(moved, coord);
+    EXPECT_TRUE(cluster.node(moved).alive());
+    cluster.reviveNode(coord);
+    EXPECT_EQ(cluster.coordinatorFor("my-object"), coord);
+}
+
+TEST(StorageNodeTest, BlockStorage)
+{
+    SimEngine engine;
+    StorageNode node(engine, 0, NodeConfig{});
+    EXPECT_EQ(node.findBlock("a"), nullptr);
+    node.putBlock("a", Bytes{1, 2, 3});
+    ASSERT_NE(node.findBlock("a"), nullptr);
+    EXPECT_EQ(node.findBlock("a")->size(), 3u);
+    EXPECT_EQ(node.storedBytes(), 3u);
+    node.putBlock("a", Bytes{9}); // overwrite adjusts accounting
+    EXPECT_EQ(node.storedBytes(), 1u);
+    EXPECT_TRUE(node.dropBlock("a"));
+    EXPECT_FALSE(node.dropBlock("a"));
+    EXPECT_EQ(node.storedBytes(), 0u);
+}
+
+
+TEST(QueueingTest, StableOpenLoopHasNoQueueing)
+{
+    // D/D/1 with utilization 0.5: every request starts immediately.
+    SimEngine engine;
+    SimResource server(engine, "srv", 1.0);
+    std::vector<double> latencies;
+    for (int i = 0; i < 20; ++i) {
+        engine.scheduleAt(static_cast<double>(i), [&, i] {
+            double issued = engine.now();
+            server.acquire(0.5, [&, issued] {
+                latencies.push_back(engine.now() - issued);
+            });
+        });
+    }
+    engine.run();
+    ASSERT_EQ(latencies.size(), 20u);
+    for (double l : latencies)
+        EXPECT_DOUBLE_EQ(l, 0.5);
+}
+
+TEST(QueueingTest, OverloadedServerQueueGrowsLinearly)
+{
+    // D/D/1 with utilization 2: the i-th request waits ~i * 0.5s.
+    SimEngine engine;
+    SimResource server(engine, "srv", 1.0);
+    std::vector<double> latencies;
+    for (int i = 0; i < 10; ++i) {
+        engine.scheduleAt(static_cast<double>(i) * 0.5, [&, i] {
+            double issued = engine.now();
+            server.acquire(1.0, [&, issued] {
+                latencies.push_back(engine.now() - issued);
+            });
+        });
+    }
+    engine.run();
+    ASSERT_EQ(latencies.size(), 10u);
+    for (size_t i = 1; i < latencies.size(); ++i)
+        EXPECT_GT(latencies[i], latencies[i - 1]);
+    EXPECT_NEAR(latencies.back(), 1.0 + 9 * 0.5, 1e-9);
+}
+
+TEST(QueueingTest, MultiServerAbsorbsBursts)
+{
+    SimEngine engine;
+    SimResource pool(engine, "cpu", 1.0, 4);
+    std::vector<double> done;
+    for (int i = 0; i < 8; ++i)
+        pool.acquire(1.0, [&] { done.push_back(engine.now()); });
+    engine.run();
+    // Two waves of four.
+    EXPECT_DOUBLE_EQ(done[3], 1.0);
+    EXPECT_DOUBLE_EQ(done[7], 2.0);
+}
+
+TEST(ClusterTest, AliveCountTracksFailures)
+{
+    ClusterConfig config;
+    config.numNodes = 4;
+    Cluster cluster(config);
+    EXPECT_EQ(cluster.aliveNodeCount(), 4u);
+    cluster.killNode(1);
+    cluster.killNode(2);
+    EXPECT_EQ(cluster.aliveNodeCount(), 2u);
+    cluster.reviveNode(1);
+    EXPECT_EQ(cluster.aliveNodeCount(), 3u);
+}
+
+} // namespace
+} // namespace fusion::sim

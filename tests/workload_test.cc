@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for src/workload: generator schemas and distributions, encoded
+ * file shapes (Table 3), compression-ratio structure (Fig 6), chunk
+ * models, and query-suite selectivity calibration (Table 4).
+ */
+#include <gtest/gtest.h>
+
+#include "format/reader.h"
+#include "query/eval.h"
+#include "workload/chunk_models.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+#include "workload/taxi.h"
+#include "workload/textsets.h"
+
+namespace fusion::workload {
+namespace {
+
+TEST(LineitemTest, SchemaShape)
+{
+    format::Schema schema = lineitemSchema();
+    EXPECT_EQ(schema.numColumns(), 16u);
+    EXPECT_EQ(schema.column(kComment).name, "l_comment");
+    EXPECT_EQ(schema.column(kShipDate).physical,
+              format::PhysicalType::kInt32);
+}
+
+TEST(LineitemTest, Deterministic)
+{
+    format::Table a = makeLineitemTable(500, 3);
+    format::Table b = makeLineitemTable(500, 3);
+    for (size_t c = 0; c < a.numColumns(); ++c)
+        EXPECT_TRUE(a.column(c) == b.column(c));
+    format::Table c = makeLineitemTable(500, 4);
+    EXPECT_FALSE(a.column(kComment) == c.column(kComment));
+}
+
+TEST(LineitemTest, ValueDomains)
+{
+    format::Table t = makeLineitemTable(2000, 5);
+    ASSERT_TRUE(t.validate().isOk());
+    for (int32_t q : t.column(kQuantity).int32s()) {
+        EXPECT_GE(q, 1);
+        EXPECT_LE(q, 50);
+    }
+    for (double d : t.column(kDiscount).doubles()) {
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 0.10 + 1e-9);
+    }
+    // Order keys are non-decreasing with 1-7 lines per order.
+    const auto &keys = t.column(kOrderKey).int64s();
+    for (size_t i = 1; i < keys.size(); ++i)
+        EXPECT_GE(keys[i], keys[i - 1]);
+    for (const auto &s : t.column(kReturnFlag).strings())
+        EXPECT_TRUE(s == "A" || s == "N" || s == "R");
+    for (const auto &s : t.column(kComment).strings()) {
+        EXPECT_GE(s.size(), 10u);
+        EXPECT_LE(s.size(), 43u);
+    }
+}
+
+TEST(LineitemTest, FileHasTenRowGroups)
+{
+    auto file = buildLineitemFile(3000, 1);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(file.value().metadata.numRowGroups(), 10u);
+    EXPECT_EQ(file.value().metadata.numChunks(), 160u);
+}
+
+TEST(LineitemTest, CompressionRatioShapeMatchesPaper)
+{
+    // Paper Fig 6: median ~9.3, max ~63.5; flags/dates highly
+    // compressible, comment the least; prices modest.
+    auto file = buildLineitemFile(20000, 2);
+    ASSERT_TRUE(file.isOk());
+    const auto &meta = file.value().metadata;
+
+    auto ratio = [&](size_t col) {
+        double total_plain = 0, total_stored = 0;
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+            total_plain += meta.chunk(rg, col).plainSize;
+            total_stored += meta.chunk(rg, col).storedSize;
+        }
+        return total_plain / total_stored;
+    };
+
+    EXPECT_GT(ratio(kReturnFlag), 15.0);
+    EXPECT_GT(ratio(kLineStatus), 15.0);
+    EXPECT_GT(ratio(kDiscount), 5.0);
+    EXPECT_LT(ratio(kComment), 3.0);
+    EXPECT_LT(ratio(kExtendedPrice), 3.0);
+    EXPECT_GT(ratio(kReturnFlag), ratio(kComment));
+}
+
+TEST(LineitemTest, ChunkSizeShapeMatchesPaper)
+{
+    // Comment chunks dominate; flag chunks are tiny (Fig 12 shape).
+    auto file = buildLineitemFile(20000, 2);
+    ASSERT_TRUE(file.isOk());
+    const auto &meta = file.value().metadata;
+    auto stored = [&](size_t col) {
+        uint64_t total = 0;
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg)
+            total += meta.chunk(rg, col).storedSize;
+        return total;
+    };
+    uint64_t comment = stored(kComment);
+    EXPECT_GT(comment, stored(kOrderKey));
+    EXPECT_GT(comment, stored(kExtendedPrice));
+    EXPECT_GT(stored(kExtendedPrice), stored(kReturnFlag) * 10);
+    EXPECT_GT(stored(kPartKey), stored(kLineNumber));
+}
+
+TEST(TaxiTest, SchemaAndRowGroups)
+{
+    EXPECT_EQ(taxiSchema().numColumns(), 20u);
+    auto file = buildTaxiFile(3200, 1);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(file.value().metadata.numRowGroups(), 16u);
+    EXPECT_EQ(file.value().metadata.numChunks(), 320u);
+}
+
+TEST(TaxiTest, FareIsHighlyCompressibleDateIsNot)
+{
+    auto file = buildTaxiFile(20000, 3);
+    ASSERT_TRUE(file.isOk());
+    const auto &meta = file.value().metadata;
+    auto ratio = [&](size_t col) {
+        double plain = 0, stored = 0;
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+            plain += meta.chunk(rg, col).plainSize;
+            stored += meta.chunk(rg, col).storedSize;
+        }
+        return plain / stored;
+    };
+    // Paper: fare compression ~152, the Q3/Q4 filter (timestamp) ~1.6.
+    // Shape requirement: fare >> timestamp.
+    EXPECT_GT(ratio(kFareAmount), 12.0);
+    EXPECT_LT(ratio(kPickupTime), 3.0);
+    EXPECT_GT(ratio(kFareAmount), 4 * ratio(kPickupTime));
+    EXPECT_GT(ratio(kMtaTax), 100.0); // constant column
+}
+
+TEST(TaxiTest, TripInvariants)
+{
+    format::Table t = makeTaxiTable(2000, 5);
+    ASSERT_TRUE(t.validate().isOk());
+    const auto &pickup = t.column(kPickupTime).int64s();
+    const auto &dropoff = t.column(kDropoffTime).int64s();
+    for (size_t i = 0; i < pickup.size(); ++i)
+        EXPECT_GT(dropoff[i], pickup[i]);
+    for (double f : t.column(kFareAmount).doubles()) {
+        EXPECT_GE(f, 2.5);
+        EXPECT_LE(f, 52.0);
+    }
+    // Dates are approximately sorted (time order with a little jitter).
+    const auto &days = t.column(kPickupDate).int32s();
+    for (size_t i = 1; i < days.size(); ++i)
+        EXPECT_GE(days[i], days[i - 1] - 9);
+}
+
+TEST(TextsetsTest, RecipeShape)
+{
+    EXPECT_EQ(recipeSchema().numColumns(), 7u);
+    auto file = buildRecipeFile(1200, 1);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(file.value().metadata.numChunks(), 84u);
+    // directions is the big text column.
+    const auto &meta = file.value().metadata;
+    uint64_t directions = 0, id = 0;
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        directions += meta.chunk(rg, 3).storedSize;
+        id += meta.chunk(rg, 0).storedSize;
+    }
+    EXPECT_GT(directions, id * 3);
+}
+
+TEST(TextsetsTest, UkppShape)
+{
+    EXPECT_EQ(ukppSchema().numColumns(), 16u);
+    auto file = buildUkppFile(1500, 1);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(file.value().metadata.numChunks(), 240u);
+}
+
+TEST(ChunkModelTest, LineitemModelMatchesPaperScale)
+{
+    auto chunks = lineitemChunkModel(1);
+    EXPECT_EQ(chunks.size(), 160u);
+    uint64_t total = modelTotalBytes(chunks);
+    // ~10 GB +- jitter.
+    EXPECT_GT(total, 9'500'000'000ULL);
+    EXPECT_LT(total, 11'500'000'000ULL);
+    // Extents are contiguous from offset 0.
+    uint64_t cursor = 0;
+    for (const auto &chunk : chunks) {
+        EXPECT_EQ(chunk.offset, cursor);
+        cursor += chunk.size;
+    }
+}
+
+TEST(ChunkModelTest, OtherModelsMatchTable3)
+{
+    EXPECT_EQ(taxiChunkModel(1).size(), 320u);
+    EXPECT_NEAR(modelTotalBytes(taxiChunkModel(1)) / 1e9, 6.9, 1.5);
+    EXPECT_EQ(recipeChunkModel(1).size(), 84u);
+    EXPECT_NEAR(modelTotalBytes(recipeChunkModel(1)) / 1e9, 0.98, 0.25);
+    EXPECT_EQ(ukppChunkModel(1).size(), 240u);
+    EXPECT_NEAR(modelTotalBytes(ukppChunkModel(1)) / 1e9, 1.35, 0.35);
+}
+
+TEST(ChunkModelTest, ZipfModelBoundsAndSkew)
+{
+    auto uniform = zipfChunkModel(1000, 0.0, 7);
+    auto skewed = zipfChunkModel(1000, 0.99, 7);
+    for (const auto &chunks : {uniform, skewed}) {
+        for (const auto &chunk : chunks) {
+            EXPECT_GE(chunk.size, 1'000'000u);
+            EXPECT_LE(chunk.size, 100'000'000u);
+        }
+    }
+    // Skewed model has a much smaller mean (mass on rank 1 = 1 MB).
+    EXPECT_LT(modelTotalBytes(skewed), modelTotalBytes(uniform) / 2);
+}
+
+TEST(QuerySuiteTest, QuantileLiteral)
+{
+    format::ColumnData col(format::PhysicalType::kInt64);
+    for (int64_t i = 0; i < 100; ++i)
+        col.append(i);
+    EXPECT_TRUE(quantileLiteral(col, 0.0) == format::Value::ofInt64(0));
+    EXPECT_TRUE(quantileLiteral(col, 0.5) ==
+                format::Value::ofInt64(49));
+    EXPECT_TRUE(quantileLiteral(col, 1.0) ==
+                format::Value::ofInt64(99));
+}
+
+TEST(QuerySuiteTest, MicrobenchSelectivityCalibrated)
+{
+    format::Table t = makeLineitemTable(20000, 13);
+    auto q = microbenchQuery("lineitem", "l_extendedprice",
+                             t.column(kExtendedPrice), 0.01);
+    ASSERT_EQ(q.filters.size(), 1u);
+    // Count matching rows directly.
+    uint64_t matched = 0;
+    for (double v : t.column(kExtendedPrice).doubles())
+        matched += (v < q.filters[0].literal.numeric()) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(matched) / t.numRows(), 0.01, 0.003);
+}
+
+TEST(QuerySuiteTest, Table4Selectivities)
+{
+    const size_t rows = 30000;
+    format::Table lineitem = makeLineitemTable(rows, 17);
+    format::Table taxi = makeTaxiTable(rows, 17);
+
+    auto count_matches = [&](const format::Table &t,
+                             const query::Query &q) {
+        uint64_t matched = 0;
+        for (size_t i = 0; i < t.numRows(); ++i) {
+            bool all = true;
+            for (const auto &pred : q.filters) {
+                size_t col =
+                    t.schema().columnIndex(pred.column).value();
+                all &= query::compareValues(t.column(col).valueAt(i),
+                                            pred.op, pred.literal);
+            }
+            matched += all ? 1 : 0;
+        }
+        return static_cast<double>(matched) / t.numRows();
+    };
+
+    // Paper Table 4: Q1 1.4%, Q2 5.4%, Q3 37.5%, Q4 6.3%.
+    EXPECT_NEAR(count_matches(lineitem, lineitemQ1("l", lineitem)), 0.014,
+                0.006);
+    EXPECT_NEAR(count_matches(lineitem, lineitemQ2("l", lineitem)), 0.054,
+                0.025);
+    EXPECT_NEAR(count_matches(taxi, taxiQ3("t", taxi)), 0.375, 0.02);
+    EXPECT_NEAR(count_matches(taxi, taxiQ4("t", taxi)), 0.063, 0.01);
+
+    // Table 4 shapes: filters and projections per query.
+    EXPECT_EQ(lineitemQ1("l", lineitem).filters.size(), 1u);
+    EXPECT_EQ(lineitemQ1("l", lineitem).projections.size(), 6u);
+    EXPECT_EQ(lineitemQ2("l", lineitem).filters.size(), 3u);
+    EXPECT_EQ(lineitemQ2("l", lineitem).projections.size(), 2u);
+    EXPECT_EQ(taxiQ3("t", taxi).filters.size(), 1u);
+    EXPECT_EQ(taxiQ4("t", taxi).projections.size(), 2u);
+}
+
+} // namespace
+} // namespace fusion::workload
