@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregate.dir/bench_ablation_aggregate.cpp.o"
+  "CMakeFiles/bench_ablation_aggregate.dir/bench_ablation_aggregate.cpp.o.d"
+  "bench_ablation_aggregate"
+  "bench_ablation_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nk.dir/bench_ablation_nk.cpp.o"
+  "CMakeFiles/bench_ablation_nk.dir/bench_ablation_nk.cpp.o.d"
+  "bench_ablation_nk"
+  "bench_ablation_nk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04d_padding.dir/bench_fig04d_padding.cpp.o"
+  "CMakeFiles/bench_fig04d_padding.dir/bench_fig04d_padding.cpp.o.d"
+  "bench_fig04d_padding"
+  "bench_fig04d_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04d_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_spread.dir/bench_fig12_spread.cpp.o"
+  "CMakeFiles/bench_fig12_spread.dir/bench_fig12_spread.cpp.o.d"
+  "bench_fig12_spread"
+  "bench_fig12_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_realworld.dir/bench_fig15_realworld.cpp.o"
+  "CMakeFiles/bench_fig15_realworld.dir/bench_fig15_realworld.cpp.o.d"
+  "bench_fig15_realworld"
+  "bench_fig15_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fac.dir/bench_micro_fac.cpp.o"
+  "CMakeFiles/bench_micro_fac.dir/bench_micro_fac.cpp.o.d"
+  "bench_micro_fac"
+  "bench_micro_fac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_format.dir/bench_micro_format.cpp.o"
+  "CMakeFiles/bench_micro_format.dir/bench_micro_format.cpp.o.d"
+  "bench_micro_format"
+  "bench_micro_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

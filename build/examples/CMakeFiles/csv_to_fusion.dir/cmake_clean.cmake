@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_to_fusion.dir/csv_to_fusion.cpp.o"
+  "CMakeFiles/csv_to_fusion.dir/csv_to_fusion.cpp.o.d"
+  "csv_to_fusion"
+  "csv_to_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_to_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

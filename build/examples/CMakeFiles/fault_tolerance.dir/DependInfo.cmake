@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_tolerance.cpp" "examples/CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o" "gcc" "examples/CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/fusion_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fusion_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/fusion_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fusion_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fac/CMakeFiles/fusion_fac.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fusion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/fusion_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_benchutil.dir/harness.cc.o"
+  "CMakeFiles/fusion_benchutil.dir/harness.cc.o.d"
+  "CMakeFiles/fusion_benchutil.dir/rigs.cc.o"
+  "CMakeFiles/fusion_benchutil.dir/rigs.cc.o.d"
+  "libfusion_benchutil.a"
+  "libfusion_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitpack.cc" "src/codec/CMakeFiles/fusion_codec.dir/bitpack.cc.o" "gcc" "src/codec/CMakeFiles/fusion_codec.dir/bitpack.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/codec/CMakeFiles/fusion_codec.dir/codec.cc.o" "gcc" "src/codec/CMakeFiles/fusion_codec.dir/codec.cc.o.d"
+  "/root/repo/src/codec/rle.cc" "src/codec/CMakeFiles/fusion_codec.dir/rle.cc.o" "gcc" "src/codec/CMakeFiles/fusion_codec.dir/rle.cc.o.d"
+  "/root/repo/src/codec/snappy.cc" "src/codec/CMakeFiles/fusion_codec.dir/snappy.cc.o" "gcc" "src/codec/CMakeFiles/fusion_codec.dir/snappy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

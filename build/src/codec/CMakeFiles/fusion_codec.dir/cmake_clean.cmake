@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_codec.dir/bitpack.cc.o"
+  "CMakeFiles/fusion_codec.dir/bitpack.cc.o.d"
+  "CMakeFiles/fusion_codec.dir/codec.cc.o"
+  "CMakeFiles/fusion_codec.dir/codec.cc.o.d"
+  "CMakeFiles/fusion_codec.dir/rle.cc.o"
+  "CMakeFiles/fusion_codec.dir/rle.cc.o.d"
+  "CMakeFiles/fusion_codec.dir/snappy.cc.o"
+  "CMakeFiles/fusion_codec.dir/snappy.cc.o.d"
+  "libfusion_codec.a"
+  "libfusion_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_common.dir/random.cc.o"
+  "CMakeFiles/fusion_common.dir/random.cc.o.d"
+  "CMakeFiles/fusion_common.dir/serde.cc.o"
+  "CMakeFiles/fusion_common.dir/serde.cc.o.d"
+  "CMakeFiles/fusion_common.dir/stats.cc.o"
+  "CMakeFiles/fusion_common.dir/stats.cc.o.d"
+  "CMakeFiles/fusion_common.dir/status.cc.o"
+  "CMakeFiles/fusion_common.dir/status.cc.o.d"
+  "CMakeFiles/fusion_common.dir/units.cc.o"
+  "CMakeFiles/fusion_common.dir/units.cc.o.d"
+  "libfusion_common.a"
+  "libfusion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

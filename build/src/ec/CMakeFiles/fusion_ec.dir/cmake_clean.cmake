@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_ec.dir/gf256.cc.o"
+  "CMakeFiles/fusion_ec.dir/gf256.cc.o.d"
+  "CMakeFiles/fusion_ec.dir/lrc.cc.o"
+  "CMakeFiles/fusion_ec.dir/lrc.cc.o.d"
+  "CMakeFiles/fusion_ec.dir/matrix.cc.o"
+  "CMakeFiles/fusion_ec.dir/matrix.cc.o.d"
+  "CMakeFiles/fusion_ec.dir/reed_solomon.cc.o"
+  "CMakeFiles/fusion_ec.dir/reed_solomon.cc.o.d"
+  "libfusion_ec.a"
+  "libfusion_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

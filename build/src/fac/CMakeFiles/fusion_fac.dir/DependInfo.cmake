@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fac/fac_layout.cc" "src/fac/CMakeFiles/fusion_fac.dir/fac_layout.cc.o" "gcc" "src/fac/CMakeFiles/fusion_fac.dir/fac_layout.cc.o.d"
+  "/root/repo/src/fac/fixed_layout.cc" "src/fac/CMakeFiles/fusion_fac.dir/fixed_layout.cc.o" "gcc" "src/fac/CMakeFiles/fusion_fac.dir/fixed_layout.cc.o.d"
+  "/root/repo/src/fac/layout.cc" "src/fac/CMakeFiles/fusion_fac.dir/layout.cc.o" "gcc" "src/fac/CMakeFiles/fusion_fac.dir/layout.cc.o.d"
+  "/root/repo/src/fac/oracle_layout.cc" "src/fac/CMakeFiles/fusion_fac.dir/oracle_layout.cc.o" "gcc" "src/fac/CMakeFiles/fusion_fac.dir/oracle_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

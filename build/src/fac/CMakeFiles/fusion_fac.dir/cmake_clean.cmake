@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_fac.dir/fac_layout.cc.o"
+  "CMakeFiles/fusion_fac.dir/fac_layout.cc.o.d"
+  "CMakeFiles/fusion_fac.dir/fixed_layout.cc.o"
+  "CMakeFiles/fusion_fac.dir/fixed_layout.cc.o.d"
+  "CMakeFiles/fusion_fac.dir/layout.cc.o"
+  "CMakeFiles/fusion_fac.dir/layout.cc.o.d"
+  "CMakeFiles/fusion_fac.dir/oracle_layout.cc.o"
+  "CMakeFiles/fusion_fac.dir/oracle_layout.cc.o.d"
+  "libfusion_fac.a"
+  "libfusion_fac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_fac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

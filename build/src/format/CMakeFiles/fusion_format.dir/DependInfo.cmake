@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/bloom.cc" "src/format/CMakeFiles/fusion_format.dir/bloom.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/bloom.cc.o.d"
+  "/root/repo/src/format/chunk_codec.cc" "src/format/CMakeFiles/fusion_format.dir/chunk_codec.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/chunk_codec.cc.o.d"
+  "/root/repo/src/format/column.cc" "src/format/CMakeFiles/fusion_format.dir/column.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/column.cc.o.d"
+  "/root/repo/src/format/csv.cc" "src/format/CMakeFiles/fusion_format.dir/csv.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/csv.cc.o.d"
+  "/root/repo/src/format/metadata.cc" "src/format/CMakeFiles/fusion_format.dir/metadata.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/metadata.cc.o.d"
+  "/root/repo/src/format/reader.cc" "src/format/CMakeFiles/fusion_format.dir/reader.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/reader.cc.o.d"
+  "/root/repo/src/format/types.cc" "src/format/CMakeFiles/fusion_format.dir/types.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/types.cc.o.d"
+  "/root/repo/src/format/value.cc" "src/format/CMakeFiles/fusion_format.dir/value.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/value.cc.o.d"
+  "/root/repo/src/format/writer.cc" "src/format/CMakeFiles/fusion_format.dir/writer.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/fusion_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

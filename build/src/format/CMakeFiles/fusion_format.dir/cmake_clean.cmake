@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_format.dir/bloom.cc.o"
+  "CMakeFiles/fusion_format.dir/bloom.cc.o.d"
+  "CMakeFiles/fusion_format.dir/chunk_codec.cc.o"
+  "CMakeFiles/fusion_format.dir/chunk_codec.cc.o.d"
+  "CMakeFiles/fusion_format.dir/column.cc.o"
+  "CMakeFiles/fusion_format.dir/column.cc.o.d"
+  "CMakeFiles/fusion_format.dir/csv.cc.o"
+  "CMakeFiles/fusion_format.dir/csv.cc.o.d"
+  "CMakeFiles/fusion_format.dir/metadata.cc.o"
+  "CMakeFiles/fusion_format.dir/metadata.cc.o.d"
+  "CMakeFiles/fusion_format.dir/reader.cc.o"
+  "CMakeFiles/fusion_format.dir/reader.cc.o.d"
+  "CMakeFiles/fusion_format.dir/types.cc.o"
+  "CMakeFiles/fusion_format.dir/types.cc.o.d"
+  "CMakeFiles/fusion_format.dir/value.cc.o"
+  "CMakeFiles/fusion_format.dir/value.cc.o.d"
+  "CMakeFiles/fusion_format.dir/writer.cc.o"
+  "CMakeFiles/fusion_format.dir/writer.cc.o.d"
+  "libfusion_format.a"
+  "libfusion_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

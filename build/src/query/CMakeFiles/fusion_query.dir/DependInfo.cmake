@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/fusion_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/fusion_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/bitmap.cc" "src/query/CMakeFiles/fusion_query.dir/bitmap.cc.o" "gcc" "src/query/CMakeFiles/fusion_query.dir/bitmap.cc.o.d"
+  "/root/repo/src/query/eval.cc" "src/query/CMakeFiles/fusion_query.dir/eval.cc.o" "gcc" "src/query/CMakeFiles/fusion_query.dir/eval.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/fusion_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/fusion_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/fusion_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_query.dir/ast.cc.o"
+  "CMakeFiles/fusion_query.dir/ast.cc.o.d"
+  "CMakeFiles/fusion_query.dir/bitmap.cc.o"
+  "CMakeFiles/fusion_query.dir/bitmap.cc.o.d"
+  "CMakeFiles/fusion_query.dir/eval.cc.o"
+  "CMakeFiles/fusion_query.dir/eval.cc.o.d"
+  "CMakeFiles/fusion_query.dir/parser.cc.o"
+  "CMakeFiles/fusion_query.dir/parser.cc.o.d"
+  "libfusion_query.a"
+  "libfusion_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

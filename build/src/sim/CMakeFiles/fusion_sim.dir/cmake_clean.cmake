@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_sim.dir/cluster.cc.o"
+  "CMakeFiles/fusion_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/fusion_sim.dir/engine.cc.o"
+  "CMakeFiles/fusion_sim.dir/engine.cc.o.d"
+  "CMakeFiles/fusion_sim.dir/node.cc.o"
+  "CMakeFiles/fusion_sim.dir/node.cc.o.d"
+  "CMakeFiles/fusion_sim.dir/resource.cc.o"
+  "CMakeFiles/fusion_sim.dir/resource.cc.o.d"
+  "libfusion_sim.a"
+  "libfusion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

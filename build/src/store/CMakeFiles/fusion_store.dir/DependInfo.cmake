@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/baseline_store.cc" "src/store/CMakeFiles/fusion_store.dir/baseline_store.cc.o" "gcc" "src/store/CMakeFiles/fusion_store.dir/baseline_store.cc.o.d"
+  "/root/repo/src/store/fusion_store.cc" "src/store/CMakeFiles/fusion_store.dir/fusion_store.cc.o" "gcc" "src/store/CMakeFiles/fusion_store.dir/fusion_store.cc.o.d"
+  "/root/repo/src/store/manifest.cc" "src/store/CMakeFiles/fusion_store.dir/manifest.cc.o" "gcc" "src/store/CMakeFiles/fusion_store.dir/manifest.cc.o.d"
+  "/root/repo/src/store/object_store.cc" "src/store/CMakeFiles/fusion_store.dir/object_store.cc.o" "gcc" "src/store/CMakeFiles/fusion_store.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/fusion_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fusion_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fac/CMakeFiles/fusion_fac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fusion_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

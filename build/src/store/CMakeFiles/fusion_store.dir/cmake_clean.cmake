@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_store.dir/baseline_store.cc.o"
+  "CMakeFiles/fusion_store.dir/baseline_store.cc.o.d"
+  "CMakeFiles/fusion_store.dir/fusion_store.cc.o"
+  "CMakeFiles/fusion_store.dir/fusion_store.cc.o.d"
+  "CMakeFiles/fusion_store.dir/manifest.cc.o"
+  "CMakeFiles/fusion_store.dir/manifest.cc.o.d"
+  "CMakeFiles/fusion_store.dir/object_store.cc.o"
+  "CMakeFiles/fusion_store.dir/object_store.cc.o.d"
+  "libfusion_store.a"
+  "libfusion_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/chunk_models.cc" "src/workload/CMakeFiles/fusion_workload.dir/chunk_models.cc.o" "gcc" "src/workload/CMakeFiles/fusion_workload.dir/chunk_models.cc.o.d"
+  "/root/repo/src/workload/lineitem.cc" "src/workload/CMakeFiles/fusion_workload.dir/lineitem.cc.o" "gcc" "src/workload/CMakeFiles/fusion_workload.dir/lineitem.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/fusion_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/fusion_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/taxi.cc" "src/workload/CMakeFiles/fusion_workload.dir/taxi.cc.o" "gcc" "src/workload/CMakeFiles/fusion_workload.dir/taxi.cc.o.d"
+  "/root/repo/src/workload/textsets.cc" "src/workload/CMakeFiles/fusion_workload.dir/textsets.cc.o" "gcc" "src/workload/CMakeFiles/fusion_workload.dir/textsets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/fac/CMakeFiles/fusion_fac.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fusion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/fusion_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_workload.dir/chunk_models.cc.o"
+  "CMakeFiles/fusion_workload.dir/chunk_models.cc.o.d"
+  "CMakeFiles/fusion_workload.dir/lineitem.cc.o"
+  "CMakeFiles/fusion_workload.dir/lineitem.cc.o.d"
+  "CMakeFiles/fusion_workload.dir/queries.cc.o"
+  "CMakeFiles/fusion_workload.dir/queries.cc.o.d"
+  "CMakeFiles/fusion_workload.dir/taxi.cc.o"
+  "CMakeFiles/fusion_workload.dir/taxi.cc.o.d"
+  "CMakeFiles/fusion_workload.dir/textsets.cc.o"
+  "CMakeFiles/fusion_workload.dir/textsets.cc.o.d"
+  "libfusion_workload.a"
+  "libfusion_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

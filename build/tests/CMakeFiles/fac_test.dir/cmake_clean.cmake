@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fac_test.dir/fac_test.cc.o"
+  "CMakeFiles/fac_test.dir/fac_test.cc.o.d"
+  "fac_test"
+  "fac_test.pdb"
+  "fac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

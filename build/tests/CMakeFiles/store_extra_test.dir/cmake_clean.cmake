@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_extra_test.dir/store_extra_test.cc.o"
+  "CMakeFiles/store_extra_test.dir/store_extra_test.cc.o.d"
+  "store_extra_test"
+  "store_extra_test.pdb"
+  "store_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
