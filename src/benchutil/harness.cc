@@ -13,6 +13,7 @@ runClosedLoop(store::ObjectStore &store, const RunConfig &config,
     sim::SimEngine &engine = store.cluster().engine();
     double wall_start = engine.now();
     uint64_t traffic_start = store.cluster().totalNetworkBytes();
+    store::ObjectStore::FaultStats faults_start = store.faultStats();
 
     size_t issued = 0;
     auto record = [&](Result<store::QueryOutcome> outcome,
@@ -62,6 +63,14 @@ runClosedLoop(store::ObjectStore &store, const RunConfig &config,
     stats.wallSimSeconds = engine.now() - wall_start;
     stats.networkBytes =
         store.cluster().totalNetworkBytes() - traffic_start;
+    const store::ObjectStore::FaultStats &faults = store.faultStats();
+    stats.readRetries = faults.readRetries - faults_start.readRetries;
+    stats.parityReconstructions = faults.parityReconstructions -
+                                  faults_start.parityReconstructions;
+    stats.pushdownFallbacks =
+        faults.pushdownFallbacks - faults_start.pushdownFallbacks;
+    stats.degradedChunkReads =
+        faults.degradedChunkReads - faults_start.degradedChunkReads;
     stats.meanStorageCpuUtilization =
         store.cluster().meanStorageCpuUtilization();
     FUSION_CHECK(stats.latency.count() == config.totalQueries);

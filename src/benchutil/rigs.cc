@@ -37,6 +37,17 @@ StorePair::onCopy(query::Query q, size_t index) const
     return q;
 }
 
+void
+StorePair::armFaults(const sim::FaultSchedule &schedule)
+{
+    baselineFaults =
+        std::make_unique<sim::FaultInjector>(*baselineCluster, schedule);
+    fusionFaults =
+        std::make_unique<sim::FaultInjector>(*fusionCluster, schedule);
+    baselineFaults->arm();
+    fusionFaults->arm();
+}
+
 StorePair
 makeStorePair(Dataset dataset, const RigOptions &options)
 {

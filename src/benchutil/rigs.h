@@ -15,6 +15,7 @@
 
 #include "format/writer.h"
 #include "harness.h"
+#include "sim/fault.h"
 #include "store/baseline_store.h"
 #include "store/fusion_store.h"
 
@@ -39,9 +40,18 @@ struct StorePair {
     std::unique_ptr<sim::Cluster> fusionCluster;
     std::unique_ptr<store::BaselineStore> baseline;
     std::unique_ptr<store::FusionStore> fusion;
+    std::unique_ptr<sim::FaultInjector> baselineFaults;
+    std::unique_ptr<sim::FaultInjector> fusionFaults;
 
     /** Rewrites q.table to a copy chosen by `index` (round robin). */
     query::Query onCopy(query::Query q, size_t index) const;
+
+    /**
+     * Arms the same fault schedule on both clusters (independent
+     * injector per cluster so the paired runs see identical faults).
+     * Call before the first runClosedLoop / compareStores.
+     */
+    void armFaults(const sim::FaultSchedule &schedule);
 };
 
 /** Rig parameters. */

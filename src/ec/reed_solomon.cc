@@ -62,8 +62,11 @@ ReedSolomon::reconstruct(std::vector<std::optional<Bytes>> &shards,
             present.push_back(i);
         }
     }
-    if (present.size() < k_)
-        return Status::unavailable("too many erasures to reconstruct");
+    if (!recoverable(present.size()))
+        return Status::unavailable(
+            "too many erasures to reconstruct: " +
+            std::to_string(present.size()) + " of " + std::to_string(n_) +
+            " shards survive, need " + std::to_string(k_));
     if (present.size() == n_)
         return Status::ok();
 

@@ -33,6 +33,13 @@ class ReedSolomon
     size_t k() const { return k_; }
     size_t parityCount() const { return n_ - k_; }
 
+    /** Most simultaneous block losses the code tolerates. */
+    size_t maxErasures() const { return n_ - k_; }
+
+    /** True when a stripe with `survivors` present shards can still be
+     *  rebuilt — the degraded-read feasibility test. */
+    bool recoverable(size_t survivors) const { return survivors >= k_; }
+
     /**
      * Computes the (n - k) parity blocks for k data blocks of possibly
      * different sizes. Every parity block has size equal to the largest

@@ -17,6 +17,8 @@
 
 namespace fusion::sim {
 
+class FaultInjector;
+
 /** Cluster shape and per-node parameters. */
 struct ClusterConfig {
     size_t numNodes = 9; // storage nodes (paper: 9 + 1 client)
@@ -64,6 +66,17 @@ class Cluster
     void reviveNode(size_t id) { node(id).setAlive(true); }
     size_t aliveNodeCount() const;
 
+    /**
+     * The fault injector driving this cluster (nullptr when none).
+     * Attached by FaultInjector::arm(); stores use it to predict node
+     * health at future simulated times when scheduling read retries.
+     */
+    FaultInjector *faultInjector() const { return faultInjector_; }
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        faultInjector_ = injector;
+    }
+
     uint64_t totalNetworkBytes() const { return totalNetworkBytes_; }
     void resetTrafficStats() { totalNetworkBytes_ = 0; }
 
@@ -77,6 +90,7 @@ class Cluster
     std::unique_ptr<StorageNode> client_;
     Rng placementRng_;
     uint64_t totalNetworkBytes_ = 0;
+    FaultInjector *faultInjector_ = nullptr;
 };
 
 } // namespace fusion::sim

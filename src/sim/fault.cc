@@ -1,0 +1,271 @@
+#include "fault.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fusion::sim {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kCrash:
+        return "crash";
+    case FaultKind::kRevive:
+        return "revive";
+    case FaultKind::kSlow:
+        return "slow";
+    case FaultKind::kRestore:
+        return "restore";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::toString() const
+{
+    char buf[96];
+    if (kind == FaultKind::kSlow)
+        std::snprintf(buf, sizeof(buf), "%.6f %s node%zu x%.2f", time,
+                      faultKindName(kind), nodeId, slowFactor);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6f %s node%zu", time,
+                      faultKindName(kind), nodeId);
+    return buf;
+}
+
+FaultSchedule &
+FaultSchedule::crashAt(double time, size_t node)
+{
+    events_.push_back({time, FaultKind::kCrash, node, 1.0});
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::reviveAt(double time, size_t node)
+{
+    events_.push_back({time, FaultKind::kRevive, node, 1.0});
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::slowAt(double time, size_t node, double factor)
+{
+    FUSION_CHECK_MSG(factor >= 1.0, "slow factor must be >= 1");
+    events_.push_back({time, FaultKind::kSlow, node, factor});
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::restoreAt(double time, size_t node)
+{
+    events_.push_back({time, FaultKind::kRestore, node, 1.0});
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::flap(size_t node, double start, double period,
+                    double downtime, size_t cycles)
+{
+    FUSION_CHECK_MSG(downtime < period,
+                     "flap downtime must be shorter than its period");
+    for (size_t c = 0; c < cycles; ++c) {
+        double t = start + static_cast<double>(c) * period;
+        crashAt(t, node);
+        reviveAt(t + downtime, node);
+    }
+    return *this;
+}
+
+void
+FaultSchedule::sortByTime()
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.time < b.time;
+                     });
+}
+
+std::string
+FaultSchedule::toString() const
+{
+    std::string out;
+    for (const auto &event : events_) {
+        out += event.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::random(const RandomFaultOptions &options)
+{
+    FUSION_CHECK_MSG(options.numNodes > 0, "schedule needs nodes");
+    Rng rng(options.seed);
+    FaultSchedule schedule;
+
+    // Crash/revive pairs. Downtime intervals are kept within
+    // maxConcurrentDown by rejection: a candidate overlapping too many
+    // existing outages (or its own node's outage) is redrawn.
+    struct Outage {
+        double start, end;
+        size_t node;
+    };
+    std::vector<Outage> outages;
+    auto overlaps = [](const Outage &a, double start, double end) {
+        return a.start < end && start < a.end;
+    };
+    for (size_t i = 0; i < options.crashCount; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            double start = rng.uniformReal(0.0, options.horizonSeconds);
+            double downtime =
+                rng.uniformReal(0.0, 2.0 * options.meanDowntimeSeconds) +
+                1e-6;
+            double end = start + downtime;
+            size_t node = rng.pickIndex(options.numNodes);
+            size_t concurrent = 0;
+            bool same_node = false;
+            for (const auto &outage : outages) {
+                if (!overlaps(outage, start, end))
+                    continue;
+                ++concurrent;
+                same_node |= outage.node == node;
+            }
+            if (same_node || concurrent >= options.maxConcurrentDown)
+                continue;
+            outages.push_back({start, end, node});
+            schedule.crashAt(start, node);
+            schedule.reviveAt(end, node);
+            break;
+        }
+    }
+
+    // Slow/restore pairs: gray failures never violate EC tolerance, so
+    // they only avoid slowing the same node twice at once.
+    std::vector<Outage> slows;
+    for (size_t i = 0; i < options.slowCount; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            double start = rng.uniformReal(0.0, options.horizonSeconds);
+            double duration =
+                rng.uniformReal(0.0, 2.0 * options.meanDowntimeSeconds) +
+                1e-6;
+            double end = start + duration;
+            size_t node = rng.pickIndex(options.numNodes);
+            double factor = rng.uniformReal(2.0, options.maxSlowFactor);
+            bool clash = false;
+            for (const auto &slow : slows)
+                clash |= slow.node == node && overlaps(slow, start, end);
+            if (clash)
+                continue;
+            slows.push_back({start, end, node});
+            schedule.slowAt(start, node, factor);
+            schedule.restoreAt(end, node);
+            break;
+        }
+    }
+
+    schedule.sortByTime();
+    return schedule;
+}
+
+FaultInjector::FaultInjector(Cluster &cluster, FaultSchedule schedule)
+    : cluster_(cluster), schedule_(std::move(schedule))
+{
+    schedule_.sortByTime();
+    for (const auto &event : schedule_.events())
+        FUSION_CHECK_MSG(event.nodeId < cluster.numNodes(),
+                         "fault schedule targets a node outside the "
+                         "cluster");
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (cluster_.faultInjector() == this)
+        cluster_.attachFaultInjector(nullptr);
+}
+
+void
+FaultInjector::arm()
+{
+    FUSION_CHECK_MSG(!armed_, "fault injector armed twice");
+    armed_ = true;
+    cluster_.attachFaultInjector(this);
+    for (const auto &event : schedule_.events()) {
+        cluster_.engine().scheduleAt(event.time,
+                                     [this, event]() { apply(event); });
+    }
+}
+
+void
+FaultInjector::apply(const FaultEvent &event)
+{
+    StorageNode &node = cluster_.node(event.nodeId);
+    switch (event.kind) {
+    case FaultKind::kCrash:
+        node.setAlive(false);
+        ++counters_.crashes;
+        break;
+    case FaultKind::kRevive:
+        node.setAlive(true);
+        ++counters_.revives;
+        break;
+    case FaultKind::kSlow:
+        node.setSlowFactor(event.slowFactor);
+        ++counters_.slowdowns;
+        break;
+    case FaultKind::kRestore:
+        node.setSlowFactor(1.0);
+        ++counters_.restores;
+        break;
+    }
+    FaultEvent stamped = event;
+    stamped.time = cluster_.engine().now();
+    applied_.push_back(stamped);
+}
+
+std::string
+FaultInjector::traceString() const
+{
+    std::string out;
+    for (const auto &event : applied_) {
+        out += event.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+FaultInjector::aliveAt(size_t node, double time) const
+{
+    bool alive = true;
+    for (const auto &event : schedule_.events()) {
+        if (event.time > time)
+            break;
+        if (event.nodeId != node)
+            continue;
+        if (event.kind == FaultKind::kCrash)
+            alive = false;
+        else if (event.kind == FaultKind::kRevive)
+            alive = true;
+    }
+    return alive;
+}
+
+double
+FaultInjector::slowFactorAt(size_t node, double time) const
+{
+    double factor = 1.0;
+    for (const auto &event : schedule_.events()) {
+        if (event.time > time)
+            break;
+        if (event.nodeId != node)
+            continue;
+        if (event.kind == FaultKind::kSlow)
+            factor = event.slowFactor;
+        else if (event.kind == FaultKind::kRestore)
+            factor = 1.0;
+    }
+    return factor;
+}
+
+} // namespace fusion::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated cluster. A
+ * FaultSchedule is a time-ordered script of node faults — crashes,
+ * revivals, slowdowns and restorations, including flapping (repeated
+ * crash/revive cycles) — built either explicitly or from a seeded
+ * random generator. A FaultInjector arms a schedule on a Cluster's
+ * event engine, records the trace of applied events (so determinism
+ * can be asserted: same seed, same trace) and lets the stores predict
+ * node health at future simulated times for retry/backoff decisions.
+ */
+#ifndef FUSION_SIM_FAULT_H
+#define FUSION_SIM_FAULT_H
+
+#include <string>
+#include <vector>
+
+#include "cluster.h"
+#include "common/random.h"
+
+namespace fusion::sim {
+
+/** What a fault event does to its target node. */
+enum class FaultKind : uint8_t {
+    kCrash,   // node stops serving (blocks stay on media)
+    kRevive,  // crashed node comes back
+    kSlow,    // node serves at rate / slowFactor (gray failure)
+    kRestore, // slowed node returns to full speed
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scripted fault. */
+struct FaultEvent {
+    double time = 0.0; // simulated seconds
+    FaultKind kind = FaultKind::kCrash;
+    size_t nodeId = 0;
+    double slowFactor = 1.0; // used by kSlow only
+
+    std::string toString() const;
+};
+
+/** Parameters of FaultSchedule::random(). */
+struct RandomFaultOptions {
+    uint64_t seed = 1;
+    size_t numNodes = 9;
+    /** Events are drawn in [0, horizonSeconds). */
+    double horizonSeconds = 1.0;
+    /** Crash/revive pairs to generate. */
+    size_t crashCount = 2;
+    /** Slow/restore pairs to generate. */
+    size_t slowCount = 1;
+    /** Mean crash downtime (uniform in (0, 2 * mean]). */
+    double meanDowntimeSeconds = 0.05;
+    /** Slowdowns draw a factor uniformly in [2, maxSlowFactor]. */
+    double maxSlowFactor = 8.0;
+    /**
+     * Cap on simultaneously-crashed nodes. Keep <= n - k so the
+     * erasure code can always reconstruct ("within tolerance").
+     */
+    size_t maxConcurrentDown = 1;
+};
+
+/** A time-ordered script of fault events. */
+class FaultSchedule
+{
+  public:
+    FaultSchedule &crashAt(double time, size_t node);
+    FaultSchedule &reviveAt(double time, size_t node);
+    FaultSchedule &slowAt(double time, size_t node, double factor);
+    FaultSchedule &restoreAt(double time, size_t node);
+
+    /** `cycles` crash/revive pairs: down for `downtime` every `period`
+     *  starting at `start` (a flapping node). */
+    FaultSchedule &flap(size_t node, double start, double period,
+                        double downtime, size_t cycles);
+
+    /**
+     * Seeded-random schedule: crash/revive and slow/restore pairs at
+     * uniform times over the horizon, respecting maxConcurrentDown.
+     * Identical options (notably the seed) yield the identical
+     * schedule on every platform.
+     */
+    static FaultSchedule random(const RandomFaultOptions &options);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /** Stable-sorts events by time (ties keep insertion order). */
+    void sortByTime();
+
+    std::string toString() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+/**
+ * Applies a FaultSchedule to a Cluster. arm() registers every event on
+ * the cluster's engine and attaches the injector to the cluster so
+ * stores can consult it; events then fire as the engine runs. The
+ * applied-event trace and counters make determinism checkable.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(Cluster &cluster, FaultSchedule schedule);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Schedules all events; call once, before running the engine. */
+    void arm();
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /** Events applied so far, stamped with their firing times. */
+    const std::vector<FaultEvent> &applied() const { return applied_; }
+
+    /** One line per applied event — compare across runs to assert
+     *  deterministic injection. */
+    std::string traceString() const;
+
+    /** Node liveness at `time` according to the schedule (events with
+     *  time <= `time` are considered applied). */
+    bool aliveAt(size_t node, double time) const;
+
+    /** Node slow factor at `time` according to the schedule. */
+    double slowFactorAt(size_t node, double time) const;
+
+    struct Counters {
+        uint64_t crashes = 0;
+        uint64_t revives = 0;
+        uint64_t slowdowns = 0;
+        uint64_t restores = 0;
+    };
+    const Counters &counters() const { return counters_; }
+
+  private:
+    void apply(const FaultEvent &event);
+
+    Cluster &cluster_;
+    FaultSchedule schedule_;
+    std::vector<FaultEvent> applied_;
+    Counters counters_;
+    bool armed_ = false;
+};
+
+} // namespace fusion::sim
+
+#endif // FUSION_SIM_FAULT_H

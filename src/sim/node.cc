@@ -17,6 +17,18 @@ StorageNode::StorageNode(SimEngine &engine, size_t id,
 }
 
 void
+StorageNode::setSlowFactor(double factor)
+{
+    FUSION_CHECK_MSG(factor >= 1.0, "slow factor must be >= 1");
+    slowFactor_ = factor;
+    double scale = 1.0 / factor;
+    disk_.setRateScale(scale);
+    nicIn_.setRateScale(scale);
+    nicOut_.setRateScale(scale);
+    cpu_.setRateScale(scale);
+}
+
+void
 StorageNode::putBlock(const std::string &key, Bytes data)
 {
     auto it = blocks_.find(key);

@@ -46,6 +46,15 @@ class StorageNode
     bool alive() const { return alive_; }
     void setAlive(bool alive) { alive_ = alive; }
 
+    /**
+     * Gray-failure injection: factor > 1 slows every resource of this
+     * node (disk, both NIC directions, CPU) to rate / factor. Factor 1
+     * restores full speed. Liveness is independent — a slow node still
+     * answers, just late; stores treat "too slow" as timed out.
+     */
+    void setSlowFactor(double factor);
+    double slowFactor() const { return slowFactor_; }
+
     SimResource &disk() { return disk_; }
     SimResource &nicIn() { return nicIn_; }
     SimResource &nicOut() { return nicOut_; }
@@ -80,6 +89,7 @@ class StorageNode
     size_t id_;
     NodeConfig config_;
     bool alive_ = true;
+    double slowFactor_ = 1.0;
     SimResource disk_;
     SimResource nicIn_;
     SimResource nicOut_;

@@ -20,7 +20,7 @@ SimResource::acquire(double work, double extra_latency,
     // Dispatch to the earliest-free server.
     auto slot = std::min_element(slotFree_.begin(), slotFree_.end());
     SimTime start = std::max(engine_.now(), *slot);
-    double service = work / rate_ + extra_latency;
+    double service = work / (rate_ * rateScale_) + extra_latency;
     SimTime end = start + service;
     *slot = end;
 

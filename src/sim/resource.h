@@ -47,6 +47,20 @@ class SimResource
 
     const std::string &name() const { return name_; }
     double rate() const { return rate_; }
+
+    /**
+     * Scales the effective service rate of future requests (fault
+     * injection: a "slow" node serves at rate * scale, scale < 1).
+     * In-flight requests keep the rate they were admitted with.
+     */
+    void
+    setRateScale(double scale)
+    {
+        FUSION_CHECK_MSG(scale > 0.0, "rate scale must be positive");
+        rateScale_ = scale;
+    }
+    double rateScale() const { return rateScale_; }
+
     uint64_t requestCount() const { return requests_; }
     double workServed() const { return workServed_; }
     double busySeconds() const { return busySeconds_; }
@@ -72,6 +86,7 @@ class SimResource
     SimEngine &engine_;
     std::string name_;
     double rate_;
+    double rateScale_ = 1.0;
     std::vector<SimTime> slotFree_; // next-free time per server
     uint64_t requests_ = 0;
     double workServed_ = 0.0;

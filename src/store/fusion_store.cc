@@ -50,7 +50,8 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             size_t col = schema.columnIndex(col_name).value();
             const format::ChunkMeta &chunk = meta.chunk(rg, col);
             uint32_t chunk_id = manifest.chunkIdFor(rg, col);
-            if (chunkIntactOnSingleNode(manifest, chunk_id)) {
+            auto state = chunkPushdownState(manifest, chunk_id);
+            if (state == ChunkPushdownState::kPushable) {
                 size_t node = manifest.nodesForChunk(chunk_id)[0];
                 plan.filterTasks.push_back(
                     {node, options_.requestRpcBytes, chunk.storedSize,
@@ -61,6 +62,10 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             } else {
                 // Split or degraded chunk: fall back to reassembly at
                 // the coordinator, which also evaluates the filter.
+                if (state == ChunkPushdownState::kFaulted) {
+                    ++plan.outcome.pushdownFallbacks;
+                    ++faultStats_.pushdownFallbacks;
+                }
                 appendChunkFetchTasks(manifest, chunk_id,
                                       plan.coordinatorId,
                                       chunkDecodeWork(chunk),
@@ -93,7 +98,15 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             const format::ChunkMeta &chunk = meta.chunk(rg, col);
             uint32_t chunk_id = manifest.chunkIdFor(rg, col);
 
-            if (!chunkIntactOnSingleNode(manifest, chunk_id)) {
+            auto state = chunkPushdownState(manifest, chunk_id);
+            if (state != ChunkPushdownState::kPushable) {
+                // The Cost Equation is only consulted for healthy
+                // single-node chunks; a faulted target forces
+                // coordinator-side evaluation regardless of its verdict.
+                if (state == ChunkPushdownState::kFaulted) {
+                    ++plan.outcome.pushdownFallbacks;
+                    ++faultStats_.pushdownFallbacks;
+                }
                 appendChunkFetchTasks(manifest, chunk_id,
                                       plan.coordinatorId,
                                       chunkDecodeWork(chunk),

@@ -9,6 +9,7 @@
 #include "format/writer.h"
 #include "query/cost.h"
 #include "query/eval.h"
+#include "sim/fault.h"
 
 namespace fusion::store {
 
@@ -293,6 +294,59 @@ ObjectStore::putAsync(const std::string &name, Bytes object,
                       std::move(stream_blocks));
 }
 
+bool
+ObjectStore::nodeResponsive(const sim::StorageNode &node) const
+{
+    if (!node.alive())
+        return false;
+    double response =
+        node.slowFactor() * cluster_.config().node.rpcLatency;
+    return response <= options_.readTimeoutSeconds;
+}
+
+const Bytes *
+ObjectStore::fetchBlockWithRetry(const ObjectManifest &manifest,
+                                 size_t stripe, size_t block_index)
+{
+    size_t node_id = manifest.stripeNodes[stripe][block_index];
+    const sim::StorageNode &node = cluster_.node(node_id);
+    const sim::FaultInjector *faults = cluster_.faultInjector();
+    const double rpc = cluster_.config().node.rpcLatency;
+
+    double when = cluster_.engine().now();
+    double backoff = options_.retryBackoffBaseSeconds;
+    for (size_t attempt = 0;; ++attempt) {
+        bool responsive;
+        if (attempt > 0 && faults != nullptr) {
+            // A retry happens `when - now` simulated seconds in the
+            // future; the armed schedule predicts health then, so a
+            // flapping node can come back mid-backoff.
+            responsive =
+                faults->aliveAt(node_id, when) &&
+                faults->slowFactorAt(node_id, when) * rpc <=
+                    options_.readTimeoutSeconds;
+        } else {
+            responsive = nodeResponsive(node);
+        }
+        if (responsive) {
+            const Bytes *block =
+                node.findBlock(manifest.blockKey(stripe, block_index));
+            if (block != nullptr)
+                return block;
+            return nullptr; // wiped media: retrying cannot help
+        }
+        if (attempt >= options_.maxReadRetries)
+            break;
+        ++faultStats_.readRetries;
+        faultStats_.backoffSeconds += backoff;
+        when += backoff;
+        backoff = std::min(2.0 * backoff,
+                           options_.retryBackoffMaxSeconds);
+    }
+    ++faultStats_.readTimeouts;
+    return nullptr;
+}
+
 Result<Bytes>
 ObjectStore::recoverBlock(const ObjectManifest &manifest, size_t stripe,
                           size_t block_index)
@@ -310,14 +364,16 @@ ObjectStore::recoverBlock(const ObjectManifest &manifest, size_t stripe,
     };
 
     std::vector<std::optional<Bytes>> shards(n);
+    size_t survivors = 0;
     for (size_t b = 0; b < n; ++b) {
         if (true_size(b) == 0) {
             shards[b] = Bytes(block_size, 0); // implicit zero block
+            ++survivors;
             continue;
         }
         const sim::StorageNode &node =
             cluster_.node(manifest.stripeNodes[stripe][b]);
-        if (!node.alive())
+        if (!nodeResponsive(node))
             continue;
         const Bytes *block = node.findBlock(manifest.blockKey(stripe, b));
         if (!block)
@@ -325,8 +381,17 @@ ObjectStore::recoverBlock(const ObjectManifest &manifest, size_t stripe,
         Bytes padded = *block;
         padded.resize(block_size, 0);
         shards[b] = std::move(padded);
+        ++survivors;
     }
+    if (!rs_.recoverable(survivors))
+        return Status::unavailable(
+            "cannot rebuild block " + std::to_string(block_index) +
+            " of stripe " + std::to_string(stripe) + " of '" +
+            manifest.name + "': " + std::to_string(survivors) + " of " +
+            std::to_string(n) + " shards reachable, need " +
+            std::to_string(k));
     FUSION_RETURN_IF_ERROR(rs_.reconstruct(shards, block_size));
+    ++faultStats_.parityReconstructions;
     Bytes out = std::move(*shards[block_index]);
     out.resize(true_size(block_index));
     return out;
@@ -338,21 +403,17 @@ ObjectStore::readChunkBytes(const ObjectManifest &manifest,
 {
     const fac::ChunkExtent &extent = manifest.extents.at(chunk_id);
     Bytes out(extent.size);
+    bool degraded = false;
     for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
-        size_t node_id =
-            manifest.stripeNodes[piece.stripe][piece.blockIndex];
-        const sim::StorageNode &node = cluster_.node(node_id);
         const Bytes *block =
-            node.alive()
-                ? node.findBlock(
-                      manifest.blockKey(piece.stripe, piece.blockIndex))
-                : nullptr;
+            fetchBlockWithRetry(manifest, piece.stripe, piece.blockIndex);
         if (block) {
             FUSION_CHECK(piece.blockOffset + piece.size <= block->size());
             std::copy(block->begin() + piece.blockOffset,
                       block->begin() + piece.blockOffset + piece.size,
                       out.begin() + piece.chunkOffset);
         } else {
+            degraded = true;
             auto recovered =
                 recoverBlock(manifest, piece.stripe, piece.blockIndex);
             if (!recovered.isOk())
@@ -365,6 +426,8 @@ ObjectStore::readChunkBytes(const ObjectManifest &manifest,
                       out.begin() + piece.chunkOffset);
         }
     }
+    if (degraded)
+        ++faultStats_.degradedChunkReads;
     return out;
 }
 
@@ -645,8 +708,28 @@ bool
 ObjectStore::chunkIntactOnSingleNode(const ObjectManifest &manifest,
                                      uint32_t chunk_id) const
 {
+    return chunkPushdownState(manifest, chunk_id) ==
+           ChunkPushdownState::kPushable;
+}
+
+ObjectStore::ChunkPushdownState
+ObjectStore::chunkPushdownState(const ObjectManifest &manifest,
+                                uint32_t chunk_id) const
+{
     auto nodes = manifest.nodesForChunk(chunk_id);
-    return nodes.size() == 1 && cluster_.node(nodes[0]).alive();
+    if (nodes.size() != 1)
+        return ChunkPushdownState::kSplit;
+    return nodeResponsive(cluster_.node(nodes[0]))
+               ? ChunkPushdownState::kPushable
+               : ChunkPushdownState::kFaulted;
+}
+
+void
+ObjectStore::dropCaches()
+{
+    decodeCache_.clear();
+    bitmapCache_.clear();
+    planCache_.clear();
 }
 
 uint64_t
@@ -662,7 +745,7 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
     for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
         size_t node_id =
             manifest.stripeNodes[piece.stripe][piece.blockIndex];
-        if (cluster_.node(node_id).alive()) {
+        if (nodeResponsive(cluster_.node(node_id))) {
             tasks.push_back({node_id, options_.requestRpcBytes, piece.size,
                              0.0, piece.size, 0.0});
             total += piece.size;
@@ -679,7 +762,7 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
         size_t fetched = 0;
         for (size_t b = 0; b < options_.n && fetched < options_.k; ++b) {
             size_t node_id = manifest.stripeNodes[stripe][b];
-            if (!cluster_.node(node_id).alive())
+            if (!nodeResponsive(cluster_.node(node_id)))
                 continue;
             uint64_t size = (b < options_.k)
                                 ? (b < ls.dataBlocks.size()
@@ -812,8 +895,18 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
             runTask(task, plan->coordinatorId, join);
     };
 
+    // Retry backoff against faulted nodes delays the whole plan (the
+    // coordinator waited before falling back to reconstruction).
+    auto start_plan = [this, plan, filter_stage]() {
+        if (plan->extraLatencySeconds > 0.0)
+            cluster_.engine().schedule(plan->extraLatencySeconds,
+                                       filter_stage);
+        else
+            filter_stage();
+    };
+
     cluster_.transfer(*client, *coord, options_.clientRequestBytes,
-                      filter_stage);
+                      start_plan);
 }
 
 void
@@ -835,12 +928,19 @@ ObjectStore::queryAsync(const query::Query &q,
         done(resolved.status());
         return;
     }
+    FaultStats before = faultStats_;
     auto plan = planQuery(*m.value(), resolved.value());
     if (!plan.isOk()) {
         done(plan.status());
         return;
     }
-    simulateQuery(std::make_shared<QueryPlan>(std::move(plan.value())),
+    QueryPlan &p = plan.value();
+    p.outcome.parityReconstructions =
+        faultStats_.parityReconstructions - before.parityReconstructions;
+    p.outcome.readRetries = faultStats_.readRetries - before.readRetries;
+    p.extraLatencySeconds =
+        faultStats_.backoffSeconds - before.backoffSeconds;
+    simulateQuery(std::make_shared<QueryPlan>(std::move(p)),
                   std::move(done));
 }
 

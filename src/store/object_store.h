@@ -56,6 +56,22 @@ struct StoreOptions {
     /** Extension (paper future work): compute aggregates on storage
      *  nodes so pure-aggregate projections reply with scalars. */
     bool aggregatePushdown = false;
+
+    // ---- degraded-read robustness (fault injection, see DESIGN.md) ----
+
+    /**
+     * A block read counts as timed out when its node is dead or so
+     * slowed that the modeled response (slowFactor x rpcLatency)
+     * exceeds this bound. Timed-out reads retry with backoff, then
+     * reconstruct from parity.
+     */
+    double readTimeoutSeconds = 1e-3;
+    /** Retry attempts before a timed-out block read is declared lost. */
+    size_t maxReadRetries = 3;
+    /** First retry waits this long; later retries double it... */
+    double retryBackoffBaseSeconds = 1e-3;
+    /** ...up to this cap (bounded exponential backoff). */
+    double retryBackoffMaxSeconds = 8e-3;
 };
 
 /** Outcome of a Put. */
@@ -85,6 +101,13 @@ struct QueryOutcome {
     size_t filterChunkPushdowns = 0; // filters executed on storage nodes
     size_t projectionPushdowns = 0;
     size_t projectionFetches = 0;
+    /** Pushdowns rerouted to coordinator-side evaluation because the
+     *  chunk's node was faulted when the query was planned. */
+    size_t pushdownFallbacks = 0;
+    /** Blocks this query rebuilt from parity (degraded reads). */
+    uint64_t parityReconstructions = 0;
+    /** Timed-out block-read attempts this query retried. */
+    uint64_t readRetries = 0;
 };
 
 /** Base class; see file comment. */
@@ -147,6 +170,40 @@ class ObjectStore
     StoreStats stats() const;
 
     /**
+     * Cumulative robustness counters: how often reads hit faulted
+     * nodes and what the recovery machinery did about it. Benches and
+     * tests assert on these (and on their determinism across runs).
+     */
+    struct FaultStats {
+        uint64_t readRetries = 0;     // backoff retries performed
+        uint64_t readTimeouts = 0;    // reads abandoned after retries
+        uint64_t parityReconstructions = 0; // blocks rebuilt via EC
+        uint64_t degradedChunkReads = 0; // chunk reads needing recovery
+        uint64_t pushdownFallbacks = 0;  // pushdowns moved coordinator-side
+        double backoffSeconds = 0.0;     // total simulated backoff waits
+
+        bool
+        operator==(const FaultStats &other) const
+        {
+            return readRetries == other.readRetries &&
+                   readTimeouts == other.readTimeouts &&
+                   parityReconstructions == other.parityReconstructions &&
+                   degradedChunkReads == other.degradedChunkReads &&
+                   pushdownFallbacks == other.pushdownFallbacks &&
+                   backoffSeconds == other.backoffSeconds;
+        }
+    };
+    const FaultStats &faultStats() const { return faultStats_; }
+    void resetFaultStats() { faultStats_ = FaultStats{}; }
+
+    /**
+     * Drops the decode/bitmap/plan memoization caches so subsequent
+     * reads hit the (possibly faulted) nodes again. Fault tests use
+     * this to force re-execution of the degraded read path.
+     */
+    void dropCaches();
+
+    /**
      * Executes a query asynchronously in simulated time; `done` fires
      * when the simulated reply reaches the client. Call
      * cluster().engine().run() to drive the simulation.
@@ -188,6 +245,9 @@ class ObjectStore
         /** Coordinator CPU work between the stages (bitmap combine and
          *  any chunk decodes that had to happen at the coordinator). */
         double interStageCoordWork = 0.0;
+        /** Pure waiting the coordinator accumulated before the filter
+         *  stage (retry backoff against faulted nodes). */
+        double extraLatencySeconds = 0.0;
         uint64_t clientReplyBytes = 0;
         QueryOutcome outcome;
     };
@@ -266,9 +326,36 @@ class ObjectStore
     Result<query::Query> resolveQuery(const query::Query &q,
                                       const format::Schema &schema) const;
 
-    /** True if every piece of the chunk lives on one alive node. */
+    /** True if every piece of the chunk lives on one healthy node. */
     bool chunkIntactOnSingleNode(const ObjectManifest &manifest,
                                  uint32_t chunk_id) const;
+
+    /** Pushdown eligibility of a chunk under current node health. */
+    enum class ChunkPushdownState {
+        kPushable, // intact on a single healthy node
+        kFaulted,  // intact on a single node, but that node is faulted
+        kSplit,    // split across nodes (fixed layout fallback)
+    };
+    ChunkPushdownState chunkPushdownState(const ObjectManifest &manifest,
+                                          uint32_t chunk_id) const;
+
+    /**
+     * Node health as the read path sees it: alive and fast enough that
+     * the modeled response stays inside the read timeout. Dead and
+     * severely slowed (gray-failed) nodes both fail this test.
+     */
+    bool nodeResponsive(const sim::StorageNode &node) const;
+
+    /**
+     * Looks up a block under the timeout + bounded-backoff retry
+     * policy. When the node is unresponsive, retries are modeled at
+     * future simulated times (consulting the cluster's fault injector,
+     * when armed, so a flapping node can recover mid-retry). Returns
+     * nullptr when the block is declared lost — the caller falls back
+     * to parity reconstruction. Counts into faultStats().
+     */
+    const Bytes *fetchBlockWithRetry(const ObjectManifest &manifest,
+                                     size_t stripe, size_t block_index);
 
     /**
      * Appends fetch tasks that pull a chunk's raw bytes to the
@@ -284,6 +371,7 @@ class ObjectStore
     StoreOptions options_;
     ec::ReedSolomon rs_;
     std::unordered_map<std::string, ObjectManifest> manifests_;
+    FaultStats faultStats_;
 
   private:
     void simulateQuery(std::shared_ptr<QueryPlan> plan,

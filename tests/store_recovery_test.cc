@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Recovery and degraded-read robustness tests: node crashes during
+ * scans must be healed bit-exactly by parity reconstruction, queries
+ * must survive up to n-k simultaneous failures with results identical
+ * to the fault-free run, anything beyond tolerance must fail with a
+ * clean Status (never a crash), and the retry/backoff/fallback
+ * machinery must be observable through the store's fault counters.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "query/parser.h"
+#include "sim/fault.h"
+#include "store/baseline_store.h"
+#include "store/fusion_store.h"
+#include "workload/lineitem.h"
+
+namespace fusion::store {
+namespace {
+
+struct TestRig {
+    std::unique_ptr<sim::Cluster> cluster;
+    std::unique_ptr<ObjectStore> store;
+    std::unique_ptr<sim::FaultInjector> faults;
+};
+
+TestRig
+makeRig(bool fusion, StoreOptions options = {}, size_t nodes = 9)
+{
+    TestRig rig;
+    sim::ClusterConfig config;
+    config.numNodes = nodes;
+    rig.cluster = std::make_unique<sim::Cluster>(config);
+    if (fusion)
+        rig.store = std::make_unique<FusionStore>(*rig.cluster, options);
+    else
+        rig.store = std::make_unique<BaselineStore>(*rig.cluster, options);
+    return rig;
+}
+
+Bytes
+lineitemBytes(size_t rows = 4000, uint64_t seed = 7)
+{
+    static std::map<std::pair<size_t, uint64_t>, Bytes> cache;
+    auto key = std::make_pair(rows, seed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto file = workload::buildLineitemFile(rows, seed);
+        FUSION_CHECK(file.isOk());
+        it = cache.emplace(key, file.value().bytes).first;
+    }
+    return it->second;
+}
+
+query::Query
+sql(const std::string &text)
+{
+    auto q = query::parseQuery(text);
+    FUSION_CHECK_MSG(q.isOk(), q.status().toString());
+    return q.value();
+}
+
+/** Issues each query at its scheduled simulated time and runs the
+ *  engine to completion. */
+std::vector<Result<QueryOutcome>>
+runAt(ObjectStore &store,
+      const std::vector<std::pair<double, query::Query>> &timeline)
+{
+    std::vector<std::optional<Result<QueryOutcome>>> captured(
+        timeline.size());
+    sim::SimEngine &engine = store.cluster().engine();
+    for (size_t i = 0; i < timeline.size(); ++i) {
+        engine.scheduleAt(timeline[i].first, [&store, &captured, &timeline,
+                                              i]() {
+            store.queryAsync(timeline[i].second,
+                             [&captured, i](Result<QueryOutcome> outcome) {
+                                 captured[i].emplace(std::move(outcome));
+                             });
+        });
+    }
+    engine.run();
+    std::vector<Result<QueryOutcome>> out;
+    for (auto &c : captured) {
+        FUSION_CHECK_MSG(c.has_value(), "query did not complete");
+        out.push_back(std::move(*c));
+    }
+    return out;
+}
+
+void
+expectSameResults(const query::QueryResult &a, const query::QueryResult &b)
+{
+    EXPECT_EQ(a.rowsMatched, b.rowsMatched);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    for (size_t c = 0; c < a.columns.size(); ++c) {
+        EXPECT_EQ(a.columns[c].isAggregate, b.columns[c].isAggregate);
+        if (a.columns[c].isAggregate)
+            EXPECT_DOUBLE_EQ(a.columns[c].aggregateValue,
+                             b.columns[c].aggregateValue);
+        else
+            EXPECT_TRUE(a.columns[c].values == b.columns[c].values);
+    }
+}
+
+TEST(RecoveryTest, SingleNodeCrashReconstructsEveryChunkBitExact)
+{
+    Bytes object = lineitemBytes();
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    rig.cluster->killNode(4);
+    rig.store->dropCaches();
+
+    // get() walks every chunk of the object; blocks on the dead node
+    // must be rebuilt from parity and the result must be bit-exact.
+    auto back = rig.store->get("lineitem");
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(back.value(), object);
+
+    const ObjectStore::FaultStats &stats = rig.store->faultStats();
+    EXPECT_GE(stats.parityReconstructions, 1u);
+    EXPECT_GE(stats.degradedChunkReads, 1u);
+    EXPECT_GE(stats.readTimeouts, 1u);
+    EXPECT_GT(stats.backoffSeconds, 0.0);
+}
+
+// Acceptance: downing ANY single data node mid-workload keeps all
+// query results identical to the fault-free run, with at least one
+// parity reconstruction and one pushdown fallback reported.
+TEST(RecoveryTest, AnySingleNodeCrashMidQueryKeepsResultsIdentical)
+{
+    Bytes object = lineitemBytes();
+
+    // Distinct SQL per phase so the memoized data plane re-executes
+    // while the fault is active.
+    std::vector<std::pair<double, query::Query>> timeline = {
+        {0.0, sql("SELECT l_orderkey FROM lineitem "
+                  "WHERE l_quantity < 5")},
+        {0.02, sql("SELECT * FROM lineitem WHERE l_quantity < 30")},
+        {0.03, sql("SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem "
+                   "WHERE l_discount >= 0.03")},
+        {0.06, sql("SELECT l_comment FROM lineitem "
+                   "WHERE l_extendedprice < 20000")},
+    };
+
+    TestRig healthy = makeRig(true);
+    ASSERT_TRUE(healthy.store->put("lineitem", object).isOk());
+    auto expected = runAt(*healthy.store, timeline);
+
+    for (size_t victim = 0; victim < 9; ++victim) {
+        TestRig rig = makeRig(true);
+        ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+        sim::FaultSchedule schedule;
+        schedule.crashAt(0.01, victim).reviveAt(0.05, victim);
+        rig.faults = std::make_unique<sim::FaultInjector>(*rig.cluster,
+                                                          schedule);
+        rig.faults->arm();
+
+        auto outcomes = runAt(*rig.store, timeline);
+        ASSERT_EQ(outcomes.size(), expected.size());
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            ASSERT_TRUE(outcomes[i].isOk())
+                << "victim " << victim << ": "
+                << outcomes[i].status().toString();
+            expectSameResults(outcomes[i].value().result,
+                              expected[i].value().result);
+        }
+        const ObjectStore::FaultStats &stats = rig.store->faultStats();
+        EXPECT_GE(stats.parityReconstructions, 1u) << "victim " << victim;
+        EXPECT_GE(stats.pushdownFallbacks, 1u) << "victim " << victim;
+    }
+}
+
+TEST(RecoveryTest, NMinusKSimultaneousFailuresStillAnswerQueries)
+{
+    Bytes object = lineitemBytes();
+    TestRig healthy = makeRig(true);
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(healthy.store->put("lineitem", object).isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    // RS(9,6): n - k = 3 simultaneous failures are tolerated.
+    rig.cluster->killNode(1);
+    rig.cluster->killNode(5);
+    rig.cluster->killNode(8);
+    rig.store->dropCaches();
+
+    auto back = rig.store->get("lineitem");
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(back.value(), object);
+
+    const char *queries[] = {
+        "SELECT l_orderkey FROM lineitem WHERE l_quantity < 10",
+        "SELECT COUNT(*), MAX(l_extendedprice) FROM lineitem "
+        "WHERE l_discount < 0.05",
+        "SELECT * FROM lineitem WHERE l_orderkey < 100",
+    };
+    for (const char *text : queries) {
+        auto degraded = rig.store->querySql(text);
+        auto reference = healthy.store->querySql(text);
+        ASSERT_TRUE(degraded.isOk()) << text << ": "
+                                     << degraded.status().toString();
+        ASSERT_TRUE(reference.isOk());
+        expectSameResults(degraded.value().result,
+                          reference.value().result);
+    }
+    EXPECT_GE(rig.store->faultStats().parityReconstructions, 1u);
+}
+
+TEST(RecoveryTest, BeyondToleranceFailsWithCleanStatus)
+{
+    Bytes object = lineitemBytes();
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    // n - k + 1 = 4 failures: unrecoverable, but never a crash.
+    for (size_t victim : {0, 2, 4, 6})
+        rig.cluster->killNode(victim);
+    rig.store->dropCaches();
+
+    auto back = rig.store->get("lineitem");
+    ASSERT_FALSE(back.isOk());
+    EXPECT_EQ(back.status().code(), StatusCode::kUnavailable);
+    // The error names the shortfall.
+    EXPECT_NE(back.status().toString().find("need"), std::string::npos);
+
+    auto outcome = rig.store->querySql(
+        "SELECT l_orderkey FROM lineitem WHERE l_quantity < 5");
+    ASSERT_FALSE(outcome.isOk());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+
+    // Reviving one node makes the object readable again.
+    rig.cluster->reviveNode(0);
+    rig.store->dropCaches();
+    auto healed = rig.store->get("lineitem");
+    ASSERT_TRUE(healed.isOk()) << healed.status().toString();
+    EXPECT_EQ(healed.value(), object);
+}
+
+TEST(RecoveryTest, RetryBackoffIsBoundedAndCounted)
+{
+    StoreOptions options;
+    options.maxReadRetries = 4;
+    options.retryBackoffBaseSeconds = 1e-3;
+    options.retryBackoffMaxSeconds = 2e-3; // cap below 1+2+4+8 growth
+    Bytes object = lineitemBytes();
+    TestRig rig = makeRig(true, options);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    rig.cluster->killNode(3);
+    rig.store->dropCaches();
+    ASSERT_TRUE(rig.store->get("lineitem").isOk());
+
+    const ObjectStore::FaultStats &stats = rig.store->faultStats();
+    ASSERT_GE(stats.readTimeouts, 1u);
+    // Without an armed injector nothing recovers mid-backoff, so every
+    // timed-out read burned the full retry budget.
+    EXPECT_EQ(stats.readRetries, options.maxReadRetries * stats.readTimeouts);
+    // Bounded exponential backoff: 1 + 2 + 2 + 2 ms per timed-out read.
+    EXPECT_NEAR(stats.backoffSeconds,
+                7e-3 * static_cast<double>(stats.readTimeouts), 1e-9);
+}
+
+TEST(RecoveryTest, FlappingNodeRecoversDuringBackoffWithoutRebuild)
+{
+    Bytes object = lineitemBytes();
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    // Node 2 blinks: down just before the query is planned, back
+    // within the first retry's backoff window (base 1 ms).
+    sim::FaultSchedule schedule;
+    schedule.crashAt(0.0005, 2).reviveAt(0.0018, 2);
+    rig.faults = std::make_unique<sim::FaultInjector>(*rig.cluster,
+                                                      schedule);
+    rig.faults->arm();
+
+    auto outcomes = runAt(
+        *rig.store,
+        {{0.001, sql("SELECT * FROM lineitem WHERE l_quantity < 30")}});
+    ASSERT_TRUE(outcomes[0].isOk()) << outcomes[0].status().toString();
+
+    const ObjectStore::FaultStats &stats = rig.store->faultStats();
+    EXPECT_GE(stats.readRetries, 1u);
+    // The retry found the node alive again: no block was declared
+    // lost, so nothing was rebuilt from parity.
+    EXPECT_EQ(stats.readTimeouts, 0u);
+    EXPECT_EQ(stats.parityReconstructions, 0u);
+}
+
+TEST(RecoveryTest, GrayFailureTriggersPushdownFallback)
+{
+    Bytes object = lineitemBytes();
+    TestRig healthy = makeRig(true);
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(healthy.store->put("lineitem", object).isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    // Slow (not dead): modeled response 100 x 150us >> 1 ms timeout,
+    // so reads treat the node as unresponsive and queries reroute.
+    rig.cluster->node(6).setSlowFactor(100.0);
+    rig.store->dropCaches();
+
+    const char *text = "SELECT * FROM lineitem WHERE l_quantity < 20";
+    auto slow = rig.store->querySql(text);
+    auto reference = healthy.store->querySql(text);
+    ASSERT_TRUE(slow.isOk()) << slow.status().toString();
+    ASSERT_TRUE(reference.isOk());
+    expectSameResults(slow.value().result, reference.value().result);
+
+    EXPECT_GE(slow.value().pushdownFallbacks, 1u);
+    EXPECT_GE(rig.store->faultStats().pushdownFallbacks, 1u);
+    EXPECT_GE(rig.store->faultStats().parityReconstructions, 1u);
+
+    // Restored node serves pushdowns again (fresh plan, no fallback).
+    rig.cluster->node(6).setSlowFactor(1.0);
+    auto restored = rig.store->querySql(
+        "SELECT * FROM lineitem WHERE l_quantity < 21");
+    ASSERT_TRUE(restored.isOk());
+    EXPECT_EQ(restored.value().pushdownFallbacks, 0u);
+}
+
+TEST(RecoveryTest, BaselineStoreSurvivesFaultsToo)
+{
+    StoreOptions options;
+    options.fixedBlockSize = 4 << 10;
+    Bytes object = lineitemBytes();
+    TestRig healthy = makeRig(false, options);
+    TestRig rig = makeRig(false, options);
+    ASSERT_TRUE(healthy.store->put("lineitem", object).isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    rig.cluster->killNode(0);
+    rig.cluster->killNode(7);
+    rig.store->dropCaches();
+
+    const char *text =
+        "SELECT l_orderkey FROM lineitem WHERE l_quantity < 15";
+    auto degraded = rig.store->querySql(text);
+    auto reference = healthy.store->querySql(text);
+    ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
+    ASSERT_TRUE(reference.isOk());
+    expectSameResults(degraded.value().result, reference.value().result);
+    EXPECT_GE(rig.store->faultStats().parityReconstructions, 1u);
+}
+
+TEST(RecoveryTest, RepairAfterMediaLossCountsReconstructions)
+{
+    Bytes object = lineitemBytes();
+    TestRig rig = makeRig(true);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    size_t victim = 5;
+    rig.cluster->killNode(victim);
+    rig.cluster->node(victim).wipe();
+    rig.cluster->reviveNode(victim);
+
+    auto rebuilt = rig.store->repairNode(victim);
+    ASSERT_TRUE(rebuilt.isOk()) << rebuilt.status().toString();
+    EXPECT_GT(rebuilt.value(), 0u);
+    EXPECT_EQ(rig.store->faultStats().parityReconstructions,
+              rebuilt.value());
+
+    rig.store->dropCaches();
+    auto back = rig.store->get("lineitem");
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), object);
+}
+
+} // namespace
+} // namespace fusion::store
