@@ -1,0 +1,149 @@
+#include "thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace fusion {
+
+namespace {
+
+// Set while a thread is executing batch work; nested parallelFor calls
+// from such contexts run inline so the pool cannot deadlock on itself.
+thread_local bool tls_in_pool_work = false;
+
+size_t
+threadsFromEnv()
+{
+    const char *env = std::getenv("FUSION_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end == env || parsed < 1)
+        return 1;
+    if (parsed > 256)
+        return 256;
+    return static_cast<size_t>(parsed);
+}
+
+std::unique_ptr<ThreadPool> &
+sharedSlot()
+{
+    static std::unique_ptr<ThreadPool> pool =
+        std::make_unique<ThreadPool>(threadsFromEnv());
+    return pool;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads) : threads_(threads == 0 ? 1 : threads)
+{
+    workers_.reserve(threads_ - 1);
+    for (size_t i = 0; i + 1 < threads_; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    return *sharedSlot();
+}
+
+void
+ThreadPool::setSharedThreads(size_t threads)
+{
+    sharedSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+void
+ThreadPool::drain(Batch &batch)
+{
+    tls_in_pool_work = true;
+    for (;;) {
+        size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.end)
+            break;
+        // The batch poster keeps `fn` (and the batch) alive until
+        // done == end, so a claimed index may always run fn.
+        (*batch.fn)(i);
+        if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            batch.end) {
+            std::lock_guard<std::mutex> lock(batch.doneMutex);
+            batch.doneCv.notify_all();
+        }
+    }
+    tls_in_pool_work = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&]() {
+                return stopping_ ||
+                       (current_ != nullptr && generation_ != seen);
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            batch = current_;
+        }
+        drain(*batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    size_t count = end - begin;
+    if (threads_ == 1 || count == 1 || tls_in_pool_work) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::function<void(size_t)> body = [&fn, begin](size_t i) {
+        fn(begin + i);
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &body;
+    batch->end = count;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_ = batch;
+        ++generation_;
+    }
+    wake_.notify_all();
+    drain(*batch); // the caller works too
+    {
+        std::unique_lock<std::mutex> lock(batch->doneMutex);
+        batch->doneCv.wait(lock, [&]() {
+            return batch->done.load(std::memory_order_acquire) == count;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (current_ == batch)
+            current_ = nullptr;
+    }
+}
+
+} // namespace fusion

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small fixed-size thread pool with a `parallelFor` primitive, used to
+ * parallelize real CPU work (erasure-code math, chunk decode, predicate
+ * evaluation) inside a single simulated event. The determinism contract
+ * with the simulator: only pure per-index work runs on the pool, every
+ * index writes disjoint output, and all merging/accounting happens on
+ * the calling thread after the join — so results are bit-identical for
+ * any thread count, and simulated time never observes wall-clock
+ * scheduling. Thread count comes from the FUSION_THREADS environment
+ * variable (default 1, the fully serial mode tests run under).
+ */
+#ifndef FUSION_COMMON_THREAD_POOL_H
+#define FUSION_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fusion {
+
+/** Fixed-size worker pool; see file comment for the usage contract. */
+class ThreadPool
+{
+  public:
+    /** Spawns `threads - 1` workers (the caller participates in every
+     *  parallelFor). `threads <= 1` means fully inline execution. */
+    explicit ThreadPool(size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Process-wide pool, sized from FUSION_THREADS (clamped to
+     *  [1, 256]) on first use; 1 when unset or unparsable. */
+    static ThreadPool &shared();
+
+    /** Resizes the shared pool (test hook; not thread-safe against
+     *  concurrent parallelFor calls on the shared pool). */
+    static void setSharedThreads(size_t threads);
+
+    size_t threadCount() const { return threads_; }
+
+    /**
+     * Calls `fn(i)` for every i in [begin, end), distributing indices
+     * across the pool, and returns once all calls finished. Indices may
+     * run in any order and on any thread; `fn` must only write state
+     * disjoint per index. Runs inline when the pool is size 1, the
+     * range is a single index, or the caller is itself a pool worker
+     * (nested parallelism degenerates to serial, keeping the pool
+     * deadlock-free).
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &fn);
+
+  private:
+    struct Batch {
+        const std::function<void(size_t)> *fn = nullptr;
+        std::atomic<size_t> next{0};
+        size_t end = 0;
+        std::atomic<size_t> done{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+    };
+
+    void workerLoop();
+    static void drain(Batch &batch);
+
+    size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::shared_ptr<Batch> current_; // guarded by mutex_
+    uint64_t generation_ = 0;        // bumps when a new batch is posted
+    bool stopping_ = false;
+};
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_THREAD_POOL_H

@@ -4,6 +4,18 @@
  * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), via exp/log tables.
  * This is the field underlying the systematic Reed-Solomon codes used
  * by both the baseline store and Fusion.
+ *
+ * The hot primitive, mulAccumulate (dst[i] ^= c * src[i]), runs on one
+ * of three kernels selected at runtime:
+ *  - kAvx2 / kSsse3: 4-bit split tables. A product c*s in GF(256)
+ *    splits as c*(s_lo ^ s_hi<<4) = c*s_lo ^ c*(s_hi<<4), so two
+ *    16-entry tables per coefficient (32 bytes, precomputed for every
+ *    c at startup) turn the multiply into two pshufb lookups per
+ *    16/32-byte vector.
+ *  - kScalar: a branch-free blocked loop over the precomputed 256-entry
+ *    product row for c (no per-byte zero test, no log/exp chain).
+ * All kernels are bit-identical; dispatch honours the FUSION_SIMD
+ * environment variable ("scalar", "ssse3", "avx2") for forcing a level.
  */
 #ifndef FUSION_EC_GF256_H
 #define FUSION_EC_GF256_H
@@ -13,6 +25,15 @@
 
 namespace fusion::ec {
 
+/** Instruction-set level a mulAccumulate kernel targets. */
+enum class SimdLevel : uint8_t {
+    kScalar = 0,
+    kSsse3 = 1,
+    kAvx2 = 2,
+};
+
+const char *simdLevelName(SimdLevel level);
+
 /** Table-driven GF(2^8) arithmetic. All operations are total except
  *  division/inverse by zero, which abort. */
 class Gf256
@@ -20,6 +41,9 @@ class Gf256
   public:
     /** Returns the process-wide table instance. */
     static const Gf256 &instance();
+
+    /** Best kernel the CPU supports, after the FUSION_SIMD override. */
+    static SimdLevel bestSimdLevel();
 
     uint8_t
     add(uint8_t a, uint8_t b) const
@@ -30,9 +54,7 @@ class Gf256
     uint8_t
     mul(uint8_t a, uint8_t b) const
     {
-        if (a == 0 || b == 0)
-            return 0;
-        return exp_[log_[a] + log_[b]];
+        return mul_[a][b];
     }
 
     uint8_t div(uint8_t a, uint8_t b) const;
@@ -41,16 +63,37 @@ class Gf256
     /** a raised to the integer power e (e >= 0). */
     uint8_t pow(uint8_t a, unsigned e) const;
 
-    /** Multiply-accumulate over a byte range: dst[i] ^= c * src[i]. */
+    /** Multiply-accumulate over a byte range: dst[i] ^= c * src[i],
+     *  using the best kernel available on this CPU. */
+    void
+    mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
+                  uint8_t c) const
+    {
+        mulAccumulate(dst, src, len, c, bestSimdLevel());
+    }
+
+    /** Same, forcing a specific kernel (used by tests and benches; a
+     *  level above what the CPU supports falls back to scalar). */
     void mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
-                       uint8_t c) const;
+                       uint8_t c, SimdLevel level) const;
 
   private:
     Gf256();
 
-    // exp_ is doubled so mul() can skip the mod-255 reduction.
+    void mulAccumulateScalar(uint8_t *dst, const uint8_t *src, size_t len,
+                             uint8_t c) const;
+
+    // exp_ is doubled so pow()/div() can skip the mod-255 reduction.
     uint8_t exp_[512];
     uint8_t log_[256];
+    // Full product table: mul_[c][s] = c * s. Row c is the scalar
+    // kernel's lookup table (64 KiB total; rows used in a stripe stay
+    // L1-resident).
+    uint8_t mul_[256][256];
+    // 4-bit split tables: nibLo_[c][x] = c * x, nibHi_[c][x] = c * (x<<4)
+    // for x in [0, 16). Each row is the 32-byte pshufb operand pair.
+    alignas(16) uint8_t nibLo_[256][16];
+    alignas(16) uint8_t nibHi_[256][16];
 };
 
 } // namespace fusion::ec

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace fusion::ec {
+
+namespace {
+
+/**
+ * Tile width for stripe math. Small enough that one destination tile
+ * plus one source tile stay cache-resident across the coefficient
+ * loop; large enough that per-tile dispatch overhead vanishes.
+ */
+constexpr size_t kStripeTileBytes = 32 * 1024;
+
+size_t
+tileCount(size_t block_size)
+{
+    return (block_size + kStripeTileBytes - 1) / kStripeTileBytes;
+}
+
+} // namespace
 
 Result<ReedSolomon>
 ReedSolomon::create(size_t n, size_t k)
@@ -36,13 +55,25 @@ ReedSolomon::encodeParity(const std::vector<Slice> &data_blocks) const
 
     const Gf256 &gf = Gf256::instance();
     std::vector<Bytes> parity(parityCount(), Bytes(block_size, 0));
-    for (size_t p = 0; p < parityCount(); ++p) {
-        for (size_t j = 0; j < k_; ++j) {
-            uint8_t coeff = matrix_.at(k_ + p, j);
-            gf.mulAccumulate(parity[p].data(), data_blocks[j].data(),
-                             data_blocks[j].size(), coeff);
-        }
-    }
+    // Tiled accumulation: each task owns one tile of every parity
+    // block, so a source tile is read once per tile while the (n-k)
+    // destination tiles stay cache-resident. Tiles write disjoint
+    // ranges, making the parallelFor deterministic by construction.
+    ThreadPool::shared().parallelFor(
+        0, tileCount(block_size), [&](size_t tile) {
+            size_t lo = tile * kStripeTileBytes;
+            size_t hi = std::min(lo + kStripeTileBytes, block_size);
+            for (size_t j = 0; j < k_; ++j) {
+                if (data_blocks[j].size() <= lo)
+                    continue; // implicit zero extension
+                size_t len = std::min(hi, data_blocks[j].size()) - lo;
+                for (size_t p = 0; p < parityCount(); ++p) {
+                    gf.mulAccumulate(parity[p].data() + lo,
+                                     data_blocks[j].data() + lo, len,
+                                     matrix_.at(k_ + p, j));
+                }
+            }
+        });
     return parity;
 }
 
@@ -79,19 +110,30 @@ ReedSolomon::reconstruct(std::vector<std::optional<Bytes>> &shards,
     const Gf256 &gf = Gf256::instance();
 
     // Recover data blocks: data[j] = sum_i decode[j][i] * survivor[i].
+    // Missing blocks are independent linear combinations over the same
+    // k survivors, so the tile loop parallelizes exactly like encode.
     std::vector<Bytes> data(k_);
+    std::vector<size_t> missing;
     for (size_t j = 0; j < k_; ++j) {
-        if (shards[j].has_value()) {
+        if (shards[j].has_value())
             data[j] = *shards[j];
-            continue;
+        else {
+            data[j].assign(block_size, 0);
+            missing.push_back(j);
         }
-        Bytes out(block_size, 0);
-        for (size_t i = 0; i < k_; ++i) {
-            gf.mulAccumulate(out.data(), shards[present[i]]->data(),
-                             block_size, decode.value().at(j, i));
-        }
-        data[j] = std::move(out);
     }
+    ThreadPool::shared().parallelFor(
+        0, tileCount(block_size), [&](size_t tile) {
+            size_t lo = tile * kStripeTileBytes;
+            size_t len = std::min(lo + kStripeTileBytes, block_size) - lo;
+            for (size_t i = 0; i < k_; ++i) {
+                const uint8_t *src = shards[present[i]]->data() + lo;
+                for (size_t j : missing) {
+                    gf.mulAccumulate(data[j].data() + lo, src, len,
+                                     decode.value().at(j, i));
+                }
+            }
+        });
     for (size_t j = 0; j < k_; ++j) {
         if (!shards[j].has_value())
             shards[j] = data[j];

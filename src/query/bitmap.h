@@ -46,6 +46,30 @@ class Bitmap
         return words_[i >> 6] & (1ULL << (i & 63));
     }
 
+    /** Number of 64-bit words backing the bitmap. */
+    size_t numWords() const { return words_.size(); }
+
+    /** Raw word `w` (bit i of word w is row w*64+i). */
+    uint64_t
+    word(size_t w) const
+    {
+        return words_[w];
+    }
+
+    /**
+     * Overwrites word `w`. Bits beyond size() in the last word are
+     * masked off so count() stays exact — the fast path for kernels
+     * that produce 64 row verdicts at a time.
+     */
+    void
+    setWord(size_t w, uint64_t bits)
+    {
+        FUSION_CHECK(w < words_.size());
+        if (w + 1 == words_.size() && (size_ & 63) != 0)
+            bits &= (1ULL << (size_ & 63)) - 1;
+        words_[w] = bits;
+    }
+
     /** Number of set bits. */
     size_t count() const;
 

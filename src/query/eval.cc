@@ -1,5 +1,6 @@
 #include "eval.h"
 
+#include <bit>
 #include <optional>
 
 namespace fusion::query {
@@ -24,16 +25,90 @@ applyOp(int cmp, CompareOp op)
     return false;
 }
 
-// Typed scan loop: avoids boxing each row into a Value.
+/**
+ * Branch-free row verdict, specialized per CompareOp at compile time.
+ * Expressed through the two strict comparisons so the semantics match
+ * applyOp() over a three-way compare exactly — including NaN, where
+ * both comparisons are false and the row therefore counts as "equal"
+ * (kLe/kGe/kEq match, kLt/kGt/kNe do not), as the boxed reference
+ * path has always behaved.
+ */
+template <CompareOp Op, typename T, typename L>
+inline bool
+rowVerdict(const T &v, const L &lit)
+{
+    bool lt = v < lit;
+    bool gt = lit < v;
+    if constexpr (Op == CompareOp::kLt)
+        return lt;
+    else if constexpr (Op == CompareOp::kLe)
+        return !gt;
+    else if constexpr (Op == CompareOp::kGt)
+        return gt;
+    else if constexpr (Op == CompareOp::kGe)
+        return !lt;
+    else if constexpr (Op == CompareOp::kEq)
+        return !lt && !gt;
+    else
+        return lt || gt; // kNe
+}
+
+/**
+ * Word-wise typed scan: evaluates 64 rows into one bitmap word with no
+ * per-row branch (the compiler auto-vectorizes the comparison loop for
+ * the numeric instantiations), then writes the word in one store.
+ */
+template <CompareOp Op, typename T, typename L>
+void
+scanKernel(const std::vector<T> &values, const L &literal, Bitmap &out)
+{
+    const size_t n = values.size();
+    const T *v = values.data();
+    size_t i = 0, w = 0;
+    for (; i + 64 <= n; i += 64, ++w) {
+        uint64_t bits = 0;
+        for (size_t b = 0; b < 64; ++b)
+            bits |= static_cast<uint64_t>(
+                        rowVerdict<Op>(v[i + b], literal))
+                    << b;
+        out.setWord(w, bits);
+    }
+    if (i < n) {
+        uint64_t bits = 0;
+        for (size_t b = 0; i + b < n; ++b)
+            bits |= static_cast<uint64_t>(
+                        rowVerdict<Op>(v[i + b], literal))
+                    << b;
+        out.setWord(w, bits);
+    }
+}
+
+// Hoists the op out of the row loop: one kernel instantiation per
+// CompareOp x column type.
 template <typename T, typename L>
 void
-scanTyped(const std::vector<T> &values, CompareOp op, L literal,
+scanTyped(const std::vector<T> &values, CompareOp op, const L &literal,
           Bitmap &out)
 {
-    for (size_t i = 0; i < values.size(); ++i) {
-        int cmp = values[i] < literal ? -1 : (literal < values[i] ? 1 : 0);
-        if (applyOp(cmp, op))
-            out.set(i);
+    switch (op) {
+      case CompareOp::kLt:
+        scanKernel<CompareOp::kLt>(values, literal, out);
+        break;
+      case CompareOp::kLe:
+        scanKernel<CompareOp::kLe>(values, literal, out);
+        break;
+      case CompareOp::kGt:
+        scanKernel<CompareOp::kGt>(values, literal, out);
+        break;
+      case CompareOp::kGe:
+        scanKernel<CompareOp::kGe>(values, literal, out);
+        break;
+      case CompareOp::kEq:
+        scanKernel<CompareOp::kEq>(values, literal, out);
+        break;
+      case CompareOp::kNe:
+        scanKernel<CompareOp::kNe>(values, literal, out);
+        break;
     }
 }
 
@@ -75,6 +150,20 @@ evalPredicate(const ColumnData &column, CompareOp op, const Value &literal)
         scanTyped(column.strings(), op, literal.asString(), out);
         break;
     }
+    return out;
+}
+
+Result<Bitmap>
+evalPredicateReference(const ColumnData &column, CompareOp op,
+                       const Value &literal)
+{
+    if (!literalCompatible(column.type(), literal.type()))
+        return Status::invalidArgument(
+            "predicate literal type incompatible with column type");
+    Bitmap out(column.size());
+    for (size_t i = 0; i < column.size(); ++i)
+        if (compareValues(column.valueAt(i), op, literal))
+            out.set(i);
     return out;
 }
 
@@ -158,6 +247,27 @@ chunkMayMatch(const format::ChunkMeta &meta, const Predicate &pred)
     return meta.bloom.mayContain(*literal);
 }
 
+namespace {
+
+// Word-wise row gather: zero words are skipped in one test and set
+// bits are enumerated with countr_zero instead of per-row test calls.
+template <typename T, typename Append>
+void
+gatherRows(const std::vector<T> &values, const Bitmap &rows,
+           const Append &append)
+{
+    for (size_t w = 0; w < rows.numWords(); ++w) {
+        uint64_t bits = rows.word(w);
+        while (bits != 0) {
+            size_t b = static_cast<size_t>(std::countr_zero(bits));
+            append(values[w * 64 + b]);
+            bits &= bits - 1;
+        }
+    }
+}
+
+} // namespace
+
 format::ColumnData
 selectRows(const ColumnData &column, const Bitmap &rows)
 {
@@ -165,24 +275,20 @@ selectRows(const ColumnData &column, const Bitmap &rows)
     ColumnData out(column.type());
     switch (column.type()) {
       case PhysicalType::kInt32:
-        for (size_t i = 0; i < column.size(); ++i)
-            if (rows.test(i))
-                out.append(column.int32s()[i]);
+        gatherRows(column.int32s(), rows,
+                   [&out](int32_t v) { out.append(v); });
         break;
       case PhysicalType::kInt64:
-        for (size_t i = 0; i < column.size(); ++i)
-            if (rows.test(i))
-                out.append(column.int64s()[i]);
+        gatherRows(column.int64s(), rows,
+                   [&out](int64_t v) { out.append(v); });
         break;
       case PhysicalType::kDouble:
-        for (size_t i = 0; i < column.size(); ++i)
-            if (rows.test(i))
-                out.append(column.doubles()[i]);
+        gatherRows(column.doubles(), rows,
+                   [&out](double v) { out.append(v); });
         break;
       case PhysicalType::kString:
-        for (size_t i = 0; i < column.size(); ++i)
-            if (rows.test(i))
-                out.append(column.strings()[i]);
+        gatherRows(column.strings(), rows,
+                   [&out](const std::string &v) { out.append(v); });
         break;
     }
     return out;
@@ -201,16 +307,25 @@ computeAggregate(AggregateKind kind, const ColumnData &values)
     if (values.size() == 0)
         return 0.0;
 
+    // Typed reduction over the raw array — no per-row boxing. Sum
+    // order and min/max NaN handling match the boxed loop exactly.
     double sum = 0.0, min_v = 0.0, max_v = 0.0;
-    bool first = true;
-    for (size_t i = 0; i < values.size(); ++i) {
-        double v = values.valueAt(i).numeric();
-        sum += v;
-        if (first || v < min_v)
-            min_v = v;
-        if (first || v > max_v)
-            max_v = v;
-        first = false;
+    auto reduce = [&](const auto &raw) {
+        min_v = max_v = static_cast<double>(raw[0]);
+        for (size_t i = 0; i < raw.size(); ++i) {
+            double v = static_cast<double>(raw[i]);
+            sum += v;
+            if (v < min_v)
+                min_v = v;
+            if (v > max_v)
+                max_v = v;
+        }
+    };
+    switch (values.type()) {
+      case PhysicalType::kInt32: reduce(values.int32s()); break;
+      case PhysicalType::kInt64: reduce(values.int64s()); break;
+      case PhysicalType::kDouble: reduce(values.doubles()); break;
+      case PhysicalType::kString: break; // rejected above
     }
     switch (kind) {
       case AggregateKind::kSum: return sum;

@@ -27,6 +27,15 @@ Result<Bitmap> evalPredicate(const format::ColumnData &column, CompareOp op,
                              const format::Value &literal);
 
 /**
+ * Boxed row-at-a-time reference implementation of evalPredicate (via
+ * compareValues). Kept as the semantic oracle the word-wise typed
+ * kernels are tested and benchmarked against.
+ */
+Result<Bitmap> evalPredicateReference(const format::ColumnData &column,
+                                      CompareOp op,
+                                      const format::Value &literal);
+
+/**
  * Zone-map test: can any row of a chunk with the given min/max match
  * the predicate? False positives are fine; false negatives are not.
  */

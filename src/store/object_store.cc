@@ -4,6 +4,7 @@
 #include <chrono>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "format/chunk_codec.h"
 #include "format/reader.h"
 #include "format/writer.h"
@@ -158,8 +159,13 @@ ObjectStore::put(const std::string &name, Bytes object)
     for (size_t s = 0; s < manifest.layout.stripes.size(); ++s)
         manifest.stripeNodes.push_back(cluster_.chooseNodes(options_.n));
 
-    // Materialize data blocks and parity, then store them.
-    for (size_t s = 0; s < manifest.layout.stripes.size(); ++s) {
+    // Materialize data blocks and encode parity, one independent task
+    // per stripe (reads only the const object + layout; writes only
+    // its own slot, so any thread count produces identical stripes).
+    // Node placement and storage mutation stay on the calling thread.
+    const size_t num_stripes = manifest.layout.stripes.size();
+    std::vector<std::vector<Bytes>> stripe_blocks(num_stripes);
+    ThreadPool::shared().parallelFor(0, num_stripes, [&](size_t s) {
         const fac::StripeLayout &stripe = manifest.layout.stripes[s];
         std::vector<Bytes> data_blocks(options_.k);
         for (size_t b = 0; b < stripe.dataBlocks.size(); ++b) {
@@ -181,17 +187,20 @@ ObjectStore::put(const std::string &name, Bytes object)
         for (const auto &block : data_blocks)
             views.emplace_back(block);
         std::vector<Bytes> parity = rs_.encodeParity(views);
+        stripe_blocks[s] = std::move(data_blocks);
+        for (auto &p : parity)
+            stripe_blocks[s].push_back(std::move(p));
+    });
 
+    for (size_t s = 0; s < num_stripes; ++s) {
         for (size_t b = 0; b < options_.n; ++b) {
-            Bytes *bytes = (b < options_.k)
-                               ? &data_blocks[b]
-                               : &parity[b - options_.k];
-            if (bytes->empty())
+            Bytes &bytes = stripe_blocks[s][b];
+            if (bytes.empty())
                 continue; // implicit zero block
             size_t node_id = manifest.stripeNodes[s][b];
-            node_bytes[node_id] += bytes->size();
+            node_bytes[node_id] += bytes.size();
             cluster_.node(node_id).putBlock(manifest.blockKey(s, b),
-                                            std::move(*bytes));
+                                            std::move(bytes));
         }
     }
     manifest.buildLocationMap();
@@ -592,6 +601,60 @@ ObjectStore::chunkFilterBitmap(const ObjectManifest &manifest,
     return std::static_pointer_cast<const query::Bitmap>(shared);
 }
 
+Status
+ObjectStore::prefetchDecodedChunks(
+    const ObjectManifest &manifest,
+    const std::vector<std::pair<size_t, size_t>> &rg_cols)
+{
+    // Dedupe against the cache (and within the request) first.
+    std::vector<std::pair<size_t, size_t>> todo;
+    std::set<uint32_t> seen;
+    for (const auto &[rg, col] : rg_cols) {
+        uint32_t chunk_id = manifest.chunkIdFor(rg, col);
+        if (!seen.insert(chunk_id).second)
+            continue;
+        if (decodeCache_.count({manifest.name, uint64_t{chunk_id}}) > 0)
+            continue;
+        todo.emplace_back(rg, col);
+    }
+    if (todo.empty())
+        return Status::ok();
+
+    // Phase 1 (serial): fetch raw chunk bytes. This is where degraded
+    // reads, retries and fault counters happen — it must stay on the
+    // calling thread so FaultStats are identical for any thread count.
+    std::vector<Bytes> raw(todo.size());
+    for (size_t i = 0; i < todo.size(); ++i) {
+        auto bytes = readChunkBytes(
+            manifest, manifest.chunkIdFor(todo[i].first, todo[i].second));
+        if (!bytes.isOk())
+            return bytes.status();
+        raw[i] = std::move(bytes.value());
+    }
+
+    // Phase 2 (parallel): decompress + decode, pure per-slot CPU work.
+    std::vector<Result<format::ColumnData>> decoded(
+        todo.size(), Result<format::ColumnData>(format::ColumnData()));
+    ThreadPool::shared().parallelFor(0, todo.size(), [&](size_t i) {
+        decoded[i] = format::decodeChunk(
+            Slice(raw[i]),
+            manifest.fileMeta.schema.column(todo[i].second).physical);
+    });
+
+    // Phase 3 (serial): surface errors in index order, fill the cache.
+    for (size_t i = 0; i < todo.size(); ++i) {
+        if (!decoded[i].isOk())
+            return decoded[i].status();
+        uint32_t chunk_id =
+            manifest.chunkIdFor(todo[i].first, todo[i].second);
+        decodeCache_.emplace(
+            std::make_pair(manifest.name, uint64_t{chunk_id}),
+            std::make_shared<const format::ColumnData>(
+                std::move(decoded[i].value())));
+    }
+    return Status::ok();
+}
+
 Result<ObjectStore::DataPlane>
 ObjectStore::executeDataPlane(const ObjectManifest &manifest,
                               const query::Query &q)
@@ -605,20 +668,79 @@ ObjectStore::executeDataPlane(const ObjectManifest &manifest,
     const format::Schema &schema = meta.schema;
     DataPlane plane;
 
+    // Zone-map pruning (metadata only) decides which row groups scan.
+    std::vector<bool> scan_rg(meta.numRowGroups(), true);
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        for (const auto &pred : q.filters) {
+            size_t col = schema.columnIndex(pred.column).value();
+            if (!query::chunkMayMatch(meta.chunk(rg, col), pred)) {
+                scan_rg[rg] = false;
+                break;
+            }
+        }
+    }
+
+    // Decode every filter chunk the scan will touch, concurrently
+    // (fetch stays serial inside; see prefetchDecodedChunks), then
+    // evaluate all missing per-chunk predicate bitmaps concurrently —
+    // both are pure CPU work inside this one simulated event.
+    std::vector<std::pair<size_t, size_t>> filter_chunks;
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        if (!scan_rg[rg])
+            continue;
+        for (const auto &col_name : q.filterColumns())
+            filter_chunks.emplace_back(
+                rg, schema.columnIndex(col_name).value());
+    }
+    FUSION_RETURN_IF_ERROR(prefetchDecodedChunks(manifest, filter_chunks));
+
+    struct BitmapTask {
+        size_t rg;
+        size_t col;
+        const query::Predicate *pred;
+        std::tuple<std::string, uint64_t, std::string> key;
+        Result<query::Bitmap> result = query::Bitmap();
+    };
+    std::vector<BitmapTask> bitmap_tasks;
+    for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+        if (!scan_rg[rg])
+            continue;
+        for (const auto &pred : q.filters) {
+            size_t col = schema.columnIndex(pred.column).value();
+            auto key = std::make_tuple(
+                manifest.name, uint64_t{manifest.chunkIdFor(rg, col)},
+                pred.column + compareOpName(pred.op) +
+                    pred.literal.toString());
+            if (bitmapCache_.count(key) > 0)
+                continue;
+            bitmap_tasks.push_back(
+                {rg, col, &pred, std::move(key), query::Bitmap()});
+        }
+    }
+    ThreadPool::shared().parallelFor(
+        0, bitmap_tasks.size(), [&](size_t i) {
+            BitmapTask &task = bitmap_tasks[i];
+            auto chunk = decodeCache_.find(
+                {manifest.name,
+                 uint64_t{manifest.chunkIdFor(task.rg, task.col)}});
+            FUSION_CHECK(chunk != decodeCache_.end());
+            task.result = query::evalPredicate(
+                *chunk->second, task.pred->op, task.pred->literal);
+        });
+    for (auto &task : bitmap_tasks) {
+        if (!task.result.isOk())
+            return task.result.status();
+        bitmapCache_.emplace(std::move(task.key),
+                             std::make_shared<const query::Bitmap>(
+                                 std::move(task.result.value())));
+    }
+
     // ---- filter stage (real) ----
     uint64_t matched = 0;
     plane.rowGroupBitmaps.resize(meta.numRowGroups());
     plane.rowGroupBitmapWireSize.assign(meta.numRowGroups(), 0);
     for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
-        bool may_match = true;
-        for (const auto &pred : q.filters) {
-            size_t col = schema.columnIndex(pred.column).value();
-            if (!query::chunkMayMatch(meta.chunk(rg, col), pred)) {
-                may_match = false;
-                break;
-            }
-        }
-        if (!may_match)
+        if (!scan_rg[rg])
             continue; // skipped row group: nullopt bitmap
 
         query::Bitmap bitmap(meta.rowGroups[rg].numRows, true);
@@ -653,6 +775,20 @@ ObjectStore::executeDataPlane(const ObjectManifest &manifest,
                   static_cast<double>(meta.numRows);
 
     // ---- projection stage (real) ----
+    // Decode all projection chunks the selection touches concurrently
+    // before the (ordered) materialization loop below.
+    std::vector<std::pair<size_t, size_t>> projection_chunks;
+    for (const auto &name : q.projectionColumns()) {
+        size_t col = schema.columnIndex(name).value();
+        for (size_t rg = 0; rg < meta.numRowGroups(); ++rg) {
+            const auto &bitmap = plane.rowGroupBitmaps[rg];
+            if (bitmap.has_value() && bitmap->count() > 0)
+                projection_chunks.emplace_back(rg, col);
+        }
+    }
+    FUSION_RETURN_IF_ERROR(
+        prefetchDecodedChunks(manifest, projection_chunks));
+
     std::map<std::string, format::ColumnData> projected;
     for (const auto &name : q.projectionColumns()) {
         size_t col = schema.columnIndex(name).value();

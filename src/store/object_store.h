@@ -292,6 +292,17 @@ class ObjectStore
     decodedChunk(const ObjectManifest &manifest, size_t row_group,
                  size_t column);
 
+    /**
+     * Warms the decode cache for a set of (row group, column) chunks:
+     * raw bytes are fetched serially (degraded reads and FaultStats
+     * stay deterministic), then decompress/decode fans out on the
+     * shared ThreadPool. Results are bit-identical to serial decoding
+     * for any FUSION_THREADS value.
+     */
+    Status prefetchDecodedChunks(
+        const ObjectManifest &manifest,
+        const std::vector<std::pair<size_t, size_t>> &rg_cols);
+
     /** Filter bitmap of one predicate over one chunk, cached. */
     Result<std::shared_ptr<const query::Bitmap>>
     chunkFilterBitmap(const ObjectManifest &manifest, size_t row_group,
