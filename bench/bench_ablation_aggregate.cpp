@@ -13,8 +13,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A2", "aggregate pushdown (paper future work)");
 
     RigOptions base_options;

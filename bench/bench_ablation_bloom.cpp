@@ -40,8 +40,9 @@ makeEventTable(size_t rows)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A6", "Bloom-filter chunk skipping on point lookups");
 
     const size_t rows = 64000;

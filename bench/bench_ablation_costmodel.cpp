@@ -17,8 +17,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A4", "adaptive vs always-push vs never-push");
 
     RigOptions adaptive_options;

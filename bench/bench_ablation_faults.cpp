@@ -75,8 +75,9 @@ faultOptions(size_t crashes, double horizon)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A6",
            "degraded reads under injected faults (failure-rate sweep)");
 
@@ -94,30 +95,41 @@ main()
     TablePrinter table({"crash events", "fusion p50", "fusion p99",
                         "retries", "EC rebuilds", "pushdown fallbacks",
                         "baseline p99"});
-    auto add_row = [&](size_t crashes, const Comparison &c) {
+    // Robustness counters come from the Fusion store's metrics registry
+    // (the authoritative fault.* instruments; FaultStats is just a view
+    // over them). Each sweep level runs on a fresh rig with faults armed
+    // only during the measured runs, so cumulative counts == run counts.
+    auto add_row = [&](size_t crashes, const Comparison &c,
+                       const store::FusionStore &fusion) {
+        obs::MetricsSnapshot snap = fusion.obs().metrics.snapshot();
+        auto count = [&](const char *name) -> uint64_t {
+            auto it = snap.values.find(name);
+            return it == snap.values.end() ? 0 : it->second.count;
+        };
         table.addRow({std::to_string(crashes),
                       fmt("%.3f ms", c.fusion.latency.p50() * 1e3),
                       fmt("%.3f ms", c.fusion.latency.p99() * 1e3),
-                      std::to_string(c.fusion.readRetries),
-                      std::to_string(c.fusion.parityReconstructions),
-                      std::to_string(c.fusion.pushdownFallbacks),
+                      std::to_string(count("fault.read_retries")),
+                      std::to_string(count("fault.parity_reconstructions")),
+                      std::to_string(count("fault.pushdown_fallbacks")),
                       fmt("%.3f ms", c.baseline.latency.p99() * 1e3)});
     };
-    add_row(0, clean);
+    add_row(0, clean, *clean_pair.fusion);
 
     for (size_t crashes : {1, 2, 4, 8}) {
         StorePair pair = makeStorePair(Dataset::kLineitem, rigOptions());
         pair.armFaults(
             sim::FaultSchedule::random(faultOptions(crashes, horizon)));
         Comparison faulted = compareStores(pair, run, queryMix(pair));
-        add_row(crashes, faulted);
+        add_row(crashes, faulted, *pair.fusion);
     }
     table.print();
 
     // Determinism spot check: identical seed, fresh rig — the applied
-    // fault trace and every robustness counter must match exactly.
+    // fault trace and the full metrics snapshot (every fault/cache/wire
+    // counter and the latency histogram) must match byte for byte.
     std::string traces[2];
-    store::ObjectStore::FaultStats stats[2];
+    obs::MetricsSnapshot snaps[2];
     double p99[2];
     for (int round = 0; round < 2; ++round) {
         StorePair pair = makeStorePair(Dataset::kLineitem, rigOptions());
@@ -128,15 +140,17 @@ main()
                 return pair.onCopy(next(i), i);
             });
         traces[round] = pair.fusionFaults->traceString();
-        stats[round] = pair.fusion->faultStats();
+        snaps[round] = pair.fusion->obs().metrics.snapshot();
         p99[round] = fusion_run.latency.p99();
     }
-    bool deterministic = traces[0] == traces[1] && stats[0] == stats[1] &&
+    bool deterministic = traces[0] == traces[1] &&
+                         snaps[0].toJson() == snaps[1].toJson() &&
                          p99[0] == p99[1];
-    std::printf("\ndeterminism (seed %#x, 2 runs): traces %s, counters "
+    std::printf("\ndeterminism (seed %#x, 2 runs): traces %s, metrics "
                 "%s, p99 %s\n",
                 0xfa017 + 4, traces[0] == traces[1] ? "equal" : "DIFFER",
-                stats[0] == stats[1] ? "equal" : "DIFFER",
+                snaps[0].toJson() == snaps[1].toJson() ? "equal"
+                                                       : "DIFFER",
                 p99[0] == p99[1] ? "equal" : "DIFFER");
 
     std::printf("\nexpected: latency degrades gracefully with failure "

@@ -16,8 +16,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A7", "queries under concurrent ingest");
 
     query::Query q_template;

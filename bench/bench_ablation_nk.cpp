@@ -13,8 +13,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A1", "layout overhead across (n, k) configurations");
 
     auto model = workload::lineitemChunkModel(21);

@@ -46,8 +46,9 @@ repairTraffic(const fac::ObjectLayout &layout, size_t n,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A5", "single-node repair traffic: layout x code");
 
     auto model = workload::lineitemChunkModel(77);

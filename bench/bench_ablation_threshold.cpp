@@ -34,8 +34,9 @@ pathologicalChunks(size_t dust_chunks, uint64_t giant, uint64_t dust)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Ablation A3", "overhead-threshold fallback sensitivity");
 
     struct Workload {

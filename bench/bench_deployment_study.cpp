@@ -61,8 +61,9 @@ traceObjectChunks(Rng &rng)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Deployment study",
            "population-level storage overhead and balance");
 

@@ -13,8 +13,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 4a",
                       "% of column chunks split vs erasure-code block size");
 

@@ -13,8 +13,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 4b", "baseline latency breakdown, 1%-selectivity query");
 
     RigOptions options;

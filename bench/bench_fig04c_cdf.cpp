@@ -39,8 +39,9 @@ quantile(const std::vector<double> &sorted, double q)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 4c", "CDF of normalized column chunk sizes");
 
     struct Row {

@@ -12,8 +12,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner(
         "Fig 4d", "storage overhead of the padding approach w.r.t optimal");
 

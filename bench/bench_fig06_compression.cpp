@@ -12,8 +12,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 6",
                       "compression ratio per lineitem column (avg chunks)");
 

@@ -15,8 +15,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 10a", "exact-solver runtime vs number of chunks");
 
     const double time_limit = 2.0; // seconds per instance

@@ -16,8 +16,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 10b",
            "pushdown trade-off: p50 improvement of always-push vs baseline");
 

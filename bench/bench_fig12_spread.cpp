@@ -13,8 +13,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner(
         "Fig 12", "avg nodes per lineitem chunk in baseline w/ chunk split");
 

@@ -14,8 +14,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 13a/13b", "p50/p99 latency reduction per lineitem column");
 
     RigOptions options;

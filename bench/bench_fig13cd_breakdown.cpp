@@ -32,8 +32,9 @@ breakdownRow(TablePrinter &table, const char *system, const char *column,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 13c/13d", "latency breakdown for column 5 and column 9");
 
     RigOptions options;

@@ -15,8 +15,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 14a/14b", "latency reduction vs query selectivity");
 
     RigOptions options;

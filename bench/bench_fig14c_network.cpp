@@ -13,8 +13,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 14c", "latency reduction vs network bandwidth (column 5)");
 
     TablePrinter table({"NIC bandwidth", "p50 reduction (%)",

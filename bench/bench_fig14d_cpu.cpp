@@ -15,8 +15,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 14d", "avg CPU utilization per storage node");
 
     TablePrinter table({"column", "baseline util (%)", "fusion util (%)",

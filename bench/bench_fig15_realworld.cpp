@@ -15,8 +15,9 @@ using namespace fusion;
 using namespace fusion::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     banner("Fig 15a/15b", "real-world SQL queries: latency + traffic");
 
     RigOptions li_options;

@@ -12,8 +12,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 16a",
                       "FAC storage overhead vs number of chunks (RS(9,6))");
 

@@ -16,8 +16,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Fig 16b/16c",
                       "storage + runtime overhead: oracle vs padding vs FAC");
 

@@ -14,8 +14,9 @@
 using namespace fusion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Table 3", "Parquet dataset description");
 
     struct Row {

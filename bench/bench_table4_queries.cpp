@@ -33,8 +33,9 @@ measuredSelectivity(const format::Table &t, const query::Query &q)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::obsInit(argc, argv);
     benchutil::banner("Table 4", "Real-world SQL query description");
 
     const size_t rows = 60000;

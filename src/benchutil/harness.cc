@@ -2,8 +2,91 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace fusion::benchutil {
+
+namespace {
+
+ObsOptions g_obs_options;
+std::vector<obs::TraceProcess> g_trace_processes;
+obs::MetricsSnapshot g_metrics_accum;
+size_t g_collect_seq = 0;
+
+void
+obsWriteOutputs()
+{
+    if (!g_obs_options.metricsOut.empty()) {
+        // Per-store deltas accumulated by runClosedLoop, plus the
+        // process-wide instruments (thread pool, EC dispatch) at exit.
+        obs::MetricsSnapshot merged = g_metrics_accum;
+        merged.mergeFrom(obs::MetricsRegistry::global().snapshot());
+        obs::writeTextFile(g_obs_options.metricsOut, merged.toJson());
+    }
+    if (!g_obs_options.traceOut.empty())
+        obs::writeTextFile(g_obs_options.traceOut,
+                           obs::chromeTraceJson(g_trace_processes));
+}
+
+} // namespace
+
+void
+obsInit(int argc, char **argv)
+{
+    auto flag_value = [](const char *arg,
+                         const char *name) -> const char * {
+        size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = flag_value(argv[i], "--trace-out"))
+            g_obs_options.traceOut = v;
+        else if (const char *v = flag_value(argv[i], "--metrics-out"))
+            g_obs_options.metricsOut = v;
+        // Unknown flags belong to the bench; leave them alone.
+    }
+    if (g_obs_options.traceOut.empty())
+        if (const char *env = std::getenv("FUSION_TRACE_OUT"))
+            g_obs_options.traceOut = env;
+    if (g_obs_options.metricsOut.empty())
+        if (const char *env = std::getenv("FUSION_METRICS_OUT"))
+            g_obs_options.metricsOut = env;
+    if (g_obs_options.enabled()) {
+        static bool registered = false;
+        if (!registered) {
+            registered = true;
+            // Construct the global registry BEFORE registering the
+            // writer: exit runs the atexit stack LIFO, so anything the
+            // writer reads must be constructed (= destructor enqueued)
+            // first or it is torn down before the writer runs.
+            obs::MetricsRegistry::global();
+            std::atexit(obsWriteOutputs);
+        }
+    }
+}
+
+const ObsOptions &
+obsOptions()
+{
+    return g_obs_options;
+}
+
+void
+obsCollect(store::ObjectStore &store)
+{
+    if (g_obs_options.traceOut.empty())
+        return;
+    auto spans = store.obs().tracer.takeSpans();
+    if (spans.empty())
+        return;
+    g_trace_processes.push_back(
+        {std::string(store.kindName()) + "#" +
+             std::to_string(g_collect_seq++),
+         std::move(spans)});
+}
 
 RunStats
 runClosedLoop(store::ObjectStore &store, const RunConfig &config,
@@ -14,6 +97,14 @@ runClosedLoop(store::ObjectStore &store, const RunConfig &config,
     double wall_start = engine.now();
     uint64_t traffic_start = store.cluster().totalNetworkBytes();
     store::ObjectStore::FaultStats faults_start = store.faultStats();
+
+    const bool obs_on = g_obs_options.enabled();
+    obs::MetricsSnapshot metrics_start;
+    if (obs_on) {
+        if (!g_obs_options.traceOut.empty())
+            store.obs().tracer.setEnabled(true);
+        metrics_start = store.obs().metrics.snapshot();
+    }
 
     size_t issued = 0;
     auto record = [&](Result<store::QueryOutcome> outcome,
@@ -74,6 +165,12 @@ runClosedLoop(store::ObjectStore &store, const RunConfig &config,
     stats.meanStorageCpuUtilization =
         store.cluster().meanStorageCpuUtilization();
     FUSION_CHECK(stats.latency.count() == config.totalQueries);
+
+    if (obs_on) {
+        g_metrics_accum.mergeFrom(
+            store.obs().metrics.snapshot().diff(metrics_start));
+        obsCollect(store);
+    }
     return stats;
 }
 

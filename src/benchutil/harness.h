@@ -86,6 +86,39 @@ std::string fmt(const char *format, ...);
 /** Standard header banner for a figure/table reproduction binary. */
 void banner(const std::string &id, const std::string &title);
 
+// ---- observability output (every bench binary) ----
+
+/** Where to dump traces/metrics; empty string = don't. */
+struct ObsOptions {
+    std::string traceOut;   // Chrome trace_event JSON (Perfetto-loadable)
+    std::string metricsOut; // merged metrics snapshot JSON
+
+    bool
+    enabled() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
+};
+
+/**
+ * Parses `--trace-out=FILE` / `--metrics-out=FILE` from argv (env
+ * fallback: FUSION_TRACE_OUT / FUSION_METRICS_OUT), ignoring flags it
+ * does not know, and registers an atexit writer for the requested
+ * files. Call first thing in every bench main. When either output is
+ * requested, store rigs enable their tracers and runClosedLoop
+ * accumulates per-run metric deltas and drains spans automatically.
+ */
+void obsInit(int argc, char **argv);
+
+const ObsOptions &obsOptions();
+
+/**
+ * Drains `store`'s recorded spans into the pending trace dump as one
+ * named process. runClosedLoop calls this at the end of every run; call
+ * it manually only for stores driven outside the harness.
+ */
+void obsCollect(store::ObjectStore &store);
+
 } // namespace fusion::benchutil
 
 #endif // FUSION_BENCHUTIL_HARNESS_H

@@ -114,6 +114,13 @@ makeStorePair(Dataset dataset, const RigOptions &options)
     pair.fusion = std::make_unique<store::FusionStore>(
         *pair.fusionCluster, store_options);
 
+    // Trace dumps requested via obsInit cover the setup phase too
+    // (put/stripe_encode spans), so enable before the uploads.
+    if (!obsOptions().traceOut.empty()) {
+        pair.baseline->obs().tracer.setEnabled(true);
+        pair.fusion->obs().tracer.setEnabled(true);
+    }
+
     for (size_t c = 0; c < options.copies; ++c) {
         std::string name =
             std::string(datasetName(dataset)) + "#" + std::to_string(c);

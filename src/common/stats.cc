@@ -64,4 +64,27 @@ SampleHistogram::percentile(double p) const
     return samples_[rank - 1];
 }
 
+double
+SampleHistogram::percentileInterpolated(double p) const
+{
+    FUSION_CHECK(p >= 0.0 && p <= 100.0);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_.front();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+double
+StreamingStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
 } // namespace fusion

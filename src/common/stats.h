@@ -35,6 +35,16 @@ class SampleHistogram
     /** Exact p-th percentile by nearest-rank, p in [0, 100]. */
     double percentile(double p) const;
 
+    /**
+     * Linear-interpolated p-th percentile (NIST/Excel "inclusive"
+     * definition: rank p/100 x (n-1), interpolate between the two
+     * closest samples). Nearest-rank percentile() stays the default
+     * everywhere; this variant smooths small-sample latency series.
+     * Returns 0.0 on an empty histogram; a single sample answers every
+     * p with itself.
+     */
+    double percentileInterpolated(double p) const;
+
     double p50() const { return percentile(50.0); }
     double p99() const { return percentile(99.0); }
 
@@ -47,7 +57,11 @@ class SampleHistogram
     mutable bool sorted_ = false;
 };
 
-/** Constant-space running count/mean/min/max/sum. */
+/**
+ * Constant-space running count/mean/min/max/sum plus population
+ * variance via Welford's online algorithm (numerically stable even
+ * when samples share a large common offset).
+ */
 class StreamingStats
 {
   public:
@@ -58,6 +72,9 @@ class StreamingStats
         sum_ += sample;
         if (sample < min_) min_ = sample;
         if (sample > max_) max_ = sample;
+        double delta = sample - welfordMean_;
+        welfordMean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (sample - welfordMean_);
     }
 
     uint64_t count() const { return count_; }
@@ -66,11 +83,17 @@ class StreamingStats
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Population variance (divide by n); 0.0 for fewer than 2 samples. */
+    double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+    double stddev() const;
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    double welfordMean_ = 0.0;
+    double m2_ = 0.0;
 };
 
 } // namespace fusion

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace fusion {
 
 namespace {
@@ -114,6 +116,21 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     if (begin >= end)
         return;
     size_t count = end - begin;
+    // Thread-count-invariant instruments only: a gauge of pool width or
+    // inline-vs-pooled split counters would make metric snapshots differ
+    // across FUSION_THREADS settings and break the determinism contract.
+    {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::global().counter("pool.parallel_for_calls");
+        static obs::Counter &items =
+            obs::MetricsRegistry::global().counter("pool.parallel_for_items");
+        static obs::Histogram &sizes =
+            obs::MetricsRegistry::global().histogram(
+                "pool.batch_items", obs::exponentialBounds(1.0, 4.0, 8));
+        calls.add(1);
+        items.add(static_cast<uint64_t>(count));
+        sizes.observe(static_cast<double>(count));
+    }
     if (threads_ == 1 || count == 1 || tls_in_pool_work) {
         for (size_t i = begin; i < end; ++i)
             fn(i);

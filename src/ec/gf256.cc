@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define FUSION_GF256_X86 1
@@ -252,7 +253,22 @@ Gf256::mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
 {
     if (c == 0)
         return;
+    // Per-level dispatch tallies. These totals are a function of the
+    // workload (coefficients and lengths), not the thread count, so
+    // snapshots stay byte-identical across FUSION_THREADS settings.
+    static obs::Counter &macBytes =
+        obs::MetricsRegistry::global().counter("ec.mac_bytes");
+    static obs::Counter &callsXor =
+        obs::MetricsRegistry::global().counter("ec.mac_calls.xor");
+    static obs::Counter &callsScalar =
+        obs::MetricsRegistry::global().counter("ec.mac_calls.scalar");
+    static obs::Counter &callsSsse3 =
+        obs::MetricsRegistry::global().counter("ec.mac_calls.ssse3");
+    static obs::Counter &callsAvx2 =
+        obs::MetricsRegistry::global().counter("ec.mac_calls.avx2");
+    macBytes.add(static_cast<uint64_t>(len));
     if (c == 1) {
+        callsXor.add(1);
         // XOR-only path: the compiler vectorizes this on its own.
         for (size_t i = 0; i < len; ++i)
             dst[i] ^= src[i];
@@ -263,16 +279,19 @@ Gf256::mulAccumulate(uint8_t *dst, const uint8_t *src, size_t len,
     if (level > hardwareSimdLevel())
         level = hardwareSimdLevel();
     if (level == SimdLevel::kAvx2) {
+        callsAvx2.add(1);
         mulAccumulateAvx2(dst, src, len, nibLo_[c], nibHi_[c]);
         return;
     }
     if (level == SimdLevel::kSsse3) {
+        callsSsse3.add(1);
         mulAccumulateSsse3(dst, src, len, nibLo_[c], nibHi_[c]);
         return;
     }
 #else
     (void)level;
 #endif
+    callsScalar.add(1);
     mulAccumulateScalar(dst, src, len, c);
 }
 

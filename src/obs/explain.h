@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Query EXPLAIN report for the adaptive-pushdown executor. Every
+ * per-chunk projection decision the Cost Equation makes (paper §4.3:
+ * push when selectivity x compressibility < 1) is recorded with its
+ * inputs and verdict, including the decisions the equation never got
+ * to make — health fallbacks on faulted nodes, split chunks that must
+ * reassemble, and aggregate pushdowns. Rendered as a deterministic
+ * text table or canonical JSON so reports are byte-comparable across
+ * runs and thread counts.
+ */
+#ifndef FUSION_OBS_EXPLAIN_H
+#define FUSION_OBS_EXPLAIN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fusion::obs {
+
+/** One projection chunk's pushdown decision. */
+struct ExplainChunk {
+    uint32_t chunkId = 0;
+    uint32_t rowGroup = 0;
+    std::string column;
+    double selectivity = 0.0;
+    double compressibility = 1.0;
+    /** "push" or "fetch" — where the projection actually ran. */
+    std::string verdict;
+    /** Why: "cost product < 1", "cost product >= 1", "node
+     *  unresponsive (health fallback)", "chunk split across nodes",
+     *  "aggregate-only projection", "adaptive pushdown disabled". */
+    std::string reason;
+
+    /** The Cost Equation's left-hand side. */
+    double product() const { return selectivity * compressibility; }
+};
+
+/** Full report for one query against one object. */
+struct QueryExplain {
+    std::string table;
+    std::string query; // canonical query text
+    double selectivity = 0.0;
+    size_t rowGroupsScanned = 0;
+    size_t rowGroupsSkipped = 0;
+    size_t filterPushdowns = 0;
+    size_t filterFetches = 0;
+    std::vector<ExplainChunk> projections;
+
+    size_t pushCount() const;
+    size_t fetchCount() const;
+
+    /** Aligned text table (the `EXPLAIN` output). */
+    std::string render() const;
+    /** Canonical JSON with fixed formatting. */
+    std::string toJson() const;
+};
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_EXPLAIN_H

@@ -1,0 +1,340 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fusion::obs {
+
+namespace {
+
+/** Shortest round-trippable decimal for a double, canonicalized. */
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new Counter[bounds_.size() + 1])
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        std::fprintf(stderr,
+                     "obs::Histogram: bucket bounds must be sorted\n");
+        std::abort();
+    }
+}
+
+void
+Histogram::observe(double v) noexcept
+{
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    buckets_[idx].add(1);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> counts(bounds_.size() + 1);
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] = buckets_[i].value();
+    return counts;
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        total += buckets_[i].value();
+    return total;
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].reset();
+}
+
+std::vector<double>
+exponentialBounds(double first, double factor, size_t count)
+{
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double v = first;
+    for (size_t i = 0; i < count; ++i) {
+        bounds.push_back(v);
+        v *= factor;
+    }
+    return bounds;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+bool
+SnapshotValue::operator==(const SnapshotValue &other) const
+{
+    return kind == other.kind && count == other.count &&
+           number == other.number && bounds == other.bounds &&
+           buckets == other.buckets;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto &[name, v] : values) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "  \"" + name + "\": ";
+        switch (v.kind) {
+          case SnapshotValue::Kind::kCounter:
+            out += std::to_string(v.count);
+            break;
+          case SnapshotValue::Kind::kDouble:
+          case SnapshotValue::Kind::kGauge:
+            out += formatDouble(v.number);
+            break;
+          case SnapshotValue::Kind::kHistogram: {
+            out += "{\"bounds\": [";
+            for (size_t i = 0; i < v.bounds.size(); ++i)
+                out += (i ? ", " : "") + formatDouble(v.bounds[i]);
+            out += "], \"counts\": [";
+            for (size_t i = 0; i < v.buckets.size(); ++i)
+                out += (i ? ", " : "") + std::to_string(v.buckets[i]);
+            out += "]}";
+            break;
+          }
+        }
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::render() const
+{
+    size_t width = 0;
+    for (const auto &[name, v] : values)
+        width = std::max(width, name.size());
+    std::string out;
+    char line[256];
+    for (const auto &[name, v] : values) {
+        switch (v.kind) {
+          case SnapshotValue::Kind::kCounter:
+            std::snprintf(line, sizeof(line), "%-*s %llu\n",
+                          static_cast<int>(width), name.c_str(),
+                          static_cast<unsigned long long>(v.count));
+            break;
+          case SnapshotValue::Kind::kDouble:
+          case SnapshotValue::Kind::kGauge:
+            std::snprintf(line, sizeof(line), "%-*s %g\n",
+                          static_cast<int>(width), name.c_str(), v.number);
+            break;
+          case SnapshotValue::Kind::kHistogram: {
+            uint64_t total = 0;
+            for (uint64_t b : v.buckets)
+                total += b;
+            std::snprintf(line, sizeof(line),
+                          "%-*s histogram, %llu samples\n",
+                          static_cast<int>(width), name.c_str(),
+                          static_cast<unsigned long long>(total));
+            break;
+          }
+        }
+        out += line;
+    }
+    return out;
+}
+
+MetricsSnapshot
+MetricsSnapshot::diff(const MetricsSnapshot &earlier) const
+{
+    MetricsSnapshot out = *this;
+    for (auto &[name, v] : out.values) {
+        auto it = earlier.values.find(name);
+        if (it == earlier.values.end() || it->second.kind != v.kind)
+            continue;
+        switch (v.kind) {
+          case SnapshotValue::Kind::kCounter:
+            v.count -= std::min(it->second.count, v.count);
+            break;
+          case SnapshotValue::Kind::kDouble:
+            v.number -= it->second.number;
+            break;
+          case SnapshotValue::Kind::kGauge:
+            break; // point-in-time: keep the later reading
+          case SnapshotValue::Kind::kHistogram:
+            if (it->second.buckets.size() == v.buckets.size())
+                for (size_t i = 0; i < v.buckets.size(); ++i)
+                    v.buckets[i] -=
+                        std::min(it->second.buckets[i], v.buckets[i]);
+            break;
+        }
+    }
+    return out;
+}
+
+void
+MetricsSnapshot::mergeFrom(const MetricsSnapshot &other)
+{
+    for (const auto &[name, v] : other.values) {
+        auto [it, inserted] = values.emplace(name, v);
+        if (inserted)
+            continue;
+        SnapshotValue &mine = it->second;
+        if (mine.kind != v.kind)
+            continue;
+        switch (v.kind) {
+          case SnapshotValue::Kind::kCounter:
+            mine.count += v.count;
+            break;
+          case SnapshotValue::Kind::kDouble:
+            mine.number += v.number;
+            break;
+          case SnapshotValue::Kind::kGauge:
+            mine.number = v.number;
+            break;
+          case SnapshotValue::Kind::kHistogram:
+            if (mine.buckets.size() == v.buckets.size())
+                for (size_t i = 0; i < v.buckets.size(); ++i)
+                    mine.buckets[i] += v.buckets[i];
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+MetricsRegistry::Entry &
+MetricsRegistry::entry(const std::string &name, SnapshotValue::Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = kind;
+        it = entries_.emplace(name, std::move(e)).first;
+    } else if (it->second.kind != kind) {
+        std::fprintf(stderr,
+                     "obs::MetricsRegistry: metric '%s' re-registered "
+                     "as a different kind\n",
+                     name.c_str());
+        std::abort();
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    Entry &e = entry(name, SnapshotValue::Kind::kCounter);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+DoubleCounter &
+MetricsRegistry::doubleCounter(const std::string &name)
+{
+    Entry &e = entry(name, SnapshotValue::Kind::kDouble);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!e.dcounter)
+        e.dcounter = std::make_unique<DoubleCounter>();
+    return *e.dcounter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    Entry &e = entry(name, SnapshotValue::Kind::kGauge);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    Entry &e = entry(name, SnapshotValue::Kind::kHistogram);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(bounds);
+    return *e.histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, e] : entries_) {
+        SnapshotValue v;
+        v.kind = e.kind;
+        switch (e.kind) {
+          case SnapshotValue::Kind::kCounter:
+            v.count = e.counter ? e.counter->value() : 0;
+            break;
+          case SnapshotValue::Kind::kDouble:
+            v.number = e.dcounter ? e.dcounter->value() : 0.0;
+            break;
+          case SnapshotValue::Kind::kGauge:
+            v.number = e.gauge ? e.gauge->value() : 0.0;
+            break;
+          case SnapshotValue::Kind::kHistogram:
+            if (e.histogram) {
+                v.bounds = e.histogram->bounds();
+                v.buckets = e.histogram->bucketCounts();
+            }
+            break;
+        }
+        snap.values.emplace(name, std::move(v));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, e] : entries_) {
+        if (e.counter)
+            e.counter->reset();
+        if (e.dcounter)
+            e.dcounter->reset();
+        if (e.gauge)
+            e.gauge->reset();
+        if (e.histogram)
+            e.histogram->reset();
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace fusion::obs

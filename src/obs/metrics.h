@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Metrics registry: typed counters, gauges and fixed-bucket histograms
+ * with near-zero hot-path cost. Increment paths touch one cache-line-
+ * padded relaxed atomic in a per-thread shard; all folding, naming and
+ * formatting happens on snapshot. Determinism contract (mirrors the
+ * thread-pool contract in common/thread_pool.h): integer counters and
+ * histogram bucket counts fold to identical values for any thread
+ * count; floating-point counters are bit-stable only when incremented
+ * from a single thread (which is how the store's serial fault path
+ * uses them). Snapshots render to a canonical sorted JSON/text form so
+ * byte-comparison across runs is meaningful.
+ *
+ * This header is dependency-free (std only) so the lowest layers
+ * (common, ec) can be instrumented without a link cycle.
+ */
+#ifndef FUSION_OBS_METRICS_H
+#define FUSION_OBS_METRICS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fusion::obs {
+
+namespace detail {
+
+inline constexpr size_t kShards = 16;
+
+/** Stable per-thread shard slot in [0, kShards). */
+inline size_t
+shardIndex()
+{
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+struct alignas(64) U64Shard {
+    std::atomic<uint64_t> v{0};
+};
+
+struct alignas(64) F64Shard {
+    std::atomic<double> v{0.0};
+};
+
+} // namespace detail
+
+/** Monotonically increasing integer counter (sharded, relaxed). */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1) noexcept
+    {
+        shards_[detail::shardIndex()].v.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const noexcept
+    {
+        uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset() noexcept
+    {
+        for (auto &shard : shards_)
+            shard.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    detail::U64Shard shards_[detail::kShards];
+};
+
+/** Accumulating floating-point counter (e.g. seconds of backoff). */
+class DoubleCounter
+{
+  public:
+    void
+    add(double delta) noexcept
+    {
+        auto &cell = shards_[detail::shardIndex()].v;
+        double cur = cell.load(std::memory_order_relaxed);
+        while (!cell.compare_exchange_weak(cur, cur + delta,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Folds shards in fixed index order (bit-stable when all adds
+     *  came from one thread). */
+    double
+    value() const noexcept
+    {
+        double total = 0.0;
+        for (const auto &shard : shards_)
+            total += shard.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset() noexcept
+    {
+        for (auto &shard : shards_)
+            shard.v.store(0.0, std::memory_order_relaxed);
+    }
+
+  private:
+    detail::F64Shard shards_[detail::kShards];
+};
+
+/** Last-write-wins scalar (queue depth, configured sizes, ...). */
+class Gauge
+{
+  public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+    /** Raises the gauge to `v` if above the current value. */
+    void
+    setMax(double v) noexcept
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (cur < v && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    double value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+ * first N buckets; one implicit overflow bucket catches the rest.
+ * Bucket counts are sharded integer counters, so they fold
+ * deterministically for any thread count.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Folded per-bucket counts, bounds_.size() + 1 entries. */
+    std::vector<uint64_t> bucketCounts() const;
+    uint64_t count() const;
+    void reset() noexcept;
+
+  private:
+    std::vector<double> bounds_; // sorted ascending
+    std::unique_ptr<Counter[]> buckets_;
+};
+
+/** Exponential bucket bounds: first, first*factor, ... (count values). */
+std::vector<double> exponentialBounds(double first, double factor,
+                                      size_t count);
+
+/** One folded metric value in a snapshot. */
+struct SnapshotValue {
+    enum class Kind { kCounter, kDouble, kGauge, kHistogram };
+    Kind kind = Kind::kCounter;
+    uint64_t count = 0;                // counters
+    double number = 0.0;               // double counters / gauges
+    std::vector<double> bounds;        // histograms
+    std::vector<uint64_t> buckets;     // histograms (bounds.size() + 1)
+
+    bool operator==(const SnapshotValue &other) const;
+};
+
+/** Point-in-time fold of a registry: sorted name -> value. */
+struct MetricsSnapshot {
+    std::map<std::string, SnapshotValue> values;
+
+    /** Canonical JSON (sorted keys, fixed float formatting) — byte
+     *  comparable across runs. */
+    std::string toJson() const;
+    /** Human-readable aligned text dump. */
+    std::string render() const;
+
+    /** this - earlier, per metric (counters/doubles/buckets subtract;
+     *  gauges keep this snapshot's value). Metrics absent from
+     *  `earlier` pass through unchanged. */
+    MetricsSnapshot diff(const MetricsSnapshot &earlier) const;
+
+    /** Folds `other` into this (counters/doubles/buckets add; gauges:
+     *  other wins). Used to merge per-store registries for dumping. */
+    void mergeFrom(const MetricsSnapshot &other);
+
+    bool operator==(const MetricsSnapshot &other) const
+    {
+        return values == other.values;
+    }
+};
+
+/**
+ * Owns named metrics. Lookup takes a registration mutex — callers on
+ * hot paths resolve once and cache the returned reference (stable for
+ * the registry's lifetime). Metric kinds are fixed at first
+ * registration; re-registering a name as a different kind aborts.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    DoubleCounter &doubleCounter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** `bounds` are only consulted on first registration. */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    MetricsSnapshot snapshot() const;
+    void reset();
+
+    /** Process-wide registry for cross-store instruments (thread pool,
+     *  EC kernel dispatch). Per-store counters live in the store's own
+     *  registry (obs::Observability). */
+    static MetricsRegistry &global();
+
+  private:
+    struct Entry {
+        SnapshotValue::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<DoubleCounter> dcounter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    Entry &entry(const std::string &name, SnapshotValue::Kind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_METRICS_H

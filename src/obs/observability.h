@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Per-store observability bundle: a metrics registry, a simulated-time
+ * span tracer and the EXPLAIN toggle, owned by each ObjectStore so two
+ * stores on independent simulated clusters never mix counters or
+ * timestamps. Process-wide instruments (thread pool, EC kernel
+ * dispatch) live in obs::MetricsRegistry::global() instead.
+ */
+#ifndef FUSION_OBS_OBSERVABILITY_H
+#define FUSION_OBS_OBSERVABILITY_H
+
+#include "explain.h"
+#include "metrics.h"
+#include "trace.h"
+
+namespace fusion::obs {
+
+/** See file comment. */
+struct Observability {
+    MetricsRegistry metrics;
+    Tracer tracer;
+    /** When true, FusionStore::query fills QueryOutcome::explain. */
+    bool explainEnabled = false;
+};
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_OBSERVABILITY_H

@@ -1,0 +1,127 @@
+#include "trace.h"
+
+#include <cstdio>
+
+namespace fusion::obs {
+
+namespace {
+
+/** Microsecond timestamp with fixed sub-microsecond precision. */
+std::string
+formatMicros(double seconds)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    return buf;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceProcess> &processes)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += event;
+    };
+
+    int pid = 0;
+    for (const auto &proc : processes) {
+        ++pid;
+        emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+             escapeJson(proc.name) + "\"}}");
+
+        // Deterministic greedy lane assignment: each span takes the
+        // lowest tid whose previous span has already ended, so every
+        // per-tid track contains non-overlapping, orderly X events.
+        std::vector<double> laneEnd;
+        for (const auto &span : proc.spans) {
+            double begin = span.beginSeconds;
+            double end = span.endSeconds < begin ? begin : span.endSeconds;
+            size_t lane = laneEnd.size();
+            for (size_t i = 0; i < laneEnd.size(); ++i) {
+                if (laneEnd[i] <= begin) {
+                    lane = i;
+                    break;
+                }
+            }
+            if (lane == laneEnd.size())
+                laneEnd.push_back(end);
+            else
+                laneEnd[lane] = end;
+
+            std::string event = "{\"name\":\"";
+            event += escapeJson(span.name);
+            event += "\",\"cat\":\"fusion\",\"ph\":\"X\",\"ts\":";
+            event += formatMicros(begin);
+            event += ",\"dur\":";
+            event += formatMicros(end - begin);
+            event += ",\"pid\":" + std::to_string(pid);
+            event += ",\"tid\":" + std::to_string(lane + 1);
+            if (!span.args.empty())
+                event += ",\"args\":{" + span.args + "}";
+            event += "}";
+            emit(event);
+        }
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return false;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+}
+
+std::vector<TraceSpan>
+Tracer::takeSpans()
+{
+    std::vector<TraceSpan> out = std::move(spans_);
+    spans_.clear();
+    return out;
+}
+
+std::string
+Tracer::toChromeJson(const std::string &process_name) const
+{
+    return chromeTraceJson({TraceProcess{process_name, spans_}});
+}
+
+} // namespace fusion::obs

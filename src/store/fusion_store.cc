@@ -35,6 +35,16 @@ FusionStore::planQuery(const ObjectManifest &manifest,
     plan.outcome.result = plane.result;
     plan.clientReplyBytes = plane.resultWireBytes;
 
+    // EXPLAIN collection (per-chunk Cost Equation inputs + verdicts);
+    // only filled when the report was asked for.
+    const bool explain = obs_.explainEnabled;
+    obs::QueryExplain report;
+    if (explain) {
+        report.table = manifest.name;
+        report.query = q.toString();
+        report.selectivity = plane.selectivity;
+    }
+
     // ---- filter stage ----
     // Chunks decoded in-situ during this stage stay warm on their node
     // for the projection stage of the same query (the paper's Fig 13c
@@ -56,7 +66,8 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 plan.filterTasks.push_back(
                     {node, options_.requestRpcBytes, chunk.storedSize,
                      chunkDecodeWork(chunk),
-                     plane.filterReplyWireSize.at({rg, col}), 0.0});
+                     plane.filterReplyWireSize.at({rg, col}), 0.0,
+                     "filter_pushdown"});
                 warm_chunks.insert({node, chunk_id});
                 ++plan.outcome.filterChunkPushdowns;
             } else {
@@ -64,7 +75,7 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 // the coordinator, which also evaluates the filter.
                 if (state == ChunkPushdownState::kFaulted) {
                     ++plan.outcome.pushdownFallbacks;
-                    ++faultStats_.pushdownFallbacks;
+                    ins_.pushdownFallbacks->add(1);
                 }
                 appendChunkFetchTasks(manifest, chunk_id,
                                       plan.coordinatorId,
@@ -98,6 +109,20 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             const format::ChunkMeta &chunk = meta.chunk(rg, col);
             uint32_t chunk_id = manifest.chunkIdFor(rg, col);
 
+            // The Cost Equation inputs are computed for every chunk so
+            // EXPLAIN can report them even when health overrides the
+            // verdict.
+            auto decision = query::decideProjectionPushdown(
+                plane.selectivity, chunk);
+            auto record = [&](const char *verdict, const char *reason) {
+                if (!explain)
+                    return;
+                report.projections.push_back(
+                    {chunk_id, static_cast<uint32_t>(rg), col_name,
+                     decision.selectivity, decision.compressibility,
+                     verdict, reason});
+            };
+
             auto state = chunkPushdownState(manifest, chunk_id);
             if (state != ChunkPushdownState::kPushable) {
                 // The Cost Equation is only consulted for healthy
@@ -105,7 +130,10 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 // coordinator-side evaluation regardless of its verdict.
                 if (state == ChunkPushdownState::kFaulted) {
                     ++plan.outcome.pushdownFallbacks;
-                    ++faultStats_.pushdownFallbacks;
+                    ins_.pushdownFallbacks->add(1);
+                    record("fetch", "node unresponsive (health fallback)");
+                } else {
+                    record("fetch", "chunk split across nodes");
                 }
                 appendChunkFetchTasks(manifest, chunk_id,
                                       plan.coordinatorId,
@@ -128,27 +156,42 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             if (options_.aggregatePushdown && aggregate_only) {
                 // Node returns a (count, sum, min, max) scalar tuple.
                 plan.projectionTasks.push_back(
-                    {node, request, disk_bytes, decode_work, 32, 0.0});
+                    {node, request, disk_bytes, decode_work, 32, 0.0,
+                     "projection_pushdown"});
                 ++plan.outcome.projectionPushdowns;
+                record("push", "aggregate-only projection");
                 continue;
             }
 
-            auto decision = query::decideProjectionPushdown(
-                plane.selectivity, chunk);
             bool push = options_.adaptivePushdown ? decision.push : true;
             if (push) {
                 plan.projectionTasks.push_back(
                     {node, request, disk_bytes, decode_work,
-                     plane.projectionReplySize.at({rg, col}), 0.0});
+                     plane.projectionReplySize.at({rg, col}), 0.0,
+                     "projection_pushdown"});
                 ++plan.outcome.projectionPushdowns;
+                record("push", options_.adaptivePushdown
+                                   ? "cost product < 1"
+                                   : "adaptive pushdown disabled");
             } else {
                 // Fetch the compressed chunk; decode + select locally.
                 plan.projectionTasks.push_back(
                     {node, options_.requestRpcBytes, chunk.storedSize, 0.0,
-                     chunk.storedSize, chunkDecodeWork(chunk)});
+                     chunk.storedSize, chunkDecodeWork(chunk),
+                     "chunk_fetch"});
                 ++plan.outcome.projectionFetches;
+                record("fetch", "cost product >= 1");
             }
         }
+    }
+
+    if (explain) {
+        report.rowGroupsScanned = plan.outcome.rowGroupsScanned;
+        report.rowGroupsSkipped = plan.outcome.rowGroupsSkipped;
+        report.filterPushdowns = plan.outcome.filterChunkPushdowns;
+        report.filterFetches = plan.outcome.filterChunkFetches;
+        plan.outcome.explain =
+            std::make_shared<const obs::QueryExplain>(std::move(report));
     }
     return plan;
 }

@@ -1,6 +1,7 @@
 #include "object_store.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <set>
 
@@ -32,6 +33,60 @@ ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
 {
     FUSION_CHECK_MSG(cluster.numNodes() >= options.n,
                      "cluster smaller than erasure-code width n");
+
+    // Spans carry the owning cluster's simulated clock; wall time never
+    // appears in a trace.
+    obs_.tracer.setClock(
+        [engine = &cluster_.engine()]() { return engine->now(); });
+
+    obs::MetricsRegistry &reg = obs_.metrics;
+    ins_.readRetries = &reg.counter("fault.read_retries");
+    ins_.readTimeouts = &reg.counter("fault.read_timeouts");
+    ins_.parityReconstructions =
+        &reg.counter("fault.parity_reconstructions");
+    ins_.degradedChunkReads = &reg.counter("fault.degraded_chunk_reads");
+    ins_.pushdownFallbacks = &reg.counter("fault.pushdown_fallbacks");
+    ins_.backoffSeconds = &reg.doubleCounter("fault.backoff_seconds");
+    ins_.cacheDecodeHit = &reg.counter("cache.decode.hit");
+    ins_.cacheDecodeMiss = &reg.counter("cache.decode.miss");
+    ins_.cacheBitmapHit = &reg.counter("cache.bitmap.hit");
+    ins_.cacheBitmapMiss = &reg.counter("cache.bitmap.miss");
+    ins_.cachePlanHit = &reg.counter("cache.plan.hit");
+    ins_.cachePlanMiss = &reg.counter("cache.plan.miss");
+    ins_.wireFilterRequest = &reg.counter("wire.filter.request_bytes");
+    ins_.wireFilterReply = &reg.counter("wire.filter.reply_bytes");
+    ins_.wireProjectionRequest =
+        &reg.counter("wire.projection.request_bytes");
+    ins_.wireProjectionReply = &reg.counter("wire.projection.reply_bytes");
+    ins_.wireClientRequest = &reg.counter("wire.client.request_bytes");
+    ins_.wireClientReply = &reg.counter("wire.client.reply_bytes");
+    // 100 us .. ~10 s in x2 steps covers the simulated latency range.
+    ins_.queryLatency = &reg.histogram(
+        "query.latency_seconds", obs::exponentialBounds(1e-4, 2.0, 17));
+}
+
+ObjectStore::FaultStats
+ObjectStore::faultStats() const
+{
+    FaultStats out;
+    out.readRetries = ins_.readRetries->value();
+    out.readTimeouts = ins_.readTimeouts->value();
+    out.parityReconstructions = ins_.parityReconstructions->value();
+    out.degradedChunkReads = ins_.degradedChunkReads->value();
+    out.pushdownFallbacks = ins_.pushdownFallbacks->value();
+    out.backoffSeconds = ins_.backoffSeconds->value();
+    return out;
+}
+
+void
+ObjectStore::resetFaultStats()
+{
+    ins_.readRetries->reset();
+    ins_.readTimeouts->reset();
+    ins_.parityReconstructions->reset();
+    ins_.degradedChunkReads->reset();
+    ins_.pushdownFallbacks->reset();
+    ins_.backoffSeconds->reset();
 }
 
 bool
@@ -112,6 +167,10 @@ ObjectStore::put(const std::string &name, Bytes object)
 {
     if (object.empty())
         return Status::invalidArgument("cannot store an empty object");
+    // Layout + encode + placement run inside one simulated instant, so
+    // this span is zero-duration in simulated time; putAsync wraps the
+    // streaming write path in a span that does advance the clock.
+    obs::Tracer::Scoped put_span(obs_.tracer, "put");
     if (contains(name)) {
         // Updates are fresh inserts (paper §5): drop the old placement.
         FUSION_RETURN_IF_ERROR(deleteObject(name));
@@ -164,6 +223,9 @@ ObjectStore::put(const std::string &name, Bytes object)
     // its own slot, so any thread count produces identical stripes).
     // Node placement and storage mutation stay on the calling thread.
     const size_t num_stripes = manifest.layout.stripes.size();
+    uint64_t encode_span = obs_.tracer.beginSpan(
+        "stripe_encode", "\"object\": \"" + name + "\", \"stripes\": " +
+                             std::to_string(num_stripes));
     std::vector<std::vector<Bytes>> stripe_blocks(num_stripes);
     ThreadPool::shared().parallelFor(0, num_stripes, [&](size_t s) {
         const fac::StripeLayout &stripe = manifest.layout.stripes[s];
@@ -191,6 +253,7 @@ ObjectStore::put(const std::string &name, Bytes object)
         for (auto &p : parity)
             stripe_blocks[s].push_back(std::move(p));
     });
+    obs_.tracer.endSpan(encode_span);
 
     for (size_t s = 0; s < num_stripes; ++s) {
         for (size_t b = 0; b < options_.n; ++b) {
@@ -245,8 +308,12 @@ void
 ObjectStore::putAsync(const std::string &name, Bytes object,
                       std::function<void(Result<PutResult>)> done)
 {
+    uint64_t put_span = obs_.tracer.beginSpan(
+        "put", "\"object\": \"" + name + "\", \"bytes\": " +
+                   std::to_string(object.size()));
     auto result = put(name, std::move(object));
     if (!result.isOk()) {
+        obs_.tracer.endSpan(put_span);
         done(result.status());
         return;
     }
@@ -273,12 +340,13 @@ ObjectStore::putAsync(const std::string &name, Bytes object,
 
     auto shared = std::make_shared<PutResult>(std::move(result.value()));
     auto stream_blocks = [this, shared, node_bytes, coord, seek, start,
-                          done = std::move(done)]() mutable {
+                          put_span, done = std::move(done)]() mutable {
         auto join = std::make_shared<sim::Join>(
             node_bytes.size(),
-            [this, shared, start, done = std::move(done)]() {
+            [this, shared, start, put_span, done = std::move(done)]() {
                 shared->simulatedPutSeconds =
                     cluster_.engine().now() - start;
+                obs_.tracer.endSpan(put_span);
                 done(*shared);
             });
         for (size_t node_id = 0; node_id < node_bytes.size(); ++node_id) {
@@ -346,13 +414,13 @@ ObjectStore::fetchBlockWithRetry(const ObjectManifest &manifest,
         }
         if (attempt >= options_.maxReadRetries)
             break;
-        ++faultStats_.readRetries;
-        faultStats_.backoffSeconds += backoff;
+        ins_.readRetries->add(1);
+        ins_.backoffSeconds->add(backoff);
         when += backoff;
         backoff = std::min(2.0 * backoff,
                            options_.retryBackoffMaxSeconds);
     }
-    ++faultStats_.readTimeouts;
+    ins_.readTimeouts->add(1);
     return nullptr;
 }
 
@@ -399,8 +467,9 @@ ObjectStore::recoverBlock(const ObjectManifest &manifest, size_t stripe,
             manifest.name + "': " + std::to_string(survivors) + " of " +
             std::to_string(n) + " shards reachable, need " +
             std::to_string(k));
+    obs::Tracer::Scoped span(obs_.tracer, "reconstruct");
     FUSION_RETURN_IF_ERROR(rs_.reconstruct(shards, block_size));
-    ++faultStats_.parityReconstructions;
+    ins_.parityReconstructions->add(1);
     Bytes out = std::move(*shards[block_index]);
     out.resize(true_size(block_index));
     return out;
@@ -435,8 +504,13 @@ ObjectStore::readChunkBytes(const ObjectManifest &manifest,
                       out.begin() + piece.chunkOffset);
         }
     }
-    if (degraded)
-        ++faultStats_.degradedChunkReads;
+    if (degraded) {
+        ins_.degradedChunkReads->add(1);
+        obs_.tracer.instant(
+            "degraded_read",
+            "\"chunk\": " + std::to_string(chunk_id) + ", \"object\": \"" +
+                manifest.name + "\"");
+    }
     return out;
 }
 
@@ -557,8 +631,11 @@ ObjectStore::decodedChunk(const ObjectManifest &manifest, size_t row_group,
     uint32_t chunk_id = manifest.chunkIdFor(row_group, column);
     auto key = std::make_pair(manifest.name, uint64_t{chunk_id});
     auto it = decodeCache_.find(key);
-    if (it != decodeCache_.end())
+    if (it != decodeCache_.end()) {
+        ins_.cacheDecodeHit->add(1);
         return it->second;
+    }
+    ins_.cacheDecodeMiss->add(1);
 
     auto bytes = readChunkBytes(manifest, chunk_id);
     if (!bytes.isOk())
@@ -585,8 +662,11 @@ ObjectStore::chunkFilterBitmap(const ObjectManifest &manifest,
         manifest.name, uint64_t{manifest.chunkIdFor(row_group, column)},
         std::move(pred_key));
     auto it = bitmapCache_.find(key);
-    if (it != bitmapCache_.end())
+    if (it != bitmapCache_.end()) {
+        ins_.cacheBitmapHit->add(1);
         return it->second;
+    }
+    ins_.cacheBitmapMiss->add(1);
 
     auto chunk = decodedChunk(manifest, row_group, column);
     if (!chunk.isOk())
@@ -661,8 +741,11 @@ ObjectStore::executeDataPlane(const ObjectManifest &manifest,
 {
     std::string cache_key = manifest.name + "|" + q.toString();
     auto cached = planCache_.find(cache_key);
-    if (cached != planCache_.end())
+    if (cached != planCache_.end()) {
+        ins_.cachePlanHit->add(1);
         return *cached->second;
+    }
+    ins_.cachePlanMiss->add(1);
 
     const format::FileMetadata &meta = manifest.fileMeta;
     const format::Schema &schema = meta.schema;
@@ -929,7 +1012,8 @@ ObjectStore::accountPlanResources(QueryPlan &plan) const
     const sim::NodeConfig &nc = cluster_.config().node;
     QueryOutcome &out = plan.outcome;
 
-    auto account_task = [&](const SimTask &task) {
+    auto account_task = [&](const SimTask &task, obs::Counter *wire_request,
+                            obs::Counter *wire_reply) {
         bool remote = task.nodeId != plan.coordinatorId;
         if (remote) {
             out.networkBytes += task.requestBytes + task.replyBytes;
@@ -937,6 +1021,8 @@ ObjectStore::accountPlanResources(QueryPlan &plan) const
                 static_cast<double>(task.requestBytes + task.replyBytes) /
                     nc.nicBandwidth +
                 2 * nc.rpcLatency;
+            wire_request->add(task.requestBytes);
+            wire_reply->add(task.replyBytes);
         }
         if (task.diskBytes > 0) {
             out.diskSeconds +=
@@ -947,9 +1033,10 @@ ObjectStore::accountPlanResources(QueryPlan &plan) const
             (task.nodeCpuWork + task.coordCpuWork) / nc.cpuRate;
     };
     for (const auto &task : plan.filterTasks)
-        account_task(task);
+        account_task(task, ins_.wireFilterRequest, ins_.wireFilterReply);
     for (const auto &task : plan.projectionTasks)
-        account_task(task);
+        account_task(task, ins_.wireProjectionRequest,
+                     ins_.wireProjectionReply);
     out.cpuSeconds += plan.interStageCoordWork / nc.cpuRate;
     out.networkBytes += options_.clientRequestBytes + plan.clientReplyBytes;
     out.networkSeconds +=
@@ -957,6 +1044,8 @@ ObjectStore::accountPlanResources(QueryPlan &plan) const
                             plan.clientReplyBytes) /
             nc.nicBandwidth +
         2 * nc.rpcLatency;
+    ins_.wireClientRequest->add(options_.clientRequestBytes);
+    ins_.wireClientReply->add(plan.clientReplyBytes);
 }
 
 void
@@ -967,15 +1056,29 @@ ObjectStore::runTask(const SimTask &task, size_t coordinator,
     sim::StorageNode *coord = &cluster_.node(coordinator);
     const double seek = cluster_.config().node.diskSeekLatency;
 
-    auto node_work = [this, node, coord, task, join, seek]() {
+    // All DES callbacks run on the driver thread, so recording into the
+    // tracer here is safe; the span covers the task's full simulated
+    // lifetime (request, disk, node CPU, reply, coordinator CPU).
+    uint64_t span = obs_.tracer.beginSpan(
+        task.label, "\"node\": " + std::to_string(task.nodeId) +
+                        ", \"disk_bytes\": " +
+                        std::to_string(task.diskBytes) +
+                        ", \"reply_bytes\": " +
+                        std::to_string(task.replyBytes));
+
+    auto node_work = [this, node, coord, task, join, seek, span]() {
         node->disk().acquire(
             static_cast<double>(task.diskBytes),
-            task.diskBytes ? seek : 0.0, [this, node, coord, task, join]() {
+            task.diskBytes ? seek : 0.0,
+            [this, node, coord, task, join, span]() {
                 node->cpu().acquire(task.nodeCpuWork, [this, node, coord,
-                                                       task, join]() {
-                    auto coord_work = [coord, task, join]() {
+                                                       task, join, span]() {
+                    auto coord_work = [this, coord, task, join, span]() {
                         coord->cpu().acquire(task.coordCpuWork,
-                                             [join]() { join->signal(); });
+                                             [this, join, span]() {
+                                                 obs_.tracer.endSpan(span);
+                                                 join->signal();
+                                             });
                     };
                     if (node == coord) {
                         coord_work();
@@ -1005,16 +1108,31 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
     sim::StorageNode *coord = &cluster_.node(plan->coordinatorId);
     const double start = cluster_.engine().now();
 
-    auto finish = [this, plan, done, client, coord, start]() {
+    // Stage span ids cross several DES callbacks; the array outlives
+    // this frame via shared_ptr. [0]=query, [1]=filter, [2]=projection.
+    auto spans = std::make_shared<std::array<uint64_t, 3>>();
+    (*spans)[0] = obs_.tracer.beginSpan(
+        "query", "\"filter_tasks\": " +
+                     std::to_string(plan->filterTasks.size()) +
+                     ", \"projection_tasks\": " +
+                     std::to_string(plan->projectionTasks.size()));
+
+    auto finish = [this, plan, done, client, coord, start, spans]() {
+        obs_.tracer.endSpan((*spans)[2]);
         cluster_.transfer(*coord, *client, plan->clientReplyBytes,
-                          [this, plan, done, start]() {
+                          [this, plan, done, start, spans]() {
                               plan->outcome.latencySeconds =
                                   cluster_.engine().now() - start;
+                              ins_.queryLatency->observe(
+                                  plan->outcome.latencySeconds);
+                              obs_.tracer.endSpan((*spans)[0]);
                               done(plan->outcome);
                           });
     };
 
-    auto projection_stage = [this, plan, finish, coord]() {
+    auto projection_stage = [this, plan, finish, coord, spans]() {
+        obs_.tracer.endSpan((*spans)[1]);
+        (*spans)[2] = obs_.tracer.beginSpan("projection_stage");
         coord->cpu().acquire(
             plan->interStageCoordWork, [this, plan, finish]() {
                 auto join = std::make_shared<sim::Join>(
@@ -1024,7 +1142,8 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
             });
     };
 
-    auto filter_stage = [this, plan, projection_stage]() {
+    auto filter_stage = [this, plan, projection_stage, spans]() {
+        (*spans)[1] = obs_.tracer.beginSpan("filter_stage");
         auto join = std::make_shared<sim::Join>(plan->filterTasks.size(),
                                                 projection_stage);
         for (const auto &task : plan->filterTasks)
@@ -1064,18 +1183,18 @@ ObjectStore::queryAsync(const query::Query &q,
         done(resolved.status());
         return;
     }
-    FaultStats before = faultStats_;
+    FaultStats before = faultStats();
     auto plan = planQuery(*m.value(), resolved.value());
     if (!plan.isOk()) {
         done(plan.status());
         return;
     }
+    FaultStats after = faultStats();
     QueryPlan &p = plan.value();
     p.outcome.parityReconstructions =
-        faultStats_.parityReconstructions - before.parityReconstructions;
-    p.outcome.readRetries = faultStats_.readRetries - before.readRetries;
-    p.extraLatencySeconds =
-        faultStats_.backoffSeconds - before.backoffSeconds;
+        after.parityReconstructions - before.parityReconstructions;
+    p.outcome.readRetries = after.readRetries - before.readRetries;
+    p.extraLatencySeconds = after.backoffSeconds - before.backoffSeconds;
     simulateQuery(std::make_shared<QueryPlan>(std::move(p)),
                   std::move(done));
 }

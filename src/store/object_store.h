@@ -30,6 +30,7 @@
 
 #include "ec/reed_solomon.h"
 #include "manifest.h"
+#include "obs/observability.h"
 #include "query/ast.h"
 #include "query/bitmap.h"
 #include "query/parser.h"
@@ -108,6 +109,9 @@ struct QueryOutcome {
     uint64_t parityReconstructions = 0;
     /** Timed-out block-read attempts this query retried. */
     uint64_t readRetries = 0;
+    /** Per-chunk pushdown-decision report; filled when the store's
+     *  obs().explainEnabled is set (FusionStore only). */
+    std::shared_ptr<const obs::QueryExplain> explain;
 };
 
 /** Base class; see file comment. */
@@ -173,6 +177,10 @@ class ObjectStore
      * Cumulative robustness counters: how often reads hit faulted
      * nodes and what the recovery machinery did about it. Benches and
      * tests assert on these (and on their determinism across runs).
+     *
+     * The authoritative values live in this store's metrics registry
+     * under fault.* names; FaultStats is a compatibility view folded
+     * from those counters on demand.
      */
     struct FaultStats {
         uint64_t readRetries = 0;     // backoff retries performed
@@ -193,8 +201,17 @@ class ObjectStore
                    backoffSeconds == other.backoffSeconds;
         }
     };
-    const FaultStats &faultStats() const { return faultStats_; }
-    void resetFaultStats() { faultStats_ = FaultStats{}; }
+    FaultStats faultStats() const;
+    void resetFaultStats();
+
+    /**
+     * This store's observability bundle: fault/cache/wire metrics, the
+     * simulated-time span tracer and the EXPLAIN toggle. Process-wide
+     * instruments (thread pool, EC dispatch) are in
+     * obs::MetricsRegistry::global() instead.
+     */
+    obs::Observability &obs() { return obs_; }
+    const obs::Observability &obs() const { return obs_; }
 
     /**
      * Drops the decode/bitmap/plan memoization caches so subsequent
@@ -235,6 +252,8 @@ class ObjectStore
         double nodeCpuWork = 0.0;  // decode/eval bytes at the node
         uint64_t replyBytes = 0;   // node -> coordinator
         double coordCpuWork = 0.0; // decode/eval bytes at coordinator
+        /** Span name for the tracer ("chunk_fetch", "pushdown", ...). */
+        const char *label = "chunk_fetch";
     };
 
     /** A fully planned query: real results plus simulation byte counts. */
@@ -382,7 +401,34 @@ class ObjectStore
     StoreOptions options_;
     ec::ReedSolomon rs_;
     std::unordered_map<std::string, ObjectManifest> manifests_;
-    FaultStats faultStats_;
+    obs::Observability obs_;
+
+    /**
+     * Counters resolved once at construction so hot paths (and const
+     * methods like accountPlanResources) skip the registry's name map.
+     */
+    struct Instruments {
+        obs::Counter *readRetries = nullptr;
+        obs::Counter *readTimeouts = nullptr;
+        obs::Counter *parityReconstructions = nullptr;
+        obs::Counter *degradedChunkReads = nullptr;
+        obs::Counter *pushdownFallbacks = nullptr;
+        obs::DoubleCounter *backoffSeconds = nullptr;
+        obs::Counter *cacheDecodeHit = nullptr;
+        obs::Counter *cacheDecodeMiss = nullptr;
+        obs::Counter *cacheBitmapHit = nullptr;
+        obs::Counter *cacheBitmapMiss = nullptr;
+        obs::Counter *cachePlanHit = nullptr;
+        obs::Counter *cachePlanMiss = nullptr;
+        obs::Counter *wireFilterRequest = nullptr;
+        obs::Counter *wireFilterReply = nullptr;
+        obs::Counter *wireProjectionRequest = nullptr;
+        obs::Counter *wireProjectionReply = nullptr;
+        obs::Counter *wireClientRequest = nullptr;
+        obs::Counter *wireClientReply = nullptr;
+        obs::Histogram *queryLatency = nullptr;
+    };
+    Instruments ins_;
 
   private:
     void simulateQuery(std::shared_ptr<QueryPlan> plan,

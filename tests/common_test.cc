@@ -361,6 +361,69 @@ TEST(StreamingStatsTest, Moments)
     EXPECT_DOUBLE_EQ(s.sum(), 12.0);
 }
 
+TEST(StreamingStatsTest, VarianceAndStddev)
+{
+    StreamingStats s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0); // empty
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0); // single sample
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.add(9.0);
+    // Population variance of {5, 9}: mean 7, squared deviations 4 + 4.
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+
+    StreamingStats t;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        t.add(v);
+    EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+    EXPECT_NEAR(t.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(t.stddev(), 2.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, VarianceStableUnderLargeOffset)
+{
+    // Welford must survive samples sharing a huge common offset, where
+    // the naive sum-of-squares formula loses all precision.
+    StreamingStats s;
+    const double offset = 1e9;
+    for (double v : {offset + 4.0, offset + 7.0, offset + 13.0,
+                     offset + 16.0})
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(SampleHistogramTest, InterpolatedPercentileEdges)
+{
+    SampleHistogram h;
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(50), 0.0); // empty
+
+    h.add(42.0); // one sample answers every p with itself
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(50), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(100), 42.0);
+
+    h.add(44.0); // two samples: linear between them
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(25), 42.5);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(50), 43.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(100), 44.0);
+}
+
+TEST(SampleHistogramTest, InterpolatedVsNearestRank)
+{
+    SampleHistogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    // With 100 samples the interpolated p50 sits between the 50th and
+    // 51st order statistics; nearest-rank stays exactly on a sample.
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(50), 50.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(0), 1.0);
+    EXPECT_NEAR(h.percentileInterpolated(99), 99.01, 1e-12);
+}
+
 TEST(UnitsTest, FormatBytes)
 {
     EXPECT_EQ(formatBytes(512), "512 B");
