@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Closed-loop shared-scan scheduler benchmark. Sweeps concurrent client
+ * count x batch overlap factor and compares, per cell, the shared-scan
+ * scheduler (one deduplicated batch) against serial isolated execution
+ * of the same queries on an identical rig:
+ *
+ *   - total wire bytes (all six wire.* counters),
+ *   - mean per-query latency (serial latency is cumulative from batch
+ *     admission, since a lone store serves queries one at a time),
+ *   - batch makespan and task dedup ratio.
+ *
+ * Everything runs in simulation, so every number is deterministic and
+ * the JSON output can be gated byte-for-byte-stable in CI. Writes
+ * BENCH_shared_scans.json and, with --check, exits nonzero when any
+ * metric regressed more than --tolerance vs the checked-in baseline or
+ * when sharing fails to beat serial execution on a high-overlap cell.
+ *
+ * Usage:
+ *   bench_shared_scans [--quick] [--out=PATH] [--check=BASELINE]
+ *                      [--tolerance=0.05]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/harness.h"
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+#include "store/fusion_store.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+
+using namespace fusion;
+
+namespace {
+
+struct Rig {
+    std::unique_ptr<sim::Cluster> cluster;
+    std::unique_ptr<store::FusionStore> store;
+    format::Table table;
+};
+
+Rig
+makeRig(size_t rows)
+{
+    Rig rig;
+    sim::ClusterConfig config;
+    config.numNodes = 9;
+    rig.cluster = std::make_unique<sim::Cluster>(config);
+    rig.store = std::make_unique<store::FusionStore>(
+        *rig.cluster, store::StoreOptions{});
+    if (benchutil::obsOptions().enabled())
+        rig.store->obs().tracer.setEnabled(true);
+    auto file = workload::buildLineitemFile(rows, 7);
+    FUSION_CHECK(file.isOk());
+    rig.table = workload::makeLineitemTable(rows, 7);
+    FUSION_CHECK(rig.store->put("lineitem", file.value().bytes).isOk());
+    return rig;
+}
+
+/**
+ * First ceil(overlap * clients) clients issue one shared template
+ * query; the rest are pairwise-distinct (column and selectivity vary
+ * per client), so overlap 0 means no cross-query sharing at all.
+ */
+std::vector<query::Query>
+overlappingBatch(const Rig &rig, size_t clients, double overlap)
+{
+    std::vector<query::Query> batch;
+    size_t shared =
+        static_cast<size_t>(overlap * static_cast<double>(clients) + 0.5);
+    const format::Schema schema = workload::lineitemSchema();
+    auto make = [&](size_t col, double sel) {
+        return workload::microbenchQuery("lineitem",
+                                         schema.column(col).name,
+                                         rig.table.column(col), sel);
+    };
+    query::Query tmpl = make(workload::kOrderKey, 0.02);
+    const size_t cols[] = {workload::kPartKey, workload::kSuppKey,
+                           workload::kQuantity, workload::kExtendedPrice};
+    for (size_t c = 0; c < clients; ++c) {
+        if (c < shared)
+            batch.push_back(tmpl);
+        else
+            batch.push_back(make(cols[c % std::size(cols)],
+                                 0.01 + 0.002 * static_cast<double>(c)));
+    }
+    return batch;
+}
+
+uint64_t
+totalWireBytes(store::ObjectStore &store)
+{
+    obs::MetricsRegistry &reg = store.obs().metrics;
+    return reg.counter("wire.filter.request_bytes").value() +
+           reg.counter("wire.filter.reply_bytes").value() +
+           reg.counter("wire.projection.request_bytes").value() +
+           reg.counter("wire.projection.reply_bytes").value() +
+           reg.counter("wire.client.request_bytes").value() +
+           reg.counter("wire.client.reply_bytes").value();
+}
+
+void
+writeJson(const std::string &path, bool quick,
+          const std::vector<std::pair<std::string, double>> &metrics)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"shared_scans\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (size_t i = 0; i < metrics.size(); ++i)
+        std::fprintf(f, "    \"%s\": %.6g%s\n", metrics[i].first.c_str(),
+                     metrics[i].second,
+                     i + 1 < metrics.size() ? "," : "");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+}
+
+/** Minimal parser for the flat {"metrics": {"name": number}} schema
+ *  this binary writes (same shape as bench_kernels). */
+std::map<std::string, double>
+readBaselineMetrics(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+
+    std::map<std::string, double> metrics;
+    size_t obj = text.find("\"metrics\"");
+    if (obj == std::string::npos)
+        return metrics;
+    obj = text.find('{', obj);
+    size_t end_obj = text.find('}', obj);
+    if (obj == std::string::npos || end_obj == std::string::npos)
+        return metrics;
+    size_t cur = obj;
+    while (true) {
+        size_t q0 = text.find('"', cur);
+        if (q0 == std::string::npos || q0 > end_obj)
+            break;
+        size_t q1 = text.find('"', q0 + 1);
+        size_t colon = text.find(':', q1);
+        if (q1 == std::string::npos || colon == std::string::npos ||
+            colon > end_obj)
+            break;
+        char *end = nullptr;
+        double v = std::strtod(text.c_str() + colon + 1, &end);
+        if (end == text.c_str() + colon + 1)
+            break;
+        metrics[text.substr(q0 + 1, q1 - q0 - 1)] = v;
+        cur = static_cast<size_t>(end - text.c_str());
+    }
+    return metrics;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchutil::obsInit(argc, argv);
+    bool quick = false;
+    std::string out_path = "BENCH_shared_scans.json";
+    std::string baseline_path;
+    double tolerance = 0.05;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+        else if (arg.rfind("--check=", 0) == 0)
+            baseline_path = arg.substr(8);
+        else if (arg.rfind("--tolerance=", 0) == 0)
+            tolerance = std::atof(arg.c_str() + 12);
+        else if (arg.rfind("--trace-out=", 0) == 0 ||
+                 arg.rfind("--metrics-out=", 0) == 0)
+            continue; // consumed by obsInit
+        else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    benchutil::banner("shared-scans",
+                      "Shared-scan scheduler vs serial isolated execution");
+
+    const size_t rows = quick ? 4000 : 12000;
+    const std::vector<size_t> client_counts =
+        quick ? std::vector<size_t>{4, 8}
+              : std::vector<size_t>{2, 4, 8, 16};
+    const double overlaps[] = {0.0, 0.5, 1.0};
+
+    std::vector<std::pair<std::string, double>> metrics;
+    benchutil::TablePrinter table(
+        {"clients", "overlap", "serial wire MB", "shared wire MB",
+         "wire saved %", "serial mean ms", "shared mean ms",
+         "latency gain %", "dedup ratio", "makespan ms"});
+
+    int acceptance_failures = 0;
+    for (size_t clients : client_counts) {
+        for (double overlap : overlaps) {
+            Rig serial_rig = makeRig(rows);
+            Rig shared_rig = makeRig(rows);
+            auto batch = overlappingBatch(serial_rig, clients, overlap);
+
+            // Serial baseline: one query at a time; latency for query i
+            // is its completion time measured from batch admission.
+            double serial_sum = 0.0, elapsed = 0.0;
+            for (const auto &q : batch) {
+                auto outcome = serial_rig.store->query(q);
+                FUSION_CHECK(outcome.isOk());
+                elapsed += outcome.value().latencySeconds;
+                serial_sum += elapsed;
+            }
+            double serial_mean = serial_sum / double(batch.size());
+            uint64_t serial_wire = totalWireBytes(*serial_rig.store);
+
+            sched::SharedScanScheduler scheduler(*shared_rig.store);
+            auto outcomes = scheduler.runBatch(batch);
+            FUSION_CHECK(outcomes.isOk());
+            double shared_sum = 0.0;
+            for (const auto &outcome : outcomes.value())
+                shared_sum += outcome.latencySeconds;
+            double shared_mean = shared_sum / double(batch.size());
+            uint64_t shared_wire = totalWireBytes(*shared_rig.store);
+            const sched::BatchStats &stats = scheduler.lastBatchStats();
+
+            double wire_ratio =
+                double(serial_wire) / double(shared_wire);
+            double latency_ratio = serial_mean / shared_mean;
+            double dedup_ratio = double(stats.tasksPlanned) /
+                                 double(stats.tasksIssued);
+
+            char cell[32];
+            std::snprintf(cell, sizeof(cell), "c%zu_o%02d", clients,
+                          int(overlap * 100.0 + 0.5));
+            metrics.emplace_back(std::string(cell) + "_wire_ratio",
+                                 wire_ratio);
+            metrics.emplace_back(std::string(cell) + "_latency_ratio",
+                                 latency_ratio);
+            metrics.emplace_back(std::string(cell) + "_dedup_ratio",
+                                 dedup_ratio);
+
+            table.addRow(
+                {benchutil::fmt("%zu", clients),
+                 benchutil::fmt("%.1f", overlap),
+                 benchutil::fmt("%.2f", double(serial_wire) / 1e6),
+                 benchutil::fmt("%.2f", double(shared_wire) / 1e6),
+                 benchutil::fmt("%.1f", 100.0 * (1.0 - 1.0 / wire_ratio)),
+                 benchutil::fmt("%.2f", serial_mean * 1e3),
+                 benchutil::fmt("%.2f", shared_mean * 1e3),
+                 benchutil::fmt("%.1f",
+                                100.0 * (1.0 - 1.0 / latency_ratio)),
+                 benchutil::fmt("%.2f", dedup_ratio),
+                 benchutil::fmt("%.2f", stats.makespanSeconds * 1e3)});
+
+            // Acceptance: at overlap >= 0.5 and >= 8 clients, sharing
+            // must strictly beat serial on both wire bytes and latency.
+            if (overlap >= 0.5 && clients >= 8 &&
+                (shared_wire >= serial_wire ||
+                 shared_mean >= serial_mean)) {
+                std::fprintf(stderr,
+                             "ACCEPTANCE FAIL %s: wire %llu vs %llu, "
+                             "mean %.4f ms vs %.4f ms\n",
+                             cell,
+                             static_cast<unsigned long long>(shared_wire),
+                             static_cast<unsigned long long>(serial_wire),
+                             shared_mean * 1e3, serial_mean * 1e3);
+                ++acceptance_failures;
+            }
+            benchutil::obsCollect(*shared_rig.store);
+        }
+    }
+    table.print();
+
+    writeJson(out_path, quick, metrics);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!baseline_path.empty()) {
+        auto baseline = readBaselineMetrics(baseline_path);
+        std::map<std::string, double> current(metrics.begin(),
+                                              metrics.end());
+        int failures = 0;
+        for (const auto &[name, want] : baseline) {
+            auto it = current.find(name);
+            if (it == current.end())
+                continue;
+            double floor = want * (1.0 - tolerance);
+            bool ok = it->second >= floor;
+            std::printf("  check %-28s %10.4f >= %10.4f %s\n",
+                        name.c_str(), it->second, floor,
+                        ok ? "ok" : "REGRESSED");
+            failures += ok ? 0 : 1;
+        }
+        if (failures > 0) {
+            std::fprintf(stderr,
+                         "%d shared-scan metric(s) regressed more than "
+                         "%.0f%% vs %s\n",
+                         failures, tolerance * 100.0,
+                         baseline_path.c_str());
+            return 1;
+        }
+        std::printf("all shared-scan metrics within %.0f%% of baseline\n",
+                    tolerance * 100.0);
+    }
+    if (acceptance_failures > 0) {
+        std::fprintf(stderr,
+                     "%d high-overlap cell(s) failed the sharing "
+                     "acceptance bound\n",
+                     acceptance_failures);
+        return 1;
+    }
+    return 0;
+}

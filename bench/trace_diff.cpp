@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Structural trace/metrics regression differ for the CI bench-smoke
+ * job. The simulator is deterministic, so the observability dumps of a
+ * fixed bench invocation are reproducible structure-for-structure: the
+ * number of spans per name and the machine-independent counter families
+ * (wire.*, fault.*, sched.*, cache.*) must match a checked-in golden
+ * exactly. Histograms, pool.* and throughput numbers are skipped — they
+ * vary with host core count and speed.
+ *
+ * Usage:
+ *   trace_diff --trace=fusion_trace.json --metrics=fusion_metrics.json
+ *              --golden=bench/baselines/bench_smoke_golden.json
+ *              [--regold]
+ *
+ * Exits 0 when the run matches the golden, 1 with a structural diff on
+ * stderr otherwise. --regold rewrites the golden from the current run
+ * (the one-command regold after an intentional behaviour change).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "trace_diff: cannot read %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+/** Counts complete spans per name: every `{"name":"X","cat":"fusion",
+ *  "ph":"X"` event the tracer emits. Metadata events don't match. */
+void
+summarizeTrace(const std::string &text,
+               std::map<std::string, double> &summary)
+{
+    const std::string open = "{\"name\":\"";
+    const std::string tail = "\",\"cat\":\"fusion\",\"ph\":\"X\"";
+    size_t pos = 0;
+    while ((pos = text.find(open, pos)) != std::string::npos) {
+        size_t name_begin = pos + open.size();
+        size_t name_end = text.find('"', name_begin);
+        pos = name_begin;
+        if (name_end == std::string::npos)
+            break;
+        if (text.compare(name_end, tail.size(), tail) != 0)
+            continue;
+        summary["span." + text.substr(name_begin, name_end - name_begin)] +=
+            1.0;
+    }
+}
+
+bool
+stablePrefix(const std::string &name)
+{
+    return name.rfind("wire.", 0) == 0 || name.rfind("fault.", 0) == 0 ||
+           name.rfind("sched.", 0) == 0 || name.rfind("cache.", 0) == 0;
+}
+
+/** Pulls scalar `"name": number` pairs out of a flat JSON object,
+ *  keeping only the machine-independent counter families. Histogram
+ *  values (nested objects) never parse as a number and are skipped. */
+void
+summarizeMetrics(const std::string &text,
+                 std::map<std::string, double> &summary)
+{
+    size_t cur = 0;
+    while (true) {
+        size_t q0 = text.find('"', cur);
+        if (q0 == std::string::npos)
+            break;
+        size_t q1 = text.find('"', q0 + 1);
+        if (q1 == std::string::npos)
+            break;
+        size_t colon = text.find_first_not_of(" \t", q1 + 1);
+        cur = q1 + 1;
+        if (colon == std::string::npos || text[colon] != ':')
+            continue;
+        size_t value = text.find_first_not_of(" \t", colon + 1);
+        if (value == std::string::npos || text[value] == '{' ||
+            text[value] == '"' || text[value] == '[')
+            continue;
+        char *end = nullptr;
+        double v = std::strtod(text.c_str() + value, &end);
+        if (end == text.c_str() + value)
+            continue;
+        std::string name = text.substr(q0 + 1, q1 - q0 - 1);
+        if (stablePrefix(name))
+            summary[name] = v;
+        cur = static_cast<size_t>(end - text.c_str());
+    }
+}
+
+/** Same flat {"metrics": {...}} schema the bench trackers use. */
+std::map<std::string, double>
+readGolden(const std::string &text)
+{
+    std::map<std::string, double> golden;
+    size_t obj = text.find("\"metrics\"");
+    if (obj == std::string::npos)
+        return golden;
+    obj = text.find('{', obj);
+    size_t end_obj = text.find('}', obj);
+    if (obj == std::string::npos || end_obj == std::string::npos)
+        return golden;
+    size_t cur = obj;
+    while (true) {
+        size_t q0 = text.find('"', cur);
+        if (q0 == std::string::npos || q0 > end_obj)
+            break;
+        size_t q1 = text.find('"', q0 + 1);
+        size_t colon = text.find(':', q1);
+        if (q1 == std::string::npos || colon == std::string::npos ||
+            colon > end_obj)
+            break;
+        char *end = nullptr;
+        double v = std::strtod(text.c_str() + colon + 1, &end);
+        if (end == text.c_str() + colon + 1)
+            break;
+        golden[text.substr(q0 + 1, q1 - q0 - 1)] = v;
+        cur = static_cast<size_t>(end - text.c_str());
+    }
+    return golden;
+}
+
+void
+writeGolden(const std::string &path,
+            const std::map<std::string, double> &summary)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "trace_diff: cannot write %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n  \"golden\": \"bench_smoke\",\n");
+    std::fprintf(f, "  \"metrics\": {\n");
+    size_t i = 0;
+    for (const auto &[name, v] : summary)
+        std::fprintf(f, "    \"%s\": %.17g%s\n", name.c_str(), v,
+                     ++i < summary.size() ? "," : "");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path, metrics_path, golden_path;
+    bool regold = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0)
+            trace_path = arg.substr(8);
+        else if (arg.rfind("--metrics=", 0) == 0)
+            metrics_path = arg.substr(10);
+        else if (arg.rfind("--golden=", 0) == 0)
+            golden_path = arg.substr(9);
+        else if (arg == "--regold")
+            regold = true;
+        else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (golden_path.empty() ||
+        (trace_path.empty() && metrics_path.empty())) {
+        std::fprintf(stderr,
+                     "usage: trace_diff --trace=F --metrics=F "
+                     "--golden=G [--regold]\n");
+        return 2;
+    }
+
+    std::map<std::string, double> summary;
+    if (!trace_path.empty())
+        summarizeTrace(readFile(trace_path), summary);
+    if (!metrics_path.empty())
+        summarizeMetrics(readFile(metrics_path), summary);
+
+    if (regold) {
+        writeGolden(golden_path, summary);
+        std::printf("trace_diff: wrote %zu metric(s) to %s\n",
+                    summary.size(), golden_path.c_str());
+        return 0;
+    }
+
+    auto golden = readGolden(readFile(golden_path));
+    int drifts = 0;
+    for (const auto &[name, want] : golden) {
+        auto it = summary.find(name);
+        if (it == summary.end()) {
+            std::fprintf(stderr, "  MISSING  %-40s golden=%.17g\n",
+                         name.c_str(), want);
+            ++drifts;
+        } else if (it->second != want) {
+            std::fprintf(stderr,
+                         "  DRIFT    %-40s golden=%.17g run=%.17g\n",
+                         name.c_str(), want, it->second);
+            ++drifts;
+        }
+    }
+    for (const auto &[name, got] : summary) {
+        if (golden.find(name) == golden.end()) {
+            std::fprintf(stderr, "  NEW      %-40s run=%.17g\n",
+                         name.c_str(), got);
+            ++drifts;
+        }
+    }
+    if (drifts > 0) {
+        std::fprintf(stderr,
+                     "trace_diff: %d structural difference(s) vs %s\n"
+                     "(intentional change? re-run with --regold and "
+                     "commit the golden)\n",
+                     drifts, golden_path.c_str());
+        return 1;
+    }
+    std::printf("trace_diff: %zu metric(s) match %s\n", summary.size(),
+                golden_path.c_str());
+    return 0;
+}

@@ -49,6 +49,62 @@ estimateProjectionReplyBytes(double selectivity,
                                  static_cast<double>(chunk.plainSize));
 }
 
+/**
+ * Shared-scan extension of the Cost Equation. When several concurrent
+ * queries project the same chunk, the scheduler merges compatible
+ * pushdown requests; the per-query equation no longer applies because
+ * the alternative to N pushdown replies is ONE shared chunk fetch. The
+ * merged consumer set pushes down only when
+ *
+ *     merged_selectivity x compressibility < 1
+ *
+ * where merged_selectivity is the union of the consumers' reply bytes
+ * over the chunk's plain size — i.e. the summed replies must still be
+ * smaller on the wire than the compressed chunk fetched once. A
+ * per-node load term models storage-side CPU oversubscription (OASIS /
+ * pushdown-contention literature): when the node already has more
+ * outstanding pushdown work than `load_limit_seconds` of its CPU
+ * capacity, the verdict flips to coordinator-side evaluation
+ * regardless of the byte math (EXPLAIN reason "load-shed").
+ */
+struct SharedPushdownDecision {
+    bool push = true;
+    /** True when the byte math said push but the node load term
+     *  overrode it. */
+    bool loadShed = false;
+    double mergedSelectivity = 0.0;
+    double compressibility = 1.0;
+    uint64_t mergedReplyBytes = 0;
+
+    /** The shared Cost Equation's left-hand side. */
+    double product() const { return mergedSelectivity * compressibility; }
+};
+
+/** Applies the shared Cost Equation to one chunk's merged consumers. */
+inline SharedPushdownDecision
+decideSharedProjectionPushdown(uint64_t merged_reply_bytes,
+                               const format::ChunkMeta &chunk,
+                               double node_outstanding_seconds,
+                               double load_limit_seconds)
+{
+    SharedPushdownDecision decision;
+    decision.mergedReplyBytes = merged_reply_bytes;
+    decision.compressibility = chunk.compressibility();
+    decision.mergedSelectivity =
+        chunk.plainSize == 0
+            ? 0.0
+            : static_cast<double>(merged_reply_bytes) /
+                  static_cast<double>(chunk.plainSize);
+    // merged_sel x compressibility < 1  <=>  merged replies < stored
+    decision.push = merged_reply_bytes < chunk.storedSize;
+    if (decision.push && load_limit_seconds > 0.0 &&
+        node_outstanding_seconds > load_limit_seconds) {
+        decision.push = false;
+        decision.loadShed = true;
+    }
+    return decision;
+}
+
 } // namespace fusion::query
 
 #endif // FUSION_QUERY_COST_H

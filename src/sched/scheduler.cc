@@ -1,0 +1,471 @@
+#include "scheduler.h"
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "query/cost.h"
+#include "sim/cluster.h"
+
+namespace fusion::sched {
+
+using store::ObjectStore;
+using store::QueryOutcome;
+using SimTask = ObjectStore::SimTask;
+using QueryPlan = ObjectStore::QueryPlan;
+
+namespace {
+
+/** Share-key family prefix, up to the first '|' ("" for unkeyed). */
+std::string
+keyFamily(const std::string &key)
+{
+    size_t p = key.find('|');
+    return p == std::string::npos ? std::string() : key.substr(0, p);
+}
+
+bool
+isPushdownFamily(const std::string &family)
+{
+    return family == "fpush" || family == "ppush" || family == "apush";
+}
+
+/**
+ * "object|chunk" grouping key for the merged Cost Equation, or "" for
+ * tasks that are not per-chunk projection work. cfetch keys are already
+ * "cfetch|object|chunk"; ppush/apush carry a trailing filter signature
+ * that must not split the group.
+ */
+std::string
+chunkGroupKey(const std::string &key)
+{
+    size_t p = key.find('|');
+    if (p == std::string::npos)
+        return {};
+    std::string family = key.substr(0, p);
+    if (family == "cfetch")
+        return key.substr(p + 1);
+    if (family == "ppush" || family == "apush") {
+        size_t p2 = key.find('|', p + 1);
+        size_t p3 = p2 == std::string::npos
+                        ? std::string::npos
+                        : key.find('|', p2 + 1);
+        if (p3 == std::string::npos)
+            return {};
+        return key.substr(p + 1, p3 - p - 1);
+    }
+    return {};
+}
+
+/** In-flight / completed state of one deduplicated task. */
+struct SharedEntry {
+    bool issued = false;
+    bool done = false;
+    /** Continuations of consumers that arrived while in flight. */
+    std::vector<std::function<void()>> waiters;
+};
+
+/** Per-batch simulation state shared across the DES callbacks. */
+struct BatchCtx {
+    std::map<std::string, SharedEntry> table;
+    size_t queriesDone = 0;
+};
+
+} // namespace
+
+SharedScanScheduler::SharedScanScheduler(store::ObjectStore &store,
+                                         const SchedOptions &options)
+    : store_(store), options_(options)
+{
+    obs::MetricsRegistry &reg = store.obs().metrics;
+    ins_.batches = &reg.counter("sched.batches");
+    ins_.queries = &reg.counter("sched.queries");
+    ins_.tasksPlanned = &reg.counter("sched.tasks_planned");
+    ins_.tasksIssued = &reg.counter("sched.tasks_issued");
+    ins_.sharedFetches = &reg.counter("sched.shared_fetches");
+    ins_.mergedPushdowns = &reg.counter("sched.merged_pushdowns");
+    ins_.fetchConversions = &reg.counter("sched.fetch_conversions");
+    ins_.loadSheds = &reg.counter("sched.load_sheds");
+    ins_.wireBytesSaved = &reg.counter("sched.wire_bytes_saved");
+}
+
+Result<std::vector<QueryOutcome>>
+SharedScanScheduler::runBatch(const std::vector<query::Query> &batch)
+{
+    stats_ = BatchStats{};
+    stats_.queries = batch.size();
+    ins_.batches->add(1);
+    ins_.queries->add(batch.size());
+    if (batch.empty())
+        return std::vector<QueryOutcome>{};
+
+    // ---- phase 1: plan every query (serial, deterministic order) ----
+    std::vector<std::shared_ptr<QueryPlan>> plans;
+    plans.reserve(batch.size());
+    for (const auto &q : batch) {
+        auto plan = store_.planQueryForBatch(q);
+        if (!plan.isOk())
+            return plan.status();
+        plans.push_back(std::move(plan.value()));
+    }
+    for (const auto &plan : plans)
+        stats_.tasksPlanned +=
+            plan->filterTasks.size() + plan->projectionTasks.size();
+    ins_.tasksPlanned->add(stats_.tasksPlanned);
+
+    // ---- phase 2: shared Cost Equation over merged consumer sets ----
+    // Projection tasks are grouped by (object, chunk); each group's
+    // verdict is recomputed against what the whole batch will actually
+    // move. Groups are visited in sorted key order and node load
+    // accumulates across them, so the admission decisions are
+    // deterministic.
+    struct Member {
+        size_t qi; // query index
+        size_t ti; // index into that plan's projectionTasks
+    };
+    std::map<std::string, std::vector<Member>> groups;
+    for (size_t qi = 0; qi < plans.size(); ++qi) {
+        const auto &tasks = plans[qi]->projectionTasks;
+        for (size_t ti = 0; ti < tasks.size(); ++ti) {
+            std::string group = chunkGroupKey(tasks[ti].shareKey);
+            if (!group.empty())
+                groups[group].push_back({qi, ti});
+        }
+    }
+
+    const sim::NodeConfig &nc = store_.cluster().config().node;
+    const double node_capacity =
+        nc.cpuRate * static_cast<double>(nc.cpuCores);
+    std::map<size_t, double> node_load_seconds;
+    // Per-query EXPLAIN amendments: chunkId -> (verdict, reason).
+    std::vector<std::map<uint32_t, std::pair<const char *, const char *>>>
+        overrides(plans.size());
+
+    for (const auto &[group_key, members] : groups) {
+        std::vector<Member> pushers, fetchers;
+        for (const Member &m : members) {
+            const SimTask &t = plans[m.qi]->projectionTasks[m.ti];
+            if (isPushdownFamily(keyFamily(t.shareKey)))
+                pushers.push_back(m);
+            else
+                fetchers.push_back(m);
+        }
+        if (pushers.empty())
+            continue;
+        const SimTask &rep = plans[pushers[0].qi]
+                                 ->projectionTasks[pushers[0].ti];
+        const size_t node = rep.nodeId;
+
+        bool convert = false;
+        bool load_shed = false;
+        const char *reason = nullptr;
+
+        // Distinct filter signatures = distinct merged replies; one
+        // execution per subgroup if the group stays pushed down.
+        std::map<std::string, const SimTask *> subgroups;
+        for (const Member &m : pushers) {
+            const SimTask &t = plans[m.qi]->projectionTasks[m.ti];
+            subgroups.emplace(t.shareKey, &t);
+        }
+
+        if (!fetchers.empty() && options_.dedupFetches) {
+            // Some consumer already fetches this whole chunk to the
+            // coordinator; pushdown replies on top of that fetch are
+            // pure extra wire. Ride the shared fetch instead.
+            convert = true;
+            reason = "shared-fetch";
+        } else if (options_.mergePushdowns && pushers.size() >= 2) {
+            uint64_t merged_reply = 0;
+            double subgroup_load = 0.0;
+            for (const auto &[key, task] : subgroups) {
+                merged_reply += task->replyBytes;
+                subgroup_load += task->nodeCpuWork / node_capacity;
+            }
+            format::ChunkMeta chunk;
+            chunk.storedSize = rep.chunkStoredBytes;
+            chunk.plainSize = rep.chunkPlainBytes;
+            // Load term uses the projected load: what the node would
+            // owe if this subgroup were admitted on top of the batch
+            // work already assigned to it.
+            auto decision = query::decideSharedProjectionPushdown(
+                merged_reply, chunk,
+                node_load_seconds[node] + subgroup_load,
+                options_.nodeLoadLimitSeconds);
+            if (!decision.push) {
+                convert = true;
+                load_shed = decision.loadShed;
+                reason = load_shed ? "load-shed" : "shared-fetch";
+            }
+        } else if (options_.nodeLoadLimitSeconds > 0.0 &&
+                   node_load_seconds[node] +
+                           rep.nodeCpuWork / node_capacity >
+                       options_.nodeLoadLimitSeconds) {
+            // Singleton pushdown keeps its planner verdict unless the
+            // target node is already oversubscribed by this batch.
+            convert = true;
+            load_shed = true;
+            reason = "load-shed";
+        }
+
+        if (!convert) {
+            // Admit: charge one execution per subgroup to the node.
+            for (const auto &[key, task] : subgroups)
+                node_load_seconds[node] +=
+                    task->nodeCpuWork / node_capacity;
+            // Consumers of a multi-member subgroup share one reply.
+            for (const auto &[key, task] : subgroups) {
+                size_t count = 0;
+                for (const Member &m : pushers)
+                    if (plans[m.qi]->projectionTasks[m.ti].shareKey ==
+                        key)
+                        ++count;
+                if (count < 2)
+                    continue;
+                for (const Member &m : pushers)
+                    if (plans[m.qi]->projectionTasks[m.ti].shareKey ==
+                        key)
+                        overrides[m.qi][task->chunkId] = {
+                            "push", "merged-pushdown"};
+            }
+            continue;
+        }
+
+        // Convert every pushdown consumer to a shared chunk fetch; the
+        // chunk crosses the wire once and each consumer pays only its
+        // own decode/select work at the coordinator.
+        for (const Member &m : pushers) {
+            QueryPlan &plan = *plans[m.qi];
+            SimTask &t = plan.projectionTasks[m.ti];
+            SimTask fetch;
+            fetch.nodeId = t.nodeId;
+            fetch.requestBytes = store_.options().requestRpcBytes;
+            fetch.diskBytes = t.chunkStoredBytes;
+            fetch.nodeCpuWork = 0.0;
+            fetch.replyBytes = t.chunkStoredBytes;
+            fetch.coordCpuWork = t.fetchDecodeWork;
+            fetch.label = "chunk_fetch";
+            fetch.shareKey = "cfetch|" + group_key;
+            fetch.chunkId = t.chunkId;
+            fetch.selectivity = t.selectivity;
+            fetch.chunkStoredBytes = t.chunkStoredBytes;
+            fetch.chunkPlainBytes = t.chunkPlainBytes;
+            fetch.fetchDecodeWork = t.fetchDecodeWork;
+            fetch.consumerSelectWork = t.consumerSelectWork;
+            t = std::move(fetch);
+            FUSION_CHECK(plan.outcome.projectionPushdowns > 0);
+            --plan.outcome.projectionPushdowns;
+            ++plan.outcome.projectionFetches;
+            overrides[m.qi][t.chunkId] = {"fetch", reason};
+            if (load_shed) {
+                ++stats_.loadSheds;
+                ins_.loadSheds->add(1);
+            } else {
+                ++stats_.fetchConversions;
+                ins_.fetchConversions->add(1);
+            }
+        }
+    }
+
+    // Re-attach amended EXPLAIN reports.
+    for (size_t qi = 0; qi < plans.size(); ++qi) {
+        if (overrides[qi].empty() || !plans[qi]->outcome.explain)
+            continue;
+        obs::QueryExplain amended = *plans[qi]->outcome.explain;
+        for (auto &pc : amended.projections) {
+            auto it = overrides[qi].find(pc.chunkId);
+            if (it == overrides[qi].end())
+                continue;
+            pc.verdict = it->second.first;
+            pc.reason = it->second.second;
+        }
+        plans[qi]->outcome.explain =
+            std::make_shared<const obs::QueryExplain>(std::move(amended));
+    }
+
+    // ---- phase 3: concurrent simulation with task dedup ----
+    sim::Cluster &cluster = store_.cluster();
+    obs::Tracer &tracer = store_.obs().tracer;
+    auto ctx = std::make_shared<BatchCtx>();
+    const double batch_start = cluster.engine().now();
+    const double cpu_rate = nc.cpuRate;
+
+    std::vector<QueryOutcome> outcomes(plans.size());
+    size_t done_count = 0;
+
+    uint64_t batch_span = tracer.beginSpan(
+        "shared_scan",
+        "\"queries\": " + std::to_string(batch.size()) +
+            ", \"tasks_planned\": " + std::to_string(stats_.tasksPlanned));
+
+    // Demands a task's execution. Unkeyed (or dedup-disabled) tasks run
+    // directly; keyed tasks run once and fan their completion out to
+    // every later consumer, which pays only coordinator-side work.
+    auto demand = [this, ctx, &cluster, &tracer, cpu_rate](
+                      const SimTask &task, QueryPlan &plan,
+                      bool projection_stage,
+                      std::shared_ptr<sim::Join> join) {
+        const size_t coordinator = plan.coordinatorId;
+        if (task.shareKey.empty() || !options_.dedupFetches) {
+            ++stats_.tasksIssued;
+            ins_.tasksIssued->add(1);
+            store_.accountTask(task, coordinator, projection_stage,
+                               plan.outcome);
+            store_.executeTask(task, coordinator, join);
+            return;
+        }
+        SharedEntry &entry = ctx->table[task.shareKey];
+        if (!entry.issued) {
+            entry.issued = true;
+            ++stats_.tasksIssued;
+            ins_.tasksIssued->add(1);
+            store_.accountTask(task, coordinator, projection_stage,
+                               plan.outcome);
+            // The issuer's own join signal plus waiter fan-out.
+            auto fanout = std::make_shared<sim::Join>(
+                1, [ctx, key = task.shareKey, join]() {
+                    SharedEntry &e = ctx->table[key];
+                    e.done = true;
+                    join->signal();
+                    auto waiters = std::move(e.waiters);
+                    e.waiters.clear();
+                    for (auto &waiter : waiters)
+                        waiter();
+                });
+            store_.executeTask(task, coordinator, fanout);
+            return;
+        }
+
+        // Absorbed: the bytes are (or were) already on their way to
+        // this coordinator. Pay only the per-consumer coordinator work
+        // (select pass on the shared reply, or this task's own coord
+        // work when no cheaper shared form exists).
+        const bool push_family = isPushdownFamily(keyFamily(task.shareKey));
+        if (push_family) {
+            ++stats_.mergedPushdowns;
+            ins_.mergedPushdowns->add(1);
+        } else {
+            ++stats_.sharedFetches;
+            ins_.sharedFetches->add(1);
+        }
+        if (task.nodeId != coordinator) {
+            uint64_t saved = task.requestBytes + task.replyBytes;
+            stats_.wireBytesSaved += saved;
+            ins_.wireBytesSaved->add(saved);
+        }
+        double coord_work = task.consumerSelectWork > 0.0
+                                ? task.consumerSelectWork
+                                : task.coordCpuWork;
+        plan.outcome.cpuSeconds += coord_work / cpu_rate;
+        uint64_t wait_span = tracer.beginSpan(
+            "sched_wait", "\"key\": \"" + task.shareKey + "\"");
+        sim::StorageNode *coord = &cluster.node(coordinator);
+        auto complete = [&tracer, coord, coord_work, join, wait_span]() {
+            tracer.endSpan(wait_span);
+            coord->cpu().acquire(coord_work,
+                                 [join]() { join->signal(); });
+        };
+        if (entry.done)
+            complete();
+        else
+            entry.waiters.push_back(std::move(complete));
+    };
+
+    // Drive each query's two-stage flow; all queries are admitted at
+    // the same simulated instant and progress concurrently.
+    for (size_t qi = 0; qi < plans.size(); ++qi) {
+        auto plan = plans[qi];
+        sim::StorageNode *client = &cluster.client();
+        sim::StorageNode *coord = &cluster.node(plan->coordinatorId);
+
+        auto spans = std::make_shared<std::array<uint64_t, 3>>();
+        (*spans)[0] = tracer.beginSpan(
+            "query", "\"batch_index\": " + std::to_string(qi) +
+                         ", \"filter_tasks\": " +
+                         std::to_string(plan->filterTasks.size()) +
+                         ", \"projection_tasks\": " +
+                         std::to_string(plan->projectionTasks.size()));
+
+        auto finish = [this, &tracer, &cluster, &outcomes, &done_count,
+                       ctx, plan, qi, client, coord, batch_start, spans,
+                       batch_span, total = plans.size()]() {
+            tracer.endSpan((*spans)[2]);
+            cluster.transfer(
+                *coord, *client, plan->clientReplyBytes,
+                [this, &tracer, &cluster, &outcomes, &done_count, ctx,
+                 plan, qi, batch_start, spans, batch_span, total]() {
+                    plan->outcome.latencySeconds =
+                        cluster.engine().now() - batch_start;
+                    store_.queryLatencyHistogram().observe(
+                        plan->outcome.latencySeconds);
+                    store_.accountClientExchange(plan->clientReplyBytes,
+                                                 plan->outcome);
+                    tracer.endSpan((*spans)[0]);
+                    outcomes[qi] = plan->outcome;
+                    if (++done_count == total) {
+                        ctx->queriesDone = done_count;
+                        stats_.makespanSeconds =
+                            cluster.engine().now() - batch_start;
+                        tracer.endSpan(batch_span);
+                    }
+                });
+        };
+
+        auto projection_stage = [this, &tracer, plan, demand, finish,
+                                 coord, spans]() {
+            tracer.endSpan((*spans)[1]);
+            (*spans)[2] = tracer.beginSpan("projection_stage");
+            coord->cpu().acquire(
+                plan->interStageCoordWork, [this, plan, demand,
+                                            finish]() {
+                    auto join = std::make_shared<sim::Join>(
+                        plan->projectionTasks.size(), finish);
+                    for (const auto &task : plan->projectionTasks)
+                        demand(task, *plan, true, join);
+                });
+        };
+
+        auto filter_stage = [this, &tracer, plan, demand,
+                             projection_stage, spans]() {
+            (*spans)[1] = tracer.beginSpan("filter_stage");
+            auto join = std::make_shared<sim::Join>(
+                plan->filterTasks.size(), projection_stage);
+            for (const auto &task : plan->filterTasks)
+                demand(task, *plan, false, join);
+        };
+
+        auto start_plan = [this, &cluster, plan, filter_stage]() {
+            if (plan->extraLatencySeconds > 0.0)
+                cluster.engine().schedule(plan->extraLatencySeconds,
+                                          filter_stage);
+            else
+                filter_stage();
+        };
+
+        cluster.transfer(*client, *coord,
+                         store_.options().clientRequestBytes,
+                         start_plan);
+    }
+
+    cluster.engine().run();
+    FUSION_CHECK_MSG(done_count == plans.size(),
+                     "shared-scan batch did not complete");
+    return outcomes;
+}
+
+Result<std::vector<QueryOutcome>>
+SharedScanScheduler::runBatchSql(const std::vector<std::string> &statements)
+{
+    std::vector<query::Query> batch;
+    batch.reserve(statements.size());
+    for (const auto &sql : statements) {
+        auto q = query::parseQuery(sql);
+        if (!q.isOk())
+            return q.status();
+        batch.push_back(std::move(q.value()));
+    }
+    return runBatch(batch);
+}
+
+} // namespace fusion::sched

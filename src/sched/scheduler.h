@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared-scan query scheduler. Admits a batch of concurrent queries
+ * (possibly over different objects), plans each through the store's
+ * two-stage executor, then deduplicates the planned work at chunk
+ * granularity before simulating anything:
+ *
+ *   - identical chunk/block fetches (equal SimTask::shareKey) are
+ *     issued once; every other consumer waits on the one in-flight
+ *     transfer and pays only its own coordinator-side work;
+ *   - compatible projection pushdowns against the same chunk are
+ *     merged into one storage-node task with a shared reply;
+ *   - the Cost Equation is re-evaluated over the *merged* consumer set
+ *     (see query::decideSharedProjectionPushdown): N pushdown replies
+ *     compete against ONE shared chunk fetch, so heavily shared chunks
+ *     flip to coordinator-side evaluation even when each query alone
+ *     would push down — and vice versa a per-node load term sheds
+ *     pushdowns off storage nodes whose simulated CPU is already
+ *     oversubscribed by this batch.
+ *
+ * Everything runs on the simulation driver thread against the store's
+ * sim::Engine, so batch outcomes, sched.* metrics, shared_scan /
+ * sched_wait trace spans and amended EXPLAIN reasons ("shared-fetch",
+ * "merged-pushdown", "load-shed") are deterministic across runs and
+ * thread counts.
+ */
+#ifndef FUSION_SCHED_SCHEDULER_H
+#define FUSION_SCHED_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+#include "store/object_store.h"
+
+namespace fusion::sched {
+
+/** Scheduler tuning knobs. */
+struct SchedOptions {
+    /**
+     * Per-node admission limit on outstanding pushdown CPU work, in
+     * simulated seconds of the node's full-core capacity, per batch.
+     * Once a node's admitted pushdown work exceeds this, further
+     * pushdowns targeting it are converted to coordinator-side
+     * evaluation (EXPLAIN reason "load-shed"). 0 disables the term.
+     */
+    double nodeLoadLimitSeconds = 0.25;
+    /** Re-run the Cost Equation over merged consumer sets. */
+    bool mergePushdowns = true;
+    /** Share identical fetches across queries. */
+    bool dedupFetches = true;
+};
+
+/** What the scheduler did with one batch (also mirrored as sched.*
+ *  counters in the store's metrics registry). */
+struct BatchStats {
+    size_t queries = 0;
+    size_t tasksPlanned = 0;  // before dedup, filter + projection
+    size_t tasksIssued = 0;   // unique executions after dedup
+    size_t sharedFetches = 0; // fetch tasks absorbed by an equal fetch
+    size_t mergedPushdowns = 0; // pushdowns absorbed by an equal one
+    size_t fetchConversions = 0; // pushdowns -> shared fetch (cost eq)
+    size_t loadSheds = 0;        // pushdowns -> fetch (node load term)
+    uint64_t wireBytesSaved = 0; // request+reply bytes never re-sent
+    double makespanSeconds = 0.0; // batch admit -> last client reply
+};
+
+/**
+ * Batches concurrent queries against one store into deduplicated
+ * pushdown requests. The scheduler owns no store state; it composes
+ * the store's public planQueryForBatch / executeTask / accountTask
+ * hooks, so per-query results are bit-identical to isolated execution.
+ */
+class SharedScanScheduler
+{
+  public:
+    explicit SharedScanScheduler(store::ObjectStore &store,
+                                 const SchedOptions &options = {});
+
+    /**
+     * Admits `batch` at the current simulated instant, plans every
+     * query, applies cross-query dedup + the shared Cost Equation, then
+     * simulates all queries concurrently and runs the engine to
+     * completion. Returns per-query outcomes in batch order; each
+     * outcome's latency is measured from batch admission (all queries
+     * arrive together). Fails fast on the first query that cannot be
+     * planned (unknown table, bad column, ...).
+     */
+    Result<std::vector<store::QueryOutcome>>
+    runBatch(const std::vector<query::Query> &batch);
+
+    /** Parses each statement, then runBatch. */
+    Result<std::vector<store::QueryOutcome>>
+    runBatchSql(const std::vector<std::string> &statements);
+
+    /** Stats of the most recent runBatch. */
+    const BatchStats &lastBatchStats() const { return stats_; }
+
+    const SchedOptions &options() const { return options_; }
+
+  private:
+    store::ObjectStore &store_;
+    SchedOptions options_;
+    BatchStats stats_;
+
+    /** sched.* counters, resolved once (same registry as the store's
+     *  fault/cache/wire instruments, so one snapshot covers all). */
+    struct Instruments {
+        obs::Counter *batches = nullptr;
+        obs::Counter *queries = nullptr;
+        obs::Counter *tasksPlanned = nullptr;
+        obs::Counter *tasksIssued = nullptr;
+        obs::Counter *sharedFetches = nullptr;
+        obs::Counter *mergedPushdowns = nullptr;
+        obs::Counter *fetchConversions = nullptr;
+        obs::Counter *loadSheds = nullptr;
+        obs::Counter *wireBytesSaved = nullptr;
+    };
+    Instruments ins_;
+};
+
+} // namespace fusion::sched
+
+#endif // FUSION_SCHED_SCHEDULER_H

@@ -35,6 +35,30 @@ FusionStore::planQuery(const ObjectManifest &manifest,
     plan.outcome.result = plane.result;
     plan.clientReplyBytes = plane.resultWireBytes;
 
+    // Filter signatures identify the reply payload for cross-query
+    // sharing: a filter-pushdown bitmap depends only on the predicates
+    // over its own column; a projection-pushdown reply depends on the
+    // whole filter set (the final ANDed bitmap selects its rows).
+    auto column_filter_sig = [&](const std::string &col_name) {
+        std::string sig;
+        for (const auto &pred : q.filters) {
+            if (pred.column != col_name)
+                continue;
+            sig += pred.column;
+            sig += compareOpName(pred.op);
+            sig += pred.literal.toString();
+            sig += ';';
+        }
+        return sig;
+    };
+    std::string full_filter_sig;
+    for (const auto &pred : q.filters) {
+        full_filter_sig += pred.column;
+        full_filter_sig += compareOpName(pred.op);
+        full_filter_sig += pred.literal.toString();
+        full_filter_sig += ';';
+    }
+
     // EXPLAIN collection (per-chunk Cost Equation inputs + verdicts);
     // only filled when the report was asked for.
     const bool explain = obs_.explainEnabled;
@@ -63,11 +87,15 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             auto state = chunkPushdownState(manifest, chunk_id);
             if (state == ChunkPushdownState::kPushable) {
                 size_t node = manifest.nodesForChunk(chunk_id)[0];
-                plan.filterTasks.push_back(
-                    {node, options_.requestRpcBytes, chunk.storedSize,
-                     chunkDecodeWork(chunk),
-                     plane.filterReplyWireSize.at({rg, col}), 0.0,
-                     "filter_pushdown"});
+                SimTask task{node, options_.requestRpcBytes,
+                             chunk.storedSize, chunkDecodeWork(chunk),
+                             plane.filterReplyWireSize.at({rg, col}), 0.0,
+                             "filter_pushdown"};
+                task.shareKey = "fpush|" + manifest.name + "|" +
+                                std::to_string(chunk_id) + "|" +
+                                column_filter_sig(col_name);
+                task.chunkId = chunk_id;
+                plan.filterTasks.push_back(std::move(task));
                 warm_chunks.insert({node, chunk_id});
                 ++plan.outcome.filterChunkPushdowns;
             } else {
@@ -153,11 +181,27 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             double decode_work =
                 warm ? chunkSelectWork(chunk) : chunkDecodeWork(chunk);
 
+            // Shared-scan metadata: enough for the scheduler to re-run
+            // the Cost Equation over a merged consumer set, or to
+            // convert this pushdown into a shared chunk fetch.
+            auto fill_shared = [&](SimTask &task) {
+                task.chunkId = chunk_id;
+                task.selectivity = plane.selectivity;
+                task.chunkStoredBytes = chunk.storedSize;
+                task.chunkPlainBytes = chunk.plainSize;
+                task.fetchDecodeWork = chunkDecodeWork(chunk);
+                task.consumerSelectWork = chunkSelectWork(chunk);
+            };
+
             if (options_.aggregatePushdown && aggregate_only) {
                 // Node returns a (count, sum, min, max) scalar tuple.
-                plan.projectionTasks.push_back(
-                    {node, request, disk_bytes, decode_work, 32, 0.0,
-                     "projection_pushdown"});
+                SimTask task{node, request, disk_bytes, decode_work, 32,
+                             0.0, "projection_pushdown"};
+                task.shareKey = "apush|" + manifest.name + "|" +
+                                std::to_string(chunk_id) + "|" +
+                                full_filter_sig;
+                fill_shared(task);
+                plan.projectionTasks.push_back(std::move(task));
                 ++plan.outcome.projectionPushdowns;
                 record("push", "aggregate-only projection");
                 continue;
@@ -165,20 +209,28 @@ FusionStore::planQuery(const ObjectManifest &manifest,
 
             bool push = options_.adaptivePushdown ? decision.push : true;
             if (push) {
-                plan.projectionTasks.push_back(
-                    {node, request, disk_bytes, decode_work,
-                     plane.projectionReplySize.at({rg, col}), 0.0,
-                     "projection_pushdown"});
+                SimTask task{node, request, disk_bytes, decode_work,
+                             plane.projectionReplySize.at({rg, col}), 0.0,
+                             "projection_pushdown"};
+                task.shareKey = "ppush|" + manifest.name + "|" +
+                                std::to_string(chunk_id) + "|" +
+                                full_filter_sig;
+                fill_shared(task);
+                plan.projectionTasks.push_back(std::move(task));
                 ++plan.outcome.projectionPushdowns;
                 record("push", options_.adaptivePushdown
                                    ? "cost product < 1"
                                    : "adaptive pushdown disabled");
             } else {
                 // Fetch the compressed chunk; decode + select locally.
-                plan.projectionTasks.push_back(
-                    {node, options_.requestRpcBytes, chunk.storedSize, 0.0,
-                     chunk.storedSize, chunkDecodeWork(chunk),
-                     "chunk_fetch"});
+                SimTask task{node, options_.requestRpcBytes,
+                             chunk.storedSize, 0.0, chunk.storedSize,
+                             chunkDecodeWork(chunk), "chunk_fetch"};
+                task.shareKey =
+                    "cfetch|" + manifest.name + "|" +
+                    std::to_string(chunk_id);
+                fill_shared(task);
+                plan.projectionTasks.push_back(std::move(task));
                 ++plan.outcome.projectionFetches;
                 record("fetch", "cost product >= 1");
             }

@@ -9,6 +9,7 @@
 #define FUSION_STORE_MANIFEST_H
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fac/layout.h"
@@ -46,6 +47,22 @@ struct ObjectManifest {
     /** Location map: pieces of each chunk id, in chunk-offset order. */
     std::vector<std::vector<PieceLocation>> chunkPieces;
 
+    /** One materialized (non-implicit-zero) block of this object. */
+    struct BlockRef {
+        size_t stripe = 0;
+        size_t blockIndex = 0; // [0, n): data and parity
+        uint64_t size = 0;     // true (unpadded) size
+    };
+
+    /**
+     * Node shard of the location map: every block of this object that
+     * lives on a given node, sorted by (stripe, blockIndex). Lets
+     * repair and placement queries touch only one node's blocks instead
+     * of scanning stripes x n — the O(nodes) walk the 100+-node
+     * experiments cannot afford.
+     */
+    std::unordered_map<size_t, std::vector<BlockRef>> nodeBlocks;
+
     /** Number of column chunks (excluding pseudo-chunks). */
     size_t
     numDataChunks() const
@@ -61,17 +78,26 @@ struct ObjectManifest {
             row_group * fileMeta.schema.numColumns() + column);
     }
 
-    /** Distinct node ids storing pieces of the given chunk. */
-    std::vector<size_t> nodesForChunk(uint32_t chunk_id) const;
+    /** Distinct node ids storing pieces of the given chunk (cached by
+     *  buildLocationMap; O(1) per call). */
+    const std::vector<size_t> &nodesForChunk(uint32_t chunk_id) const;
+
+    /** This object's blocks on `node_id` (empty vector when none). */
+    const std::vector<BlockRef> &blocksOnNode(size_t node_id) const;
 
     /** Storage key of a block on its node. */
     std::string blockKey(size_t stripe, size_t block_index) const;
 
     /**
-     * Derives chunkPieces from the layout. Must be called after layout,
+     * Derives chunkPieces, the per-chunk node cache and the per-node
+     * block shards from the layout. Must be called after layout,
      * extents and stripeNodes are set.
      */
     void buildLocationMap();
+
+  private:
+    /** Distinct nodes per chunk id, derived by buildLocationMap. */
+    std::vector<std::vector<size_t>> chunkNodes_;
 };
 
 } // namespace fusion::store

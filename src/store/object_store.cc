@@ -566,30 +566,21 @@ ObjectStore::repairNode(size_t node_id)
     if (!node.alive())
         return Status::failedPrecondition("revive the node before repair");
 
+    // The manifest's per-node shard lists exactly the blocks that
+    // should live here — no stripes x n scan over every object.
     size_t rebuilt = 0;
     for (const auto &[name, manifest] : manifests_) {
-        for (size_t s = 0; s < manifest.stripeNodes.size(); ++s) {
-            const fac::StripeLayout &stripe = manifest.layout.stripes[s];
-            for (size_t b = 0; b < options_.n; ++b) {
-                if (manifest.stripeNodes[s][b] != node_id)
-                    continue;
-                uint64_t want_size =
-                    (b < options_.k)
-                        ? (b < stripe.dataBlocks.size()
-                               ? stripe.dataBlocks[b].size()
-                               : 0)
-                        : stripe.blockSize();
-                if (want_size == 0)
-                    continue;
-                if (node.findBlock(manifest.blockKey(s, b)))
-                    continue; // still intact
-                auto block = recoverBlock(manifest, s, b);
-                if (!block.isOk())
-                    return block.status();
-                node.putBlock(manifest.blockKey(s, b),
-                              std::move(block.value()));
-                ++rebuilt;
-            }
+        for (const auto &ref : manifest.blocksOnNode(node_id)) {
+            if (node.findBlock(manifest.blockKey(ref.stripe,
+                                                 ref.blockIndex)))
+                continue; // still intact
+            auto block = recoverBlock(manifest, ref.stripe,
+                                      ref.blockIndex);
+            if (!block.isOk())
+                return block.status();
+            node.putBlock(manifest.blockKey(ref.stripe, ref.blockIndex),
+                          std::move(block.value()));
+            ++rebuilt;
         }
     }
     return rebuilt;
@@ -961,12 +952,21 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
     size_t first_new = tasks.size();
     std::set<std::pair<size_t, size_t>> degraded_stripes;
 
+    // Share keys: any query fetching the same healthy piece (or the
+    // same surviving stripe block during a degraded read) moves the
+    // same bytes, so the batch scheduler can issue it once.
+    const std::string key_base =
+        "fetch|" + manifest.name + "|" + std::to_string(chunk_id) + "|";
+    size_t ordinal = 0;
     for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
         size_t node_id =
             manifest.stripeNodes[piece.stripe][piece.blockIndex];
         if (nodeResponsive(cluster_.node(node_id))) {
-            tasks.push_back({node_id, options_.requestRpcBytes, piece.size,
-                             0.0, piece.size, 0.0});
+            SimTask task{node_id, options_.requestRpcBytes, piece.size,
+                         0.0, piece.size, 0.0};
+            task.shareKey = key_base + std::to_string(ordinal++);
+            task.chunkId = chunk_id;
+            tasks.push_back(std::move(task));
             total += piece.size;
         } else {
             degraded_stripes.insert({piece.stripe, piece.blockIndex});
@@ -988,8 +988,13 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
                                        ? ls.dataBlocks[b].size()
                                        : 0)
                                 : ls.blockSize();
-            tasks.push_back({node_id, options_.requestRpcBytes, size, 0.0,
-                             size, 0.0});
+            SimTask task{node_id, options_.requestRpcBytes, size, 0.0,
+                         size, 0.0};
+            task.shareKey = "stripe|" + manifest.name + "|" +
+                            std::to_string(stripe) + "|" +
+                            std::to_string(b);
+            task.chunkId = chunk_id;
+            tasks.push_back(std::move(task));
             total += size;
             ++fetched;
         }
@@ -1007,50 +1012,61 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
 }
 
 void
-ObjectStore::accountPlanResources(QueryPlan &plan) const
+ObjectStore::accountTask(const SimTask &task, size_t coordinator,
+                         bool projection_stage, QueryOutcome &out) const
 {
     const sim::NodeConfig &nc = cluster_.config().node;
-    QueryOutcome &out = plan.outcome;
-
-    auto account_task = [&](const SimTask &task, obs::Counter *wire_request,
-                            obs::Counter *wire_reply) {
-        bool remote = task.nodeId != plan.coordinatorId;
-        if (remote) {
-            out.networkBytes += task.requestBytes + task.replyBytes;
-            out.networkSeconds +=
-                static_cast<double>(task.requestBytes + task.replyBytes) /
-                    nc.nicBandwidth +
-                2 * nc.rpcLatency;
-            wire_request->add(task.requestBytes);
-            wire_reply->add(task.replyBytes);
-        }
-        if (task.diskBytes > 0) {
-            out.diskSeconds +=
-                static_cast<double>(task.diskBytes) / nc.diskBandwidth +
-                nc.diskSeekLatency;
-        }
-        out.cpuSeconds +=
-            (task.nodeCpuWork + task.coordCpuWork) / nc.cpuRate;
-    };
-    for (const auto &task : plan.filterTasks)
-        account_task(task, ins_.wireFilterRequest, ins_.wireFilterReply);
-    for (const auto &task : plan.projectionTasks)
-        account_task(task, ins_.wireProjectionRequest,
-                     ins_.wireProjectionReply);
-    out.cpuSeconds += plan.interStageCoordWork / nc.cpuRate;
-    out.networkBytes += options_.clientRequestBytes + plan.clientReplyBytes;
-    out.networkSeconds +=
-        static_cast<double>(options_.clientRequestBytes +
-                            plan.clientReplyBytes) /
-            nc.nicBandwidth +
-        2 * nc.rpcLatency;
-    ins_.wireClientRequest->add(options_.clientRequestBytes);
-    ins_.wireClientReply->add(plan.clientReplyBytes);
+    obs::Counter *wire_request =
+        projection_stage ? ins_.wireProjectionRequest : ins_.wireFilterRequest;
+    obs::Counter *wire_reply =
+        projection_stage ? ins_.wireProjectionReply : ins_.wireFilterReply;
+    if (task.nodeId != coordinator) {
+        out.networkBytes += task.requestBytes + task.replyBytes;
+        out.networkSeconds +=
+            static_cast<double>(task.requestBytes + task.replyBytes) /
+                nc.nicBandwidth +
+            2 * nc.rpcLatency;
+        wire_request->add(task.requestBytes);
+        wire_reply->add(task.replyBytes);
+    }
+    if (task.diskBytes > 0) {
+        out.diskSeconds +=
+            static_cast<double>(task.diskBytes) / nc.diskBandwidth +
+            nc.diskSeekLatency;
+    }
+    out.cpuSeconds += (task.nodeCpuWork + task.coordCpuWork) / nc.cpuRate;
 }
 
 void
-ObjectStore::runTask(const SimTask &task, size_t coordinator,
-                     std::shared_ptr<sim::Join> join)
+ObjectStore::accountClientExchange(uint64_t reply_bytes,
+                                   QueryOutcome &out) const
+{
+    const sim::NodeConfig &nc = cluster_.config().node;
+    out.networkBytes += options_.clientRequestBytes + reply_bytes;
+    out.networkSeconds +=
+        static_cast<double>(options_.clientRequestBytes + reply_bytes) /
+            nc.nicBandwidth +
+        2 * nc.rpcLatency;
+    ins_.wireClientRequest->add(options_.clientRequestBytes);
+    ins_.wireClientReply->add(reply_bytes);
+}
+
+void
+ObjectStore::accountPlanResources(QueryPlan &plan) const
+{
+    QueryOutcome &out = plan.outcome;
+    for (const auto &task : plan.filterTasks)
+        accountTask(task, plan.coordinatorId, false, out);
+    for (const auto &task : plan.projectionTasks)
+        accountTask(task, plan.coordinatorId, true, out);
+    out.cpuSeconds +=
+        plan.interStageCoordWork / cluster_.config().node.cpuRate;
+    accountClientExchange(plan.clientReplyBytes, out);
+}
+
+void
+ObjectStore::executeTask(const SimTask &task, size_t coordinator,
+                         std::shared_ptr<sim::Join> join)
 {
     sim::StorageNode *node = &cluster_.node(task.nodeId);
     sim::StorageNode *coord = &cluster_.node(coordinator);
@@ -1138,7 +1154,7 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
                 auto join = std::make_shared<sim::Join>(
                     plan->projectionTasks.size(), finish);
                 for (const auto &task : plan->projectionTasks)
-                    runTask(task, plan->coordinatorId, join);
+                    executeTask(task, plan->coordinatorId, join);
             });
     };
 
@@ -1147,7 +1163,7 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
         auto join = std::make_shared<sim::Join>(plan->filterTasks.size(),
                                                 projection_stage);
         for (const auto &task : plan->filterTasks)
-            runTask(task, plan->coordinatorId, join);
+            executeTask(task, plan->coordinatorId, join);
     };
 
     // Retry backoff against faulted nodes delays the whole plan (the
@@ -1164,39 +1180,41 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
                       start_plan);
 }
 
-void
-ObjectStore::queryAsync(const query::Query &q,
-                        std::function<void(Result<QueryOutcome>)> done)
+Result<std::shared_ptr<ObjectStore::QueryPlan>>
+ObjectStore::planQueryForBatch(const query::Query &q)
 {
     auto m = manifest(q.table);
-    if (!m.isOk()) {
-        done(m.status());
-        return;
-    }
-    if (!m.value()->isFpax) {
-        done(Status::failedPrecondition(
-            "object '" + q.table + "' is not an analytics (fpax) object"));
-        return;
-    }
+    if (!m.isOk())
+        return m.status();
+    if (!m.value()->isFpax)
+        return Status::failedPrecondition(
+            "object '" + q.table + "' is not an analytics (fpax) object");
     auto resolved = resolveQuery(q, m.value()->fileMeta.schema);
-    if (!resolved.isOk()) {
-        done(resolved.status());
-        return;
-    }
+    if (!resolved.isOk())
+        return resolved.status();
     FaultStats before = faultStats();
     auto plan = planQuery(*m.value(), resolved.value());
-    if (!plan.isOk()) {
-        done(plan.status());
-        return;
-    }
+    if (!plan.isOk())
+        return plan.status();
     FaultStats after = faultStats();
     QueryPlan &p = plan.value();
     p.outcome.parityReconstructions =
         after.parityReconstructions - before.parityReconstructions;
     p.outcome.readRetries = after.readRetries - before.readRetries;
     p.extraLatencySeconds = after.backoffSeconds - before.backoffSeconds;
-    simulateQuery(std::make_shared<QueryPlan>(std::move(p)),
-                  std::move(done));
+    return std::make_shared<QueryPlan>(std::move(p));
+}
+
+void
+ObjectStore::queryAsync(const query::Query &q,
+                        std::function<void(Result<QueryOutcome>)> done)
+{
+    auto plan = planQueryForBatch(q);
+    if (!plan.isOk()) {
+        done(plan.status());
+        return;
+    }
+    simulateQuery(std::move(plan.value()), std::move(done));
 }
 
 Result<QueryOutcome>

@@ -243,7 +243,6 @@ class ObjectStore
     sim::Cluster &cluster() { return cluster_; }
     const StoreOptions &options() const { return options_; }
 
-  protected:
     /** One coordinator<->node interaction in a query plan. */
     struct SimTask {
         size_t nodeId = 0;
@@ -254,6 +253,27 @@ class ObjectStore
         double coordCpuWork = 0.0; // decode/eval bytes at coordinator
         /** Span name for the tracer ("chunk_fetch", "pushdown", ...). */
         const char *label = "chunk_fetch";
+
+        // ---- shared-scan metadata (sched::SharedScanScheduler) ----
+
+        /**
+         * Identity of the data movement for cross-query dedup. Two
+         * tasks with equal non-empty keys (planned against the same
+         * store state) represent byte-identical work whose reply can be
+         * shared; empty means never shareable.
+         */
+        std::string shareKey;
+        /** Chunk this task serves, or UINT32_MAX for non-chunk tasks. */
+        uint32_t chunkId = UINT32_MAX;
+        /** Inputs for the shared Cost Equation, set on
+         *  projection_pushdown tasks only (see query/cost.h). */
+        double selectivity = 0.0;
+        uint64_t chunkStoredBytes = 0; // wire cost if fetched instead
+        uint64_t chunkPlainBytes = 0;
+        /** Coordinator decode work if this pushdown is converted to a
+         *  fetch, and the per-extra-consumer row-selection pass. */
+        double fetchDecodeWork = 0.0;
+        double consumerSelectWork = 0.0;
     };
 
     /** A fully planned query: real results plus simulation byte counts. */
@@ -271,6 +291,44 @@ class ObjectStore
         QueryOutcome outcome;
     };
 
+    // ---- scheduler interface (sched::SharedScanScheduler) ----
+
+    /**
+     * Resolves and plans a query without simulating it: the batch
+     * scheduler plans every admitted query first, dedups overlapping
+     * tasks across the plans, then drives its own simulation. Fault
+     * deltas observed during planning are folded into the plan exactly
+     * as queryAsync does.
+     */
+    Result<std::shared_ptr<QueryPlan>>
+    planQueryForBatch(const query::Query &q);
+
+    /**
+     * Executes one planned task in simulated time: request transfer,
+     * disk, node CPU, reply transfer, coordinator CPU, then one
+     * join->signal(). Safe to call only from the simulation driver.
+     */
+    void executeTask(const SimTask &task, size_t coordinator,
+                     std::shared_ptr<sim::Join> join);
+
+    /**
+     * Folds one task's resource and wire costs into `out` and the
+     * store's wire.* counters (`projection_stage` selects the counter
+     * family). The scheduler accounts each deduplicated task exactly
+     * once — that is where the shared-scan wire savings become visible.
+     */
+    void accountTask(const SimTask &task, size_t coordinator,
+                     bool projection_stage, QueryOutcome &out) const;
+
+    /** Accounts one query's client request/reply exchange. */
+    void accountClientExchange(uint64_t reply_bytes,
+                               QueryOutcome &out) const;
+
+    /** The store's query-latency histogram (scheduler records into the
+     *  same instrument queryAsync uses). */
+    obs::Histogram &queryLatencyHistogram() { return *ins_.queryLatency; }
+
+  protected:
     /** Subclass hook: choose the stripe layout for a new object. */
     virtual fac::ObjectLayout
     buildLayout(const std::vector<fac::ChunkExtent> &extents) = 0;
@@ -433,8 +491,6 @@ class ObjectStore
   private:
     void simulateQuery(std::shared_ptr<QueryPlan> plan,
                        std::function<void(Result<QueryOutcome>)> done);
-    void runTask(const SimTask &task, size_t coordinator,
-                 std::shared_ptr<sim::Join> join);
     Result<Bytes> recoverBlock(const ObjectManifest &manifest,
                                size_t stripe, size_t block_index);
     void accountPlanResources(QueryPlan &plan) const;

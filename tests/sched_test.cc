@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Shared-scan scheduler tests: the shared Cost Equation extension, the
+ * sharded chunk-location map it leans on, cross-query dedup (shared
+ * fetches, merged pushdowns, load shedding) with the sched.* metrics
+ * and EXPLAIN reasons they emit, result equivalence against isolated
+ * execution, wire-byte savings on overlapping batches, and the
+ * determinism contract — scheduler metrics, trace and EXPLAIN output
+ * byte-identical across FUSION_THREADS values.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/cost.h"
+#include "query/parser.h"
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+#include "store/fusion_store.h"
+#include "workload/lineitem.h"
+#include "workload/queries.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared Cost Equation units.
+// ---------------------------------------------------------------------
+
+format::ChunkMeta
+chunkMeta(uint64_t stored, uint64_t plain)
+{
+    format::ChunkMeta chunk;
+    chunk.storedSize = stored;
+    chunk.plainSize = plain;
+    return chunk;
+}
+
+TEST(SharedCostTest, PushesWhenMergedRepliesBeatOneFetch)
+{
+    // 3:1 compressed chunk; merged replies of 200 KB vs a 1 MB fetch.
+    auto d = query::decideSharedProjectionPushdown(
+        200 << 10, chunkMeta(1 << 20, 3 << 20), 0.0, 0.0);
+    EXPECT_TRUE(d.push);
+    EXPECT_FALSE(d.loadShed);
+    EXPECT_LT(d.product(), 1.0);
+}
+
+TEST(SharedCostTest, FetchesWhenMergedRepliesExceedStoredSize)
+{
+    // Many consumers: summed replies outweigh fetching the chunk once.
+    auto d = query::decideSharedProjectionPushdown(
+        (1 << 20) + 1, chunkMeta(1 << 20, 3 << 20), 0.0, 0.0);
+    EXPECT_FALSE(d.push);
+    EXPECT_FALSE(d.loadShed);
+}
+
+TEST(SharedCostTest, LoadTermOverridesByteMath)
+{
+    auto d = query::decideSharedProjectionPushdown(
+        1 << 10, chunkMeta(1 << 20, 3 << 20), /*outstanding=*/0.5,
+        /*limit=*/0.1);
+    EXPECT_FALSE(d.push);
+    EXPECT_TRUE(d.loadShed);
+
+    // Limit 0 disables the term entirely.
+    auto open = query::decideSharedProjectionPushdown(
+        1 << 10, chunkMeta(1 << 20, 3 << 20), 0.5, 0.0);
+    EXPECT_TRUE(open.push);
+}
+
+TEST(SharedCostTest, MergedSelectivityIsUnionOverPlainSize)
+{
+    auto d = query::decideSharedProjectionPushdown(
+        1 << 20, chunkMeta(3 << 20, 4 << 20), 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(d.mergedSelectivity, 0.25);
+    EXPECT_DOUBLE_EQ(d.compressibility, 4.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Sharded chunk-location map.
+// ---------------------------------------------------------------------
+
+struct Rig {
+    std::unique_ptr<sim::Cluster> cluster;
+    std::unique_ptr<store::FusionStore> store;
+    format::Table table;
+};
+
+Rig
+makeRig(size_t rows = 3000, bool observe = false)
+{
+    Rig rig;
+    sim::ClusterConfig config;
+    config.numNodes = 9;
+    rig.cluster = std::make_unique<sim::Cluster>(config);
+    rig.store = std::make_unique<store::FusionStore>(
+        *rig.cluster, store::StoreOptions{});
+    if (observe) {
+        rig.store->obs().tracer.setEnabled(true);
+        rig.store->obs().explainEnabled = true;
+    }
+    auto file = workload::buildLineitemFile(rows, 7);
+    FUSION_CHECK(file.isOk());
+    rig.table = workload::makeLineitemTable(rows, 7); // same seed = same data
+    FUSION_CHECK(rig.store->put("lineitem", file.value().bytes).isOk());
+    return rig;
+}
+
+TEST(LocationShardTest, NodeShardsCoverEveryBlockExactlyOnce)
+{
+    Rig rig = makeRig();
+    const store::ObjectManifest &m =
+        *rig.store->manifest("lineitem").value();
+
+    // Union of all per-node shards == the full placement map, and each
+    // shard holds only that node's blocks.
+    size_t total = 0;
+    for (size_t node = 0; node < rig.cluster->numNodes(); ++node) {
+        for (const auto &ref : m.blocksOnNode(node)) {
+            EXPECT_EQ(m.stripeNodes[ref.stripe][ref.blockIndex], node);
+            EXPECT_NE(
+                rig.cluster->node(node).findBlock(
+                    m.blockKey(ref.stripe, ref.blockIndex)),
+                nullptr);
+            ++total;
+        }
+    }
+    size_t stored_blocks = 0;
+    for (size_t node = 0; node < rig.cluster->numNodes(); ++node)
+        stored_blocks += rig.cluster->node(node).blockCount();
+    EXPECT_EQ(total, stored_blocks);
+    // Unknown node id: empty shard, no throw.
+    EXPECT_TRUE(m.blocksOnNode(10'000).empty());
+}
+
+TEST(LocationShardTest, RepairUsesShardAndRestoresAllBlocks)
+{
+    Rig rig = makeRig();
+    const store::ObjectManifest &m =
+        *rig.store->manifest("lineitem").value();
+    size_t victim = m.stripeNodes[0][0];
+    size_t expected = m.blocksOnNode(victim).size();
+    ASSERT_GT(expected, 0u);
+
+    rig.cluster->node(victim).wipe();
+    auto rebuilt = rig.store->repairNode(victim);
+    ASSERT_TRUE(rebuilt.isOk());
+    EXPECT_EQ(rebuilt.value(), expected);
+    // Repair is idempotent: nothing left to rebuild.
+    EXPECT_EQ(rig.store->repairNode(victim).value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler behaviour.
+// ---------------------------------------------------------------------
+
+std::string
+resultFingerprint(const query::QueryResult &r)
+{
+    std::string s = std::to_string(r.rowsMatched) + "|" +
+                    std::to_string(r.rowsScanned);
+    for (const auto &c : r.columns) {
+        s += "|" + c.name;
+        if (c.isAggregate) {
+            s += "=" + std::to_string(c.aggregateValue);
+            continue;
+        }
+        s += ":";
+        for (size_t i = 0; i < c.values.size(); ++i) {
+            s += c.values.valueAt(i).toString();
+            s += ",";
+        }
+    }
+    return s;
+}
+
+std::vector<query::Query>
+overlappingBatch(const Rig &rig, size_t clients, double overlap)
+{
+    // The first ceil(overlap * clients) clients issue one shared
+    // template; the rest get distinct selectivities and columns.
+    std::vector<query::Query> batch;
+    size_t shared =
+        static_cast<size_t>(overlap * static_cast<double>(clients) + 0.5);
+    const format::Schema schema = workload::lineitemSchema();
+    auto make = [&](size_t col, double sel) {
+        return workload::microbenchQuery("lineitem",
+                                         schema.column(col).name,
+                                         rig.table.column(col), sel);
+    };
+    query::Query tmpl = make(workload::kOrderKey, 0.02);
+    const size_t cols[] = {workload::kPartKey, workload::kSuppKey,
+                           workload::kQuantity,
+                           workload::kExtendedPrice};
+    for (size_t c = 0; c < clients; ++c) {
+        if (c < shared)
+            batch.push_back(tmpl);
+        else
+            batch.push_back(make(cols[c % std::size(cols)],
+                                 0.01 + 0.01 * static_cast<double>(c % 4)));
+    }
+    return batch;
+}
+
+uint64_t
+totalWireBytes(store::ObjectStore &store)
+{
+    obs::MetricsRegistry &reg = store.obs().metrics;
+    return reg.counter("wire.filter.request_bytes").value() +
+           reg.counter("wire.filter.reply_bytes").value() +
+           reg.counter("wire.projection.request_bytes").value() +
+           reg.counter("wire.projection.reply_bytes").value() +
+           reg.counter("wire.client.request_bytes").value() +
+           reg.counter("wire.client.reply_bytes").value();
+}
+
+TEST(SchedTest, BatchResultsMatchIsolatedExecution)
+{
+    Rig shared_rig = makeRig();
+    Rig solo_rig = makeRig(); // identical build, independent cluster
+
+    auto batch = overlappingBatch(shared_rig, 8, 0.5);
+    sched::SharedScanScheduler scheduler(*shared_rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+    ASSERT_EQ(outcomes.value().size(), batch.size());
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        auto solo = solo_rig.store->query(batch[i]);
+        ASSERT_TRUE(solo.isOk());
+        EXPECT_EQ(resultFingerprint(outcomes.value()[i].result),
+                  resultFingerprint(solo.value().result))
+            << "query " << i;
+    }
+}
+
+TEST(SchedTest, OverlappingBatchSavesWireBytesAndLatency)
+{
+    Rig shared_rig = makeRig();
+    Rig serial_rig = makeRig();
+    auto batch = overlappingBatch(shared_rig, 8, 0.5);
+
+    // Serial baseline: queries one after another; per-query latency is
+    // measured from batch start, i.e. cumulative completion time.
+    double serial_latency_sum = 0.0, elapsed = 0.0;
+    for (const auto &q : batch) {
+        auto outcome = serial_rig.store->query(q);
+        ASSERT_TRUE(outcome.isOk());
+        elapsed += outcome.value().latencySeconds;
+        serial_latency_sum += elapsed;
+    }
+    uint64_t serial_wire = totalWireBytes(*serial_rig.store);
+
+    sched::SharedScanScheduler scheduler(*shared_rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+    double shared_latency_sum = 0.0;
+    for (const auto &outcome : outcomes.value())
+        shared_latency_sum += outcome.latencySeconds;
+    uint64_t shared_wire = totalWireBytes(*shared_rig.store);
+
+    EXPECT_LT(shared_wire, serial_wire);
+    EXPECT_LT(shared_latency_sum, serial_latency_sum);
+
+    const sched::BatchStats &stats = scheduler.lastBatchStats();
+    EXPECT_EQ(stats.queries, batch.size());
+    EXPECT_LT(stats.tasksIssued, stats.tasksPlanned);
+    EXPECT_GT(stats.sharedFetches + stats.mergedPushdowns, 0u);
+    EXPECT_GT(stats.wireBytesSaved, 0u);
+    EXPECT_GT(stats.makespanSeconds, 0.0);
+
+    // The same story in the sched.* counters.
+    obs::MetricsRegistry &reg = shared_rig.store->obs().metrics;
+    EXPECT_EQ(reg.counter("sched.batches").value(), 1u);
+    EXPECT_EQ(reg.counter("sched.queries").value(), batch.size());
+    EXPECT_EQ(reg.counter("sched.tasks_issued").value(),
+              stats.tasksIssued);
+}
+
+TEST(SchedTest, MergedPushdownReasonInExplain)
+{
+    Rig rig = makeRig(3000, /*observe=*/true);
+    // Two identical selective queries: their projection pushdowns merge
+    // into one storage-node task with a shared reply.
+    query::Query q = workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        rig.table.column(workload::kOrderKey), 0.02);
+    sched::SharedScanScheduler scheduler(*rig.store);
+    auto outcomes = scheduler.runBatch({q, q});
+    ASSERT_TRUE(outcomes.isOk());
+
+    bool merged_reason = false;
+    for (const auto &outcome : outcomes.value()) {
+        ASSERT_NE(outcome.explain, nullptr);
+        for (const auto &pc : outcome.explain->projections)
+            if (pc.reason == "merged-pushdown") {
+                merged_reason = true;
+                EXPECT_EQ(pc.verdict, "push");
+            }
+    }
+    EXPECT_TRUE(merged_reason);
+    EXPECT_GT(scheduler.lastBatchStats().mergedPushdowns, 0u);
+}
+
+TEST(SchedTest, OversubscribedNodeShedsLoad)
+{
+    Rig rig = makeRig(3000, /*observe=*/true);
+    query::Query q = workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        rig.table.column(workload::kOrderKey), 0.02);
+
+    sched::SchedOptions options;
+    options.nodeLoadLimitSeconds = 1e-12; // any admitted work trips it
+    sched::SharedScanScheduler scheduler(*rig.store, options);
+    auto outcomes = scheduler.runBatch({q, q});
+    ASSERT_TRUE(outcomes.isOk());
+
+    EXPECT_GT(scheduler.lastBatchStats().loadSheds, 0u);
+    bool shed_reason = false;
+    for (const auto &outcome : outcomes.value()) {
+        ASSERT_NE(outcome.explain, nullptr);
+        for (const auto &pc : outcome.explain->projections)
+            if (pc.reason == "load-shed") {
+                shed_reason = true;
+                EXPECT_EQ(pc.verdict, "fetch");
+            }
+    }
+    EXPECT_TRUE(shed_reason);
+    EXPECT_GT(
+        rig.store->obs().metrics.counter("sched.load_sheds").value(), 0u);
+}
+
+TEST(SchedTest, DedupDisabledIssuesEveryTask)
+{
+    Rig rig = makeRig();
+    auto batch = overlappingBatch(rig, 4, 1.0);
+    sched::SchedOptions options;
+    options.dedupFetches = false;
+    options.mergePushdowns = false;
+    sched::SharedScanScheduler scheduler(*rig.store, options);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+    const sched::BatchStats &stats = scheduler.lastBatchStats();
+    EXPECT_EQ(stats.tasksIssued, stats.tasksPlanned);
+    EXPECT_EQ(stats.sharedFetches, 0u);
+    EXPECT_EQ(stats.mergedPushdowns, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism across thread counts.
+// ---------------------------------------------------------------------
+
+struct SchedRun {
+    std::string metricsJson;
+    std::string traceJson;
+    std::string explainJson;
+};
+
+SchedRun
+runSchedWorkload(size_t threads)
+{
+    ThreadPool::setSharedThreads(threads);
+    Rig rig = makeRig(3000, /*observe=*/true);
+    auto batch = overlappingBatch(rig, 8, 0.5);
+    sched::SharedScanScheduler scheduler(*rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    FUSION_CHECK(outcomes.isOk());
+
+    SchedRun run;
+    for (const auto &outcome : outcomes.value()) {
+        FUSION_CHECK(outcome.explain != nullptr);
+        run.explainJson += outcome.explain->toJson();
+        run.explainJson += "\n";
+    }
+    run.metricsJson = rig.store->obs().metrics.snapshot().toJson();
+    run.traceJson = rig.store->obs().tracer.toChromeJson("fusion");
+    ThreadPool::setSharedThreads(1);
+    return run;
+}
+
+TEST(SchedDeterminismTest, ByteIdenticalAcrossThreadCounts)
+{
+    SchedRun serial = runSchedWorkload(1);
+    EXPECT_NE(serial.traceJson.find("\"shared_scan\""), std::string::npos);
+    EXPECT_NE(serial.traceJson.find("\"sched_wait\""), std::string::npos);
+    EXPECT_NE(serial.metricsJson.find("sched.batches"),
+              std::string::npos);
+
+    for (size_t threads : {2, 4}) {
+        SchedRun other = runSchedWorkload(threads);
+        EXPECT_EQ(serial.metricsJson, other.metricsJson)
+            << "metrics diverged at FUSION_THREADS=" << threads;
+        EXPECT_EQ(serial.traceJson, other.traceJson)
+            << "trace diverged at FUSION_THREADS=" << threads;
+        EXPECT_EQ(serial.explainJson, other.explainJson)
+            << "EXPLAIN diverged at FUSION_THREADS=" << threads;
+    }
+}
+
+TEST(SchedDeterminismTest, RepeatRunsAreByteIdentical)
+{
+    SchedRun a = runSchedWorkload(1);
+    SchedRun b = runSchedWorkload(1);
+    EXPECT_EQ(a.metricsJson, b.metricsJson);
+    EXPECT_EQ(a.traceJson, b.traceJson);
+    EXPECT_EQ(a.explainJson, b.explainJson);
+}
+
+} // namespace
+} // namespace fusion
