@@ -7,9 +7,8 @@
  * Paper: FAC <= 1.24% storage overhead and <= 0.0027% runtime overhead;
  * oracle runtime is prohibitive; padding costs up to 83.8% storage.
  */
-#include <chrono>
-
 #include "benchutil/harness.h"
+#include "common/walltime.h"
 #include "fac/constructors.h"
 #include "workload/chunk_models.h"
 
@@ -48,26 +47,18 @@ main(int argc, char **argv)
             static_cast<double>(workload::modelTotalBytes(row.model)) /
             nic_bw;
 
-        auto t0 = std::chrono::steady_clock::now();
         fac::OracleResult oracle =
             fac::buildOracleLayout(row.model, 9, 6, oracle_budget);
         double oracle_seconds = oracle.solveSeconds;
-        (void)t0;
 
-        t0 = std::chrono::steady_clock::now();
+        double t0 = walltime::monotonicSeconds();
         fac::ObjectLayout padding =
             fac::buildPaddingLayout(row.model, 9, 6, 100'000'000);
-        double padding_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
+        double padding_seconds = walltime::monotonicSeconds() - t0;
 
-        t0 = std::chrono::steady_clock::now();
+        t0 = walltime::monotonicSeconds();
         fac::ObjectLayout fac_layout = fac::buildFacLayout(row.model, 9, 6);
-        double fac_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
+        double fac_seconds = walltime::monotonicSeconds() - t0;
 
         storage.addRow(
             {row.name,

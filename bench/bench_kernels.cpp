@@ -18,12 +18,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/walltime.h"
 #include "common/thread_pool.h"
 #include "ec/reed_solomon.h"
 #include "format/column.h"
@@ -36,9 +36,7 @@ namespace {
 double
 now()
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    return walltime::monotonicSeconds();
 }
 
 /**

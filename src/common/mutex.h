@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Thread-safety-annotated synchronization primitives. fusion::Mutex is
+ * a std::mutex carrying the Clang `capability` attribute, so members
+ * declared FUSION_GUARDED_BY(mutex_) are statically checked under
+ * `clang++ -Wthread-safety` (the analysis cannot see through a raw
+ * std::mutex with libstdc++, which lacks the attributes). fusion-lint
+ * rule `raw-mutex` enforces that all locked code in src/ uses these
+ * wrappers instead of raw std primitives.
+ *
+ * CondVar follows the abseil convention of taking the Mutex itself
+ * (not a lock object): `wait(m)` requires `m` held, releases it while
+ * blocked, and re-acquires before returning — which is exactly what
+ * the analysis assumes, so condition loops check cleanly:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)        // ready_ is FUSION_GUARDED_BY(mutex_)
+ *         cv_.wait(mutex_);
+ *
+ * Prefer explicit while-loops over predicate lambdas with guarded
+ * state: the analysis treats lambda bodies as separate functions and
+ * would flag the guarded reads inside them.
+ */
+#ifndef FUSION_COMMON_MUTEX_H
+#define FUSION_COMMON_MUTEX_H
+
+// fusion-lint: allowfile(raw-mutex) — this is the annotated wrapper.
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace fusion {
+
+/** std::mutex annotated as a Clang thread-safety capability. */
+class FUSION_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() FUSION_ACQUIRE() { m_.lock(); }
+    void unlock() FUSION_RELEASE() { m_.unlock(); }
+    bool try_lock() FUSION_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/** RAII lock for fusion::Mutex (scoped capability). */
+class FUSION_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) FUSION_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() FUSION_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+/**
+ * Condition variable bound to fusion::Mutex. `wait` must be called
+ * with the mutex held (enforced by the analysis); it atomically
+ * releases the mutex while blocked and re-acquires it before
+ * returning, like std::condition_variable.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+    /** Blocks until notified. Spurious wakeups possible — always wait
+     *  in a while-loop re-checking the guarded condition. */
+    void
+    wait(Mutex &m) FUSION_REQUIRES(m)
+    {
+        // Adopt the caller's hold for the duration of the wait, then
+        // release it back without unlocking — the caller's MutexLock
+        // still owns the mutex when this returns.
+        std::unique_lock<std::mutex> lock(m.m_, std::adopt_lock);
+        cv_.wait(lock);
+        lock.release();
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace fusion
+
+#endif // FUSION_COMMON_MUTEX_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros (no-ops on other
+ * compilers). Annotate every lock-protected member with
+ * FUSION_GUARDED_BY so `clang++ -Wthread-safety -Werror` (the
+ * clang-thread-safety CI job) statically proves the locking discipline
+ * instead of relying on runtime tests to catch races. Use through
+ * common/mutex.h — fusion::Mutex is the annotated capability type;
+ * raw std::mutex members are rejected by fusion-lint (rule raw-mutex).
+ *
+ * Macro names and semantics follow the Clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the FUSION_
+ * prefix keeps them out of the global macro namespace.
+ */
+#ifndef FUSION_COMMON_THREAD_ANNOTATIONS_H
+#define FUSION_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FUSION_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define FUSION_THREAD_ANNOTATION__(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define FUSION_CAPABILITY(x) FUSION_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII type that acquires a capability in its constructor
+ *  and releases it in its destructor. */
+#define FUSION_SCOPED_CAPABILITY FUSION_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define FUSION_GUARDED_BY(x) FUSION_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer member whose pointee is protected by `x`. */
+#define FUSION_PT_GUARDED_BY(x) FUSION_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function requires the listed capabilities to be held on entry. */
+#define FUSION_REQUIRES(...) \
+    FUSION_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define FUSION_ACQUIRE(...) \
+    FUSION_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define FUSION_RELEASE(...) \
+    FUSION_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns `result`. */
+#define FUSION_TRY_ACQUIRE(result, ...) \
+    FUSION_THREAD_ANNOTATION__(try_acquire_capability(result, __VA_ARGS__))
+
+/** Function must be called with the listed capabilities NOT held. */
+#define FUSION_EXCLUDES(...) \
+    FUSION_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Asserts (without acquiring) that the capability is held. */
+#define FUSION_ASSERT_CAPABILITY(x) \
+    FUSION_THREAD_ANNOTATION__(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define FUSION_RETURN_CAPABILITY(x) \
+    FUSION_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Opts a function out of the analysis (use sparingly, with a comment
+ *  explaining why the locking is correct but inexpressible). */
+#define FUSION_NO_THREAD_SAFETY_ANALYSIS \
+    FUSION_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // FUSION_COMMON_THREAD_ANNOTATIONS_H

@@ -48,10 +48,10 @@ ThreadPool::ThreadPool(size_t threads) : threads_(threads == 0 ? 1 : threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (auto &worker : workers_)
         worker.join();
 }
@@ -81,8 +81,8 @@ ThreadPool::drain(Batch &batch)
         (*batch.fn)(i);
         if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             batch.end) {
-            std::lock_guard<std::mutex> lock(batch.doneMutex);
-            batch.doneCv.notify_all();
+            MutexLock lock(batch.doneMutex);
+            batch.doneCv.notifyAll();
         }
     }
     tls_in_pool_work = false;
@@ -95,11 +95,13 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&]() {
-                return stopping_ ||
-                       (current_ != nullptr && generation_ != seen);
-            });
+            // Explicit wait loop (not a predicate lambda): the
+            // thread-safety analysis checks guarded reads here but
+            // cannot see into lambda bodies.
+            MutexLock lock(mutex_);
+            while (!stopping_ &&
+                   (current_ == nullptr || generation_ == seen))
+                wake_.wait(mutex_);
             if (stopping_)
                 return;
             seen = generation_;
@@ -144,20 +146,19 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     batch->fn = &body;
     batch->end = count;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         current_ = batch;
         ++generation_;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     drain(*batch); // the caller works too
     {
-        std::unique_lock<std::mutex> lock(batch->doneMutex);
-        batch->doneCv.wait(lock, [&]() {
-            return batch->done.load(std::memory_order_acquire) == count;
-        });
+        MutexLock lock(batch->doneMutex);
+        while (batch->done.load(std::memory_order_acquire) != count)
+            batch->doneCv.wait(batch->doneMutex);
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (current_ == batch)
             current_ = nullptr;
     }

@@ -14,13 +14,13 @@
 #define FUSION_COMMON_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace fusion {
 
@@ -64,8 +64,8 @@ class ThreadPool
         std::atomic<size_t> next{0};
         size_t end = 0;
         std::atomic<size_t> done{0};
-        std::mutex doneMutex;
-        std::condition_variable doneCv;
+        Mutex doneMutex; // serializes the done/doneCv rendezvous only
+        CondVar doneCv;
     };
 
     void workerLoop();
@@ -74,11 +74,12 @@ class ThreadPool
     size_t threads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::shared_ptr<Batch> current_; // guarded by mutex_
-    uint64_t generation_ = 0;        // bumps when a new batch is posted
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar wake_;
+    std::shared_ptr<Batch> current_ FUSION_GUARDED_BY(mutex_);
+    /** Bumps when a new batch is posted. */
+    uint64_t generation_ FUSION_GUARDED_BY(mutex_) = 0;
+    bool stopping_ FUSION_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace fusion

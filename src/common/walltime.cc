@@ -1,0 +1,26 @@
+#include "walltime.h"
+
+// The one place raw monotonic-clock APIs are allowed (fusion-lint
+// exempts common/walltime by path; see tools/fusion_lint).
+#include <chrono>
+
+namespace fusion::walltime {
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+monotonicNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace fusion::walltime

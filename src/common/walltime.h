@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The repo's only sanctioned wall-clock access point. Everything the
+ * system *decides* runs on simulated time (sim::SimEngine) or on
+ * deterministic work budgets; wall time exists purely for reporting —
+ * benchmark throughput, solver runtimes, overhead guards. Routing
+ * every reading through this shim keeps raw clock APIs
+ * (steady_clock/system_clock/time()) out of the tree, where a stray
+ * use could silently feed timing noise into simulation results or
+ * Cost-Equation decisions. fusion-lint (rule `wallclock`) bans the raw
+ * APIs everywhere except this shim's implementation.
+ *
+ * Never mix these values into simulated seconds, metric counters that
+ * are byte-compared across runs, or layout/pushdown decisions.
+ */
+#ifndef FUSION_COMMON_WALLTIME_H
+#define FUSION_COMMON_WALLTIME_H
+
+#include <cstdint>
+
+namespace fusion::walltime {
+
+/** Monotonic wall-clock seconds since an arbitrary epoch. Reporting
+ *  only — see the file comment. */
+double monotonicSeconds();
+
+/** Monotonic wall-clock nanoseconds since an arbitrary epoch. */
+uint64_t monotonicNanos();
+
+} // namespace fusion::walltime
+
+#endif // FUSION_COMMON_WALLTIME_H

@@ -53,7 +53,13 @@ struct OracleResult {
 /**
  * Exact branch-and-bound for the paper's bin-packing variant: minimise
  * the sum over bin sets of the largest bin. Falls back to the best
- * found solution when the time budget expires.
+ * found solution when the search budget expires.
+ *
+ * `time_limit_seconds` is a *deterministic* budget: it is converted to
+ * a fixed number of search-node expansions at a built-in calibration
+ * rate (see oracle_layout.cc), so the same input and budget yield a
+ * bit-identical layout on any machine. `solveSeconds` reports actual
+ * wall time for Fig 10a-style plots; it never influences the result.
  */
 OracleResult buildOracleLayout(const std::vector<ChunkExtent> &chunks,
                                size_t n, size_t k,

@@ -1,12 +1,25 @@
 #include <algorithm>
-#include <chrono>
+#include <cmath>
 #include <numeric>
 
+#include "common/walltime.h"
 #include "constructors.h"
 
 namespace fusion::fac {
 
 namespace {
+
+/**
+ * Calibration rate converting the public time budget into a
+ * deterministic search-node budget. A wall-clock deadline here would
+ * make the chosen layout depend on machine speed and scheduling noise
+ * — the exact hazard class fusion-lint's `wallclock` rule bans — so
+ * the solver counts node expansions instead: same input + same budget
+ * => bit-identical layout everywhere. The rate is deliberately below
+ * the solver's real speed (~50M trivial nodes/s) so budgets behave
+ * like conservative Gurobi-style time limits.
+ */
+constexpr double kNodesPerBudgetSecond = 20e6;
 
 /**
  * Exact solver for the paper's ILP (Eq. 1): minimise the sum over bin
@@ -26,10 +39,8 @@ class OracleSolver
     OracleSolver(const std::vector<ChunkExtent> &chunks, size_t k,
                  double time_limit_seconds)
         : chunks_(chunks), k_(k),
-          deadline_(std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(time_limit_seconds)))
+          nodeBudget_(static_cast<uint64_t>(std::llround(
+              std::max(1.0, time_limit_seconds * kNodesPerBudgetSecond))))
     {
         order_.resize(chunks.size());
         std::iota(order_.begin(), order_.end(), 0);
@@ -74,8 +85,7 @@ class OracleSolver
     {
         if (timedOut_ || cost >= bestCost_)
             return;
-        if ((++nodes_ & 0x3ff) == 0 &&
-            std::chrono::steady_clock::now() > deadline_) {
+        if (++nodes_ > nodeBudget_) {
             timedOut_ = true;
             return;
         }
@@ -157,7 +167,7 @@ class OracleSolver
 
     const std::vector<ChunkExtent> &chunks_;
     size_t k_;
-    std::chrono::steady_clock::time_point deadline_;
+    uint64_t nodeBudget_;
     std::vector<size_t> order_;
     uint64_t capacity_ = 0;
     size_t numBinsets_ = 0;
@@ -176,7 +186,7 @@ OracleResult
 buildOracleLayout(const std::vector<ChunkExtent> &chunks, size_t n, size_t k,
                   double time_limit_seconds)
 {
-    auto start = std::chrono::steady_clock::now();
+    double start = walltime::monotonicSeconds();
 
     OracleResult result;
     if (chunks.empty()) {
@@ -200,10 +210,7 @@ buildOracleLayout(const std::vector<ChunkExtent> &chunks, size_t n, size_t k,
     for (const auto &chunk : chunks)
         result.layout.dataBytes += chunk.size;
 
-    result.solveSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    result.solveSeconds = walltime::monotonicSeconds() - start;
     return result;
 }
 

@@ -227,7 +227,7 @@ MetricsSnapshot::mergeFrom(const MetricsSnapshot &other)
 MetricsRegistry::Entry &
 MetricsRegistry::entry(const std::string &name, SnapshotValue::Kind kind)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
         Entry e;
@@ -247,7 +247,7 @@ Counter &
 MetricsRegistry::counter(const std::string &name)
 {
     Entry &e = entry(name, SnapshotValue::Kind::kCounter);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!e.counter)
         e.counter = std::make_unique<Counter>();
     return *e.counter;
@@ -257,7 +257,7 @@ DoubleCounter &
 MetricsRegistry::doubleCounter(const std::string &name)
 {
     Entry &e = entry(name, SnapshotValue::Kind::kDouble);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!e.dcounter)
         e.dcounter = std::make_unique<DoubleCounter>();
     return *e.dcounter;
@@ -267,7 +267,7 @@ Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
     Entry &e = entry(name, SnapshotValue::Kind::kGauge);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!e.gauge)
         e.gauge = std::make_unique<Gauge>();
     return *e.gauge;
@@ -278,7 +278,7 @@ MetricsRegistry::histogram(const std::string &name,
                            const std::vector<double> &bounds)
 {
     Entry &e = entry(name, SnapshotValue::Kind::kHistogram);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!e.histogram)
         e.histogram = std::make_unique<Histogram>(bounds);
     return *e.histogram;
@@ -287,7 +287,7 @@ MetricsRegistry::histogram(const std::string &name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MetricsSnapshot snap;
     for (const auto &[name, e] : entries_) {
         SnapshotValue v;
@@ -317,7 +317,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[name, e] : entries_) {
         if (e.counter)
             e.counter->reset();

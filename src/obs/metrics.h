@@ -11,8 +11,9 @@
  * uses them). Snapshots render to a canonical sorted JSON/text form so
  * byte-comparison across runs is meaningful.
  *
- * This header is dependency-free (std only) so the lowest layers
- * (common, ec) can be instrumented without a link cycle.
+ * This header is dependency-free (std plus the header-only annotated
+ * mutex wrapper in common/mutex.h) so the lowest layers (common, ec)
+ * can be instrumented without a link cycle.
  */
 #ifndef FUSION_OBS_METRICS_H
 #define FUSION_OBS_METRICS_H
@@ -22,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace fusion::obs {
 
@@ -248,8 +250,8 @@ class MetricsRegistry
     };
     Entry &entry(const std::string &name, SnapshotValue::Kind kind);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Entry> entries_;
+    mutable Mutex mutex_;
+    std::map<std::string, Entry> entries_ FUSION_GUARDED_BY(mutex_);
 };
 
 } // namespace fusion::obs

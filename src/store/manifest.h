@@ -8,8 +8,8 @@
 #ifndef FUSION_STORE_MANIFEST_H
 #define FUSION_STORE_MANIFEST_H
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fac/layout.h"
@@ -59,9 +59,10 @@ struct ObjectManifest {
      * lives on a given node, sorted by (stripe, blockIndex). Lets
      * repair and placement queries touch only one node's blocks instead
      * of scanning stripes x n — the O(nodes) walk the 100+-node
-     * experiments cannot afford.
+     * experiments cannot afford. Sorted (std::map) so iteration is
+     * deterministic wherever a caller walks all shards.
      */
-    std::unordered_map<size_t, std::vector<BlockRef>> nodeBlocks;
+    std::map<size_t, std::vector<BlockRef>> nodeBlocks;
 
     /** Number of column chunks (excluding pseudo-chunks). */
     size_t

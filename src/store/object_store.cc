@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <set>
 
 #include "common/thread_pool.h"
+#include "common/walltime.h"
 #include "format/chunk_codec.h"
 #include "format/reader.h"
 #include "format/writer.h"
@@ -205,12 +205,9 @@ ObjectStore::put(const std::string &name, Bytes object)
         manifest.extents.push_back({0, 0, manifest.objectSize});
     }
 
-    auto layout_start = std::chrono::steady_clock::now();
+    double layout_start = walltime::monotonicSeconds();
     manifest.layout = buildLayout(manifest.extents);
-    double layout_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      layout_start)
-            .count();
+    double layout_seconds = walltime::monotonicSeconds() - layout_start;
     FUSION_RETURN_IF_ERROR(manifest.layout.validate(manifest.extents));
 
     // Place each stripe on n distinct random nodes (paper §4.2).
@@ -297,8 +294,11 @@ ObjectStore::put(const std::string &name, Bytes object)
                    static_cast<double>(bytes) / nc.diskBandwidth;
         slowest_node = std::max(slowest_node, t);
     }
-    result.simulatedPutSeconds =
-        client_transfer + slowest_node + layout_seconds;
+    // Simulated time must stay reproducible, so the wall-clock layout
+    // measurement is reported separately (layoutSeconds) and never
+    // added here — mixing it in would make put timings (and anything
+    // downstream of them) vary run to run with machine load.
+    result.simulatedPutSeconds = client_transfer + slowest_node;
 
     manifests_.emplace(name, std::move(manifest));
     return result;

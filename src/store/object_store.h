@@ -25,7 +25,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ec/reed_solomon.h"
@@ -84,7 +83,9 @@ struct PutResult {
     size_t numChunks = 0;     // column chunks (pseudo-chunks excluded)
     size_t numStripes = 0;
     double splitFraction = 0.0;
-    double layoutSeconds = 0.0; // wall-clock of stripe construction
+    /** Wall-clock of stripe construction — reporting only; it never
+     *  feeds simulated time (which must be reproducible). */
+    double layoutSeconds = 0.0;
     double simulatedPutSeconds = 0.0;
 };
 
@@ -245,6 +246,18 @@ class ObjectStore
 
     /** One coordinator<->node interaction in a query plan. */
     struct SimTask {
+        SimTask() = default;
+        SimTask(size_t node_id, uint64_t request_bytes,
+                uint64_t disk_bytes, double node_cpu_work,
+                uint64_t reply_bytes, double coord_cpu_work,
+                const char *span_label = "chunk_fetch")
+            : nodeId(node_id), requestBytes(request_bytes),
+              diskBytes(disk_bytes), nodeCpuWork(node_cpu_work),
+              replyBytes(reply_bytes), coordCpuWork(coord_cpu_work),
+              label(span_label)
+        {
+        }
+
         size_t nodeId = 0;
         uint64_t requestBytes = 0; // coordinator -> node
         uint64_t diskBytes = 0;    // sequential read at the node
@@ -458,7 +471,9 @@ class ObjectStore
     sim::Cluster &cluster_;
     StoreOptions options_;
     ec::ReedSolomon rs_;
-    std::unordered_map<std::string, ObjectManifest> manifests_;
+    /** Sorted so listObjects/stats/repairNode iterate in a stable,
+     *  thread-count-independent order (fusion-lint: unordered-iter). */
+    std::map<std::string, ObjectManifest> manifests_;
     obs::Observability obs_;
 
     /**

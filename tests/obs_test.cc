@@ -13,12 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "common/random.h"
+#include "common/walltime.h"
 #include "common/thread_pool.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
@@ -587,11 +587,7 @@ TEST(OverheadGuardTest, DisabledTracingCostsUnderTwoPercent)
         tracer.endSpan(span);
     };
 
-    auto now = []() {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now().time_since_epoch())
-            .count();
-    };
+    auto now = []() { return walltime::monotonicSeconds(); };
     const int kIters = 24;
     auto time_once = [&](auto &&pass) {
         double start = now();

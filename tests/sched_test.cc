@@ -164,9 +164,13 @@ resultFingerprint(const query::QueryResult &r)
     std::string s = std::to_string(r.rowsMatched) + "|" +
                     std::to_string(r.rowsScanned);
     for (const auto &c : r.columns) {
-        s += "|" + c.name;
+        // Appended piecewise: GCC 12's -Wrestrict false-positives on
+        // the temporary from `"|" + c.name` (PR 105651).
+        s += "|";
+        s += c.name;
         if (c.isAggregate) {
-            s += "=" + std::to_string(c.aggregateValue);
+            s += "=";
+            s += std::to_string(c.aggregateValue);
             continue;
         }
         s += ":";

@@ -1,0 +1,602 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+
+namespace fusion::lint {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Per-line split of a source file into the three views the rules
+ *  match against. */
+struct LineView {
+    std::string code;     // literals blanked, comments removed
+    std::string strings;  // concatenated string-literal contents
+    std::string comments; // concatenated comment text
+};
+
+/**
+ * Comment/literal-aware splitter. The code view preserves column
+ * positions (blanked regions become spaces) so token positions stay
+ * meaningful; block comments and raw strings keep their newlines so
+ * line numbers line up.
+ */
+std::vector<LineView>
+splitViews(const std::string &content)
+{
+    enum class State {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString
+    };
+    std::vector<LineView> lines(1);
+    State state = State::kCode;
+    std::string rawDelim; // for kRawString: the ")delim" terminator
+    size_t i = 0;
+    const size_t n = content.size();
+
+    auto cur = [&]() -> LineView & { return lines.back(); };
+    auto newline = [&]() { lines.emplace_back(); };
+
+    while (i < n) {
+        char c = content[i];
+        if (c == '\n') {
+            // A backslash-continued line still ends the physical line;
+            // rules are line-oriented, so that is what we want.
+            if (state == State::kLineComment)
+                state = State::kCode;
+            newline();
+            ++i;
+            continue;
+        }
+        switch (state) {
+          case State::kCode: {
+            if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+                state = State::kLineComment;
+                i += 2;
+                break;
+            }
+            if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+                state = State::kBlockComment;
+                cur().code += "  ";
+                i += 2;
+                break;
+            }
+            if (c == '"') {
+                // Raw string? The identifier directly before must end
+                // in R (R"", uR"", u8R"", LR"", UR"").
+                size_t j = cur().code.size();
+                bool raw = j > 0 && cur().code[j - 1] == 'R' &&
+                           (j == 1 || !isIdentChar(cur().code[j - 2]) ||
+                            cur().code.compare(j - 3 > j ? 0 : j - 3, 2,
+                                               "u8") == 0 ||
+                            cur().code[j - 2] == 'u' ||
+                            cur().code[j - 2] == 'U' ||
+                            cur().code[j - 2] == 'L');
+                if (raw) {
+                    // Collect delimiter up to '('.
+                    std::string delim;
+                    size_t k = i + 1;
+                    while (k < n && content[k] != '(' &&
+                           content[k] != '\n' && delim.size() < 16)
+                        delim += content[k++];
+                    if (k < n && content[k] == '(') {
+                        rawDelim = ")" + delim + "\"";
+                        state = State::kRawString;
+                        cur().code += '"';
+                        i = k + 1;
+                        break;
+                    }
+                }
+                state = State::kString;
+                cur().code += '"';
+                ++i;
+                break;
+            }
+            if (c == '\'') {
+                state = State::kChar;
+                cur().code += '\'';
+                ++i;
+                break;
+            }
+            cur().code += c;
+            ++i;
+            break;
+          }
+          case State::kLineComment:
+            cur().comments += c;
+            ++i;
+            break;
+          case State::kBlockComment:
+            if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+                state = State::kCode;
+                i += 2;
+            } else {
+                cur().comments += c;
+                ++i;
+            }
+            break;
+          case State::kString:
+            if (c == '\\' && i + 1 < n) {
+                cur().strings += content.substr(i, 2);
+                cur().code += "  ";
+                i += 2;
+            } else if (c == '"') {
+                state = State::kCode;
+                cur().code += '"';
+                ++i;
+            } else {
+                cur().strings += c;
+                cur().code += ' ';
+                ++i;
+            }
+            break;
+          case State::kChar:
+            if (c == '\\' && i + 1 < n) {
+                cur().code += "  ";
+                i += 2;
+            } else if (c == '\'') {
+                state = State::kCode;
+                cur().code += '\'';
+                ++i;
+            } else {
+                cur().code += ' ';
+                ++i;
+            }
+            break;
+          case State::kRawString:
+            if (content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                cur().code += '"';
+                i += rawDelim.size();
+                state = State::kCode;
+            } else {
+                cur().strings += c;
+                cur().code += ' ';
+                ++i;
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+/** Parses `fusion-lint:` directives out of one line's comment text. */
+void
+parseDirectives(const std::string &comment, std::set<std::string> &line_allow,
+                std::set<std::string> &file_allow)
+{
+    size_t at = comment.find("fusion-lint:");
+    if (at == std::string::npos)
+        return;
+    std::string rest = comment.substr(at + 12);
+
+    auto collect = [](std::string &text, const std::string &kw,
+                      std::set<std::string> &into) {
+        size_t pos = 0;
+        while ((pos = text.find(kw, pos)) != std::string::npos) {
+            size_t open = pos + kw.size();
+            size_t close = text.find(')', open);
+            if (close == std::string::npos)
+                break;
+            std::string list = text.substr(open, close - open);
+            // Blank the clause so allow( doesn't re-match allowfile(.
+            for (size_t b = pos; b < close + 1; ++b)
+                text[b] = ' ';
+            size_t start = 0;
+            while (start <= list.size()) {
+                size_t comma = list.find(',', start);
+                std::string rule =
+                    list.substr(start, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - start);
+                rule.erase(0, rule.find_first_not_of(" \t"));
+                size_t last = rule.find_last_not_of(" \t");
+                rule.erase(last == std::string::npos ? 0 : last + 1);
+                if (!rule.empty())
+                    into.insert(rule);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            pos = close + 1;
+        }
+    };
+    collect(rest, "allowfile(", file_allow);
+    collect(rest, "allow(", line_allow);
+}
+
+/** Iterates identifier tokens in `code`; calls fn(token, next) where
+ *  `next` is the first non-space char after the token ('\0' at EOL). */
+template <typename Fn>
+void
+forEachIdent(const std::string &code, Fn &&fn)
+{
+    size_t i = 0;
+    while (i < code.size()) {
+        if (!isIdentChar(code[i]) ||
+            std::isdigit(static_cast<unsigned char>(code[i]))) {
+            ++i;
+            continue;
+        }
+        size_t start = i;
+        while (i < code.size() && isIdentChar(code[i]))
+            ++i;
+        size_t after = i;
+        while (after < code.size() &&
+               (code[after] == ' ' || code[after] == '\t'))
+            ++after;
+        fn(code.substr(start, i - start),
+           after < code.size() ? code[after] : '\0', start);
+    }
+}
+
+const std::set<std::string> kClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+const std::set<std::string> kClockCalls = {
+    "time",     "clock",    "gettimeofday", "localtime", "localtime_r",
+    "gmtime",   "strftime", "ctime",        "mktime",    "timespec_get",
+    "ftime",    "clock_gettime"};
+const std::set<std::string> kRandomIdents = {"random_device"};
+// libc random() is deliberately absent: the name collides with the
+// seeded factory sim::FaultSchedule::random(options), and a token
+// scanner cannot tell the two apart. rand()/srand() cover the hazard
+// people actually reach for.
+const std::set<std::string> kRandomCalls = {"rand", "srand", "drand48",
+                                            "rand_r"};
+const std::set<std::string> kRawSyncTypes = {
+    "mutex",        "shared_mutex",       "recursive_mutex",
+    "timed_mutex",  "recursive_timed_mutex",
+    "condition_variable", "condition_variable_any",
+    "lock_guard",   "unique_lock",        "scoped_lock",
+    "shared_lock",  "call_once",          "once_flag"};
+
+bool
+pathAllowed(const Options &options, const std::string &rule,
+            const std::string &path)
+{
+    auto it = options.pathAllow.find(rule);
+    if (it == options.pathAllow.end())
+        return false;
+    for (const std::string &substr : it->second)
+        if (path.find(substr) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Skips a balanced <...> starting at code[pos] == '<'; returns the
+ *  index one past the matching '>', or npos. */
+size_t
+skipAngles(const std::string &code, size_t pos)
+{
+    int depth = 0;
+    for (size_t i = pos; i < code.size(); ++i) {
+        if (code[i] == '<')
+            ++depth;
+        else if (code[i] == '>' && --depth == 0)
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+Options
+Options::defaults()
+{
+    Options o;
+    o.pathAllow["wallclock"] = {"common/walltime"};
+    o.pathAllow["raw-mutex"] = {"common/mutex.h"};
+    return o;
+}
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "pointer-format", "raw-mutex", "unordered-iter", "unseeded-random",
+        "wallclock"};
+    return names;
+}
+
+std::vector<std::string>
+collectUnorderedNames(const std::string &content)
+{
+    auto views = splitViews(content);
+    std::string code;
+    for (const auto &v : views) {
+        code += v.code;
+        code += '\n';
+    }
+
+    std::vector<std::string> names;
+    for (const char *kw : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+        size_t pos = 0;
+        const std::string kws = kw;
+        while ((pos = code.find(kws, pos)) != std::string::npos) {
+            size_t end = pos + kws.size();
+            // Must be a full identifier followed by template args.
+            if ((pos > 0 && isIdentChar(code[pos - 1])) ||
+                (end < code.size() && isIdentChar(code[end]))) {
+                pos = end;
+                continue;
+            }
+            size_t lt = end;
+            while (lt < code.size() && std::isspace(
+                       static_cast<unsigned char>(code[lt])))
+                ++lt;
+            if (lt >= code.size() || code[lt] != '<') {
+                pos = end;
+                continue;
+            }
+            size_t after = skipAngles(code, lt);
+            if (after == std::string::npos) {
+                pos = end;
+                continue;
+            }
+            // Skip cv-ref-pointer decoration before the declared name.
+            size_t p = after;
+            for (;;) {
+                while (p < code.size() &&
+                       std::isspace(static_cast<unsigned char>(code[p])))
+                    ++p;
+                if (code.compare(p, 5, "const") == 0 &&
+                    (p + 5 >= code.size() || !isIdentChar(code[p + 5]))) {
+                    p += 5;
+                    continue;
+                }
+                if (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+                    ++p;
+                    continue;
+                }
+                break;
+            }
+            size_t name_start = p;
+            while (p < code.size() && isIdentChar(code[p]))
+                ++p;
+            if (p > name_start) {
+                size_t next = p;
+                while (next < code.size() && std::isspace(
+                           static_cast<unsigned char>(code[next])))
+                    ++next;
+                // An identifier followed by '(' is a function returning
+                // the container, not a variable.
+                if (next >= code.size() || code[next] != '(')
+                    names.push_back(code.substr(name_start, p - name_start));
+            }
+            pos = end;
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+FileReport
+lintSource(const std::string &path, const std::string &content,
+           const Options &options,
+           const std::vector<std::string> &extra_unordered_names)
+{
+    auto views = splitViews(content);
+
+    std::set<std::string> file_allow;
+    std::vector<std::set<std::string>> line_allow(views.size() + 1);
+    for (size_t i = 0; i < views.size(); ++i)
+        parseDirectives(views[i].comments, line_allow[i + 1], file_allow);
+
+    std::set<std::string> unordered;
+    for (const auto &n : collectUnorderedNames(content))
+        unordered.insert(n);
+    for (const auto &n : extra_unordered_names)
+        unordered.insert(n);
+
+    std::vector<Finding> raw;
+    auto add = [&](size_t line, const char *rule, std::string message) {
+        if (!pathAllowed(options, rule, path))
+            raw.push_back({path, line, rule, std::move(message)});
+    };
+
+    for (size_t li = 0; li < views.size(); ++li) {
+        const size_t line = li + 1;
+        const std::string &code = views[li].code;
+
+        forEachIdent(code, [&](const std::string &tok, char next,
+                               size_t col) {
+            bool stdQualified =
+                col >= 2 && views[li].code.compare(col - 2, 2, "::") == 0;
+            if (kClockTypes.count(tok)) {
+                add(line, "wallclock",
+                    "wall-clock API '" + tok +
+                        "' — route timing through "
+                        "fusion::walltime (common/walltime.h); wall time "
+                        "must never feed simulated seconds or planning");
+            } else if (next == '(' && kClockCalls.count(tok)) {
+                add(line, "wallclock",
+                    "wall-clock call '" + tok +
+                        "()' — route timing through fusion::walltime "
+                        "(common/walltime.h)");
+            }
+            if (kRandomIdents.count(tok)) {
+                add(line, "unseeded-random",
+                    "'" + tok +
+                        "' is nondeterministic — use the seedable "
+                        "fusion::Rng (common/random.h)");
+            } else if (next == '(' && kRandomCalls.count(tok)) {
+                add(line, "unseeded-random",
+                    "'" + tok +
+                        "()' is unseeded/global — use the seedable "
+                        "fusion::Rng (common/random.h)");
+            }
+            if (stdQualified && kRawSyncTypes.count(tok)) {
+                add(line, "raw-mutex",
+                    "raw 'std::" + tok +
+                        "' — use fusion::Mutex/MutexLock/CondVar "
+                        "(common/mutex.h) so clang -Wthread-safety can "
+                        "verify the locking discipline");
+            }
+        });
+
+        if (views[li].strings.find("%p") != std::string::npos)
+            add(line, "pointer-format",
+                "'%p' formats a pointer — addresses differ every run "
+                "under ASLR; print a stable id instead");
+        if (code.find("std::hex") != std::string::npos &&
+            (code.find("reinterpret_cast") != std::string::npos ||
+             code.find("uintptr_t") != std::string::npos ||
+             code.find("void *") != std::string::npos ||
+             code.find("void*") != std::string::npos))
+            add(line, "pointer-format",
+                "hex-formatted pointer value — addresses differ every "
+                "run under ASLR; print a stable id instead");
+    }
+
+    // unordered-iter needs multi-line context (for-headers wrap), so it
+    // runs over the joined code with an offset -> line map.
+    std::string code;
+    std::vector<size_t> line_of; // line number per code offset
+    for (size_t li = 0; li < views.size(); ++li) {
+        for (size_t k = 0; k < views[li].code.size() + 1; ++k)
+            line_of.push_back(li + 1);
+        code += views[li].code;
+        code += '\n';
+    }
+    size_t pos = 0;
+    while ((pos = code.find("for", pos)) != std::string::npos) {
+        size_t end = pos + 3;
+        if ((pos > 0 && isIdentChar(code[pos - 1])) ||
+            (end < code.size() && isIdentChar(code[end]))) {
+            pos = end;
+            continue;
+        }
+        size_t open = end;
+        while (open < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[open])))
+            ++open;
+        if (open >= code.size() || code[open] != '(') {
+            pos = end;
+            continue;
+        }
+        int depth = 0;
+        size_t close = open;
+        for (; close < code.size(); ++close) {
+            if (code[close] == '(')
+                ++depth;
+            else if (code[close] == ')' && --depth == 0)
+                break;
+        }
+        if (close >= code.size()) {
+            pos = end;
+            continue;
+        }
+        std::string head = code.substr(open + 1, close - open - 1);
+        // Find the range-for ':' at top level (not '::').
+        size_t colon = std::string::npos;
+        int d = 0;
+        for (size_t k = 0; k < head.size(); ++k) {
+            char c = head[k];
+            if (c == '(' || c == '[' || c == '{' || c == '<')
+                ++d;
+            else if (c == ')' || c == ']' || c == '}' || c == '>')
+                --d;
+            else if (c == ':' && d == 0) {
+                if ((k + 1 < head.size() && head[k + 1] == ':') ||
+                    (k > 0 && head[k - 1] == ':'))
+                    continue;
+                colon = k;
+                break;
+            }
+        }
+        if (colon != std::string::npos) {
+            std::string range = head.substr(colon + 1);
+            size_t last = range.find_last_not_of(" \t\n");
+            if (last != std::string::npos && isIdentChar(range[last])) {
+                size_t start = last;
+                while (start > 0 && isIdentChar(range[start - 1]))
+                    --start;
+                std::string name = range.substr(start, last - start + 1);
+                if (unordered.count(name) &&
+                    !pathAllowed(options, "unordered-iter", path))
+                    raw.push_back(
+                        {path, line_of[pos], "unordered-iter",
+                         "range-for over unordered container '" + name +
+                             "' — iteration order is implementation-"
+                             "defined; use a sorted container or sorted "
+                             "snapshot on output/decision paths"});
+            }
+        }
+        pos = close;
+    }
+
+    std::sort(raw.begin(), raw.end());
+    // One finding per (file, line, rule): `std::lock_guard<std::mutex>`
+    // should read as a single raw-mutex hit, not two.
+    raw.erase(std::unique(raw.begin(), raw.end(),
+                          [](const Finding &a, const Finding &b) {
+                              return a.file == b.file && a.line == b.line &&
+                                     a.rule == b.rule;
+                          }),
+              raw.end());
+
+    FileReport report;
+    for (auto &f : raw) {
+        auto allowed = [&](const std::set<std::string> &rules) {
+            return rules.count(f.rule) || rules.count("all");
+        };
+        bool suppressed = allowed(file_allow) || allowed(line_allow[f.line]);
+        if (!suppressed && f.line >= 2)
+            suppressed = allowed(line_allow[f.line - 1]);
+        if (suppressed)
+            ++report.suppressed;
+        else
+            report.findings.push_back(std::move(f));
+    }
+    return report;
+}
+
+std::string
+reportJson(std::vector<Finding> findings, size_t files_scanned,
+           size_t suppressed)
+{
+    std::sort(findings.begin(), findings.end());
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\', out += c;
+            else if (c == '\n')
+                out += "\\n";
+            else if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+        return out;
+    };
+    std::string json = "{\n  \"findings\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        json += i ? ",\n    " : "\n    ";
+        json += "{\"file\": \"" + escape(f.file) +
+                "\", \"line\": " + std::to_string(f.line) +
+                ", \"rule\": \"" + escape(f.rule) +
+                "\", \"message\": \"" + escape(f.message) + "\"}";
+    }
+    json += findings.empty() ? "]" : "\n  ]";
+    json += ",\n  \"files_scanned\": " + std::to_string(files_scanned);
+    json += ",\n  \"suppressed\": " + std::to_string(suppressed);
+    json += "\n}\n";
+    return json;
+}
+
+} // namespace fusion::lint

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * fusion-lint: project-specific determinism and thread-safety linter.
+ *
+ * The repo's core contract is that simulation results, metrics
+ * snapshots, traces and EXPLAIN output are bit-identical for any
+ * FUSION_THREADS value and on any machine. Runtime tests spot-check
+ * that; fusion-lint enforces the coding rules that make it true, by
+ * token-scanning src/, bench/ and tests/ for the hazard classes that
+ * have actually bitten (or nearly bitten) this codebase:
+ *
+ *   wallclock       raw wall-clock APIs (steady_clock/system_clock/
+ *                   time()/...) outside the common/walltime shim —
+ *                   timing noise must never feed simulated seconds or
+ *                   Cost-Equation decisions.
+ *   unseeded-random std::random_device / rand() / srand() — all
+ *                   randomness goes through the seedable fusion::Rng.
+ *   unordered-iter  range-for over std::unordered_map/unordered_set —
+ *                   iteration order is implementation-defined, so any
+ *                   walk that feeds serialized output or planning must
+ *                   use a sorted container or a sorted snapshot.
+ *   pointer-format  pointer values in output (%p, std::hex on
+ *                   addresses) — ASLR makes them differ every run.
+ *   raw-mutex       std::mutex/condition_variable/lock_guard/... —
+ *                   use fusion::Mutex/MutexLock/CondVar
+ *                   (common/mutex.h), which carry Clang thread-safety
+ *                   annotations so -Wthread-safety can check locking.
+ *
+ * Suppressions: `// fusion-lint: allow(rule)` on the offending line or
+ * the line directly above; `// fusion-lint: allowfile(rule)` anywhere
+ * in a file suppresses the rule file-wide. `all` matches every rule.
+ * Built-in path allowlists exempt the two sanctioned definition sites
+ * (common/walltime for wallclock, common/mutex.h for raw-mutex).
+ *
+ * This is a token scanner, not a compiler plugin: it strips comments
+ * and string/char literals (tracking raw strings), then matches
+ * identifier tokens — fast, dependency-free, zero false positives on
+ * this codebase, and trivially extensible (see DESIGN.md §10 for the
+ * how-to-add-a-rule recipe).
+ */
+#ifndef FUSION_TOOLS_LINT_H
+#define FUSION_TOOLS_LINT_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fusion::lint {
+
+/** One rule violation. */
+struct Finding {
+    std::string file;
+    size_t line = 0; // 1-based
+    std::string rule;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return rule < o.rule;
+    }
+    bool
+    operator==(const Finding &o) const
+    {
+        return file == o.file && line == o.line && rule == o.rule &&
+               message == o.message;
+    }
+};
+
+/** Linter configuration. */
+struct Options {
+    /** rule -> path substrings exempt from that rule. */
+    std::map<std::string, std::vector<std::string>> pathAllow;
+
+    /** Built-in allowlists: the walltime shim and the annotated mutex
+     *  wrapper are the sanctioned homes of the banned APIs. */
+    static Options defaults();
+};
+
+/** Result of linting one file. */
+struct FileReport {
+    std::vector<Finding> findings;
+    size_t suppressed = 0; // findings silenced by allow()/allowfile()
+};
+
+/** All rule names, sorted. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Names of variables/members declared as std::unordered_map/set in
+ * `content`. The CLI collects these across every scanned file first,
+ * so a member declared in foo.h is still recognized when foo.cc
+ * iterates it.
+ */
+std::vector<std::string> collectUnorderedNames(const std::string &content);
+
+/**
+ * Lints one file. `extra_unordered_names` augments the file's own
+ * declarations for the unordered-iter rule (cross-file members).
+ */
+FileReport lintSource(
+    const std::string &path, const std::string &content,
+    const Options &options,
+    const std::vector<std::string> &extra_unordered_names = {});
+
+/** Machine-readable report: {"findings":[...],"files_scanned":N,
+ *  "suppressed":M}, findings sorted by (file, line, rule). */
+std::string reportJson(std::vector<Finding> findings, size_t files_scanned,
+                       size_t suppressed);
+
+} // namespace fusion::lint
+
+#endif // FUSION_TOOLS_LINT_H

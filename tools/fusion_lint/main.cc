@@ -1,0 +1,142 @@
+/**
+ * @file
+ * fusion-lint CLI. Usage:
+ *
+ *   fusion_lint [--report=FILE] [--list-rules] PATH...
+ *
+ * Each PATH is a file or a directory scanned recursively for
+ * .h/.cc/.cpp sources. Findings print as `path:line: [rule] message`
+ * and the exit code is 1 when any unsuppressed finding exists.
+ * --report writes the machine-readable JSON report.
+ *
+ * The scan is two-pass: pass 1 collects every variable declared as an
+ * unordered container across all files (so members declared in a
+ * header are recognized when a .cc iterates them); pass 2 lints.
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace fusion::lint;
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string reportPath;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto &r : ruleNames())
+                std::cout << r << "\n";
+            return 0;
+        }
+        if (arg.rfind("--report=", 0) == 0) {
+            reportPath = arg.substr(9);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: fusion_lint [--report=FILE] [--list-rules] "
+                         "PATH...\n";
+            return 0;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::cerr << "fusion_lint: no paths given (try --help)\n";
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        fs::path p(root);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p, ec))
+                if (entry.is_regular_file() && isSourceFile(entry.path()))
+                    files.push_back(entry.path().generic_string());
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p.generic_string());
+        } else {
+            std::cerr << "fusion_lint: no such file or directory: " << root
+                      << "\n";
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    const Options options = Options::defaults();
+
+    // Pass 1: unordered-container declarations across the whole scan set.
+    std::vector<std::pair<std::string, std::string>> contents;
+    std::vector<std::string> unorderedNames;
+    contents.reserve(files.size());
+    for (const std::string &file : files) {
+        contents.emplace_back(file, readFile(file));
+        for (auto &n : collectUnorderedNames(contents.back().second))
+            unorderedNames.push_back(std::move(n));
+    }
+    std::sort(unorderedNames.begin(), unorderedNames.end());
+    unorderedNames.erase(
+        std::unique(unorderedNames.begin(), unorderedNames.end()),
+        unorderedNames.end());
+
+    // Pass 2: lint.
+    std::vector<Finding> findings;
+    size_t suppressed = 0;
+    for (const auto &[file, content] : contents) {
+        FileReport report =
+            lintSource(file, content, options, unorderedNames);
+        suppressed += report.suppressed;
+        for (auto &f : report.findings)
+            findings.push_back(std::move(f));
+    }
+    std::sort(findings.begin(), findings.end());
+
+    for (const Finding &f : findings)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+
+    if (!reportPath.empty()) {
+        std::ofstream out(reportPath, std::ios::binary);
+        out << reportJson(findings, files.size(), suppressed);
+        if (!out) {
+            std::cerr << "fusion_lint: cannot write report to " << reportPath
+                      << "\n";
+            return 2;
+        }
+    }
+
+    std::cerr << "fusion_lint: scanned " << files.size() << " files, "
+              << findings.size() << " finding(s), " << suppressed
+              << " suppressed\n";
+    return findings.empty() ? 0 : 1;
+}

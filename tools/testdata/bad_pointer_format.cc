@@ -1,0 +1,19 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+void
+show(const void *p)
+{
+    std::printf("at %p\n", p); // BAD: pointer-format
+
+    std::cout << std::hex << reinterpret_cast<uintptr_t>(p); // BAD: pointer-format
+
+    // std::hex on a plain integer is fine (stable value, not an address).
+    std::cout << std::hex << 255 << std::dec << "\n";
+
+    // "%period" style strings that merely contain 'p' are fine.
+    std::printf("%d%% passed\n", 100);
+}

@@ -1,0 +1,18 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::random_device rd; // BAD: unseeded-random
+    std::mt19937 gen(rd());
+    (void)gen;
+    srand(42);     // BAD: unseeded-random
+    return rand(); // BAD: unseeded-random
+}
+
+// Must NOT match:
+int random_seed = 7;  // ok: distinct identifier
+int strand_count = 0; // ok: 'rand' inside another identifier

@@ -1,0 +1,23 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+    std::mutex m;               // BAD: raw-mutex
+    std::condition_variable cv; // BAD: raw-mutex
+
+    void
+    poke()
+    {
+        std::lock_guard<std::mutex> lock(m); // BAD: raw-mutex
+        cv.notify_one();
+    }
+};
+
+// Unqualified identifiers are fine (could be fusion::Mutex brought in
+// by a using-declaration; the rule only fires on std::-qualified uses).
+struct Wrapper {
+    int mutex = 0;
+    int lock_guard = 0;
+};

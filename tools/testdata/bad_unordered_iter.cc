@@ -1,0 +1,37 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Index {
+    std::unordered_map<std::string, int> byName;
+    std::unordered_set<int> liveIds;
+    std::map<std::string, int> sortedByName;
+};
+
+void
+dump(const Index &idx)
+{
+    for (const auto &[name, id] : idx.byName) // BAD: unordered-iter
+        std::printf("%s=%d\n", name.c_str(), id);
+
+    for (int id : idx.liveIds) // BAD: unordered-iter
+        std::printf("%d\n", id);
+
+    // Sorted container: fine.
+    for (const auto &[name, id] : idx.sortedByName)
+        std::printf("%s=%d\n", name.c_str(), id);
+
+    // Point lookups into unordered containers are fine.
+    if (idx.byName.count("x"))
+        std::printf("has x\n");
+
+    // Classic for over a vector is fine.
+    std::vector<int> v{3, 1, 2};
+    for (size_t i = 0; i < v.size(); ++i)
+        std::printf("%d\n", v[i]);
+}

@@ -1,0 +1,24 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <chrono>
+#include <ctime>
+
+double
+elapsed()
+{
+    auto t0 = std::chrono::steady_clock::now();          // BAD: wallclock
+    auto t1 = std::chrono::high_resolution_clock::now(); // BAD: wallclock
+    auto wall = std::chrono::system_clock::now();        // BAD: wallclock
+    (void)wall;
+    std::time_t raw = time(nullptr); // BAD: wallclock
+    (void)clock();                   // BAD: wallclock
+    (void)raw;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Identifiers that merely contain a banned name must NOT match:
+int steady_clock_count = 0; // ok: distinct identifier
+int my_time = 0;            // ok: 'time' not followed by '('
+void timer() {}             // ok: different identifier
+// steady_clock in a comment is fine, as is "steady_clock" below:
+const char *label = "steady_clock";

@@ -1,0 +1,27 @@
+// Fixture: a file written to the project rules — zero findings.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// An unordered map used only for point lookups is fine; serialization
+// walks the sorted mirror.
+struct Catalog {
+    std::unordered_map<std::string, int> fastLookup;
+    std::map<std::string, int> sorted;
+};
+
+void
+emit(const Catalog &c)
+{
+    for (const auto &[name, id] : c.sorted)
+        std::printf("%s=%d\n", name.c_str(), id);
+    if (c.fastLookup.count("x"))
+        std::printf("has x\n");
+}
+
+// Words like 'time' or 'mutex' in comments and strings never match:
+// call time() at your peril; std::mutex is banned; rand() too; even
+// %p is fine in a comment (only string literals can feed printf).
+const char *doc = "time() and rand() and std::mutex go here";

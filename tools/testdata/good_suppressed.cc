@@ -1,0 +1,33 @@
+// Fixture: every violation carries a justification comment, so the
+// file lints clean with a nonzero suppressed count.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+double
+wallNow()
+{
+    // Sanctioned here: this fixture plays the role of a timing shim.
+    // fusion-lint: allow(wallclock)
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int
+jitter()
+{
+    return rand(); // fusion-lint: allow(unseeded-random)
+}
+
+std::unordered_map<int, int> scratch;
+
+int
+total()
+{
+    int sum = 0;
+    // Order-independent reduction: sum is commutative over iteration
+    // order. fusion-lint: allow(unordered-iter)
+    for (const auto &[k, v] : scratch)
+        sum += v;
+    return sum;
+}
