@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Coordinator hot-chunk cache. A bounded (capacity in bytes) cache of
+ * raw chunk bytes, with an optional decoded-column layer attached once
+ * a resident chunk has been decoded. Residency bends the per-chunk
+ * Cost Equation (query/cost.h): a cached chunk makes coordinator-side
+ * evaluation free of wire and disk cost, so the planner's verdict
+ * flips to "local" regardless of selectivity x compressibility.
+ *
+ * Eviction is SIEVE (FIFO queue + visited bits + a lazily moving
+ * hand): newly admitted entries start unvisited at the queue head;
+ * lookups set the visited bit without moving the entry; the hand scans
+ * from the tail (oldest) toward the head, clearing visited bits, and
+ * evicts the first unvisited entry it meets. Under stationary skewed
+ * popularity SIEVE approximates LFU — one-hit wonders are evicted on
+ * the hand's first pass while repeatedly looked-up entries survive —
+ * which is what a Zipfian object workload needs from a small cache.
+ *
+ * Determinism: every operation mutates plain ordered containers in
+ * call order, keyed on logical recency (queue position + visited
+ * bits), never on wall time. All callers sit on the serial planning
+ * path of the simulation driver, so the hit/miss/eviction sequence is
+ * bit-identical for any FUSION_THREADS value.
+ */
+#ifndef FUSION_CACHE_CHUNK_CACHE_H
+#define FUSION_CACHE_CHUNK_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "format/column.h"
+#include "obs/metrics.h"
+
+namespace fusion::cache {
+
+/** Capacity from FUSION_CACHE_BYTES (bytes; 0 or unset = disabled). */
+uint64_t defaultCacheBytesFromEnv();
+
+/** See file comment. Not thread-safe by design: all callers are on
+ *  the simulation driver's serial planning path. */
+class ChunkCache
+{
+  public:
+    using Key = std::pair<std::string, uint32_t>; // (object, chunk id)
+
+    explicit ChunkCache(uint64_t capacity_bytes);
+
+    /** A zero-capacity cache rejects all admissions and never hits. */
+    bool enabled() const { return capacityBytes_ > 0; }
+    uint64_t capacityBytes() const { return capacityBytes_; }
+    uint64_t sizeBytes() const { return sizeBytes_; }
+    size_t entryCount() const { return queue_.size(); }
+
+    /**
+     * Counted residency probe: tallies a hit or miss, and on a hit
+     * sets the entry's visited bit (its SIEVE survival ticket).
+     * Returns the raw chunk bytes, or nullptr on miss.
+     */
+    std::shared_ptr<const Bytes> lookup(const std::string &object,
+                                        uint32_t chunk_id);
+
+    /** Uncounted residency probe (tests and idempotent admission). */
+    bool contains(const std::string &object, uint32_t chunk_id) const;
+
+    /**
+     * Admits a chunk's raw bytes, evicting from the hand position
+     * until it fits. Oversized (> capacity) and empty chunks are
+     * rejected. Re-admitting a resident chunk just marks it visited.
+     * Returns true when the chunk is resident on return.
+     */
+    bool admit(const std::string &object, uint32_t chunk_id,
+               std::shared_ptr<const Bytes> bytes);
+
+    /**
+     * Attaches a decoded-column layer to a resident chunk (no-op on
+     * a miss). The decoded form rides along for accounting — only the
+     * raw byte size counts against capacity, matching the store's
+     * decode-memoization being a separate experiment-speed artifact.
+     */
+    void attachDecoded(const std::string &object, uint32_t chunk_id,
+                       std::shared_ptr<const format::ColumnData> decoded);
+
+    /** Decoded layer of a resident chunk, or nullptr. Uncounted. */
+    std::shared_ptr<const format::ColumnData>
+    decoded(const std::string &object, uint32_t chunk_id) const;
+
+    /** Drops one chunk (no-op if absent). Degraded reads call this so
+     *  reconstruction-touched chunks never claim residency. */
+    void invalidate(const std::string &object, uint32_t chunk_id);
+
+    /** Drops every chunk of an object (delete / overwrite). */
+    void invalidateObject(const std::string &object);
+
+    /** Drops everything; tallies are kept. */
+    void clear();
+
+    // ---- instrumentation ----
+
+    /** Local tallies (always maintained; usable without a registry). */
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+
+    /**
+     * Mirrors tallies into registry instruments: cache.chunk.hits /
+     * misses / evictions counters and the cache.chunk.bytes gauge.
+     * Any pointer may be null. Must be bound before first use.
+     */
+    void bindMetrics(obs::Counter *hits, obs::Counter *misses,
+                     obs::Counter *evictions, obs::Gauge *bytes);
+
+    /** Resident keys in queue order, newest first (test introspection). */
+    std::vector<Key> residentKeys() const;
+
+  private:
+    struct Slot {
+        Key key;
+        std::shared_ptr<const Bytes> bytes;
+        std::shared_ptr<const format::ColumnData> decoded;
+        uint64_t size = 0;
+        bool visited = false;
+    };
+    using Queue = std::list<Slot>;
+
+    /** Evicts exactly one entry by the SIEVE hand scan. Requires a
+     *  non-empty queue. */
+    void evictOne();
+    /** Moves the hand off `it` before erasure, then erases it. */
+    void erase(Queue::iterator it);
+    void syncBytesGauge();
+
+    uint64_t capacityBytes_ = 0;
+    uint64_t sizeBytes_ = 0;
+    Queue queue_; // front = newest, back = oldest
+    std::map<Key, Queue::iterator> index_;
+    /** SIEVE hand; only meaningful while handValid_. */
+    Queue::iterator hand_;
+    bool handValid_ = false;
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    obs::Counter *hitCounter_ = nullptr;
+    obs::Counter *missCounter_ = nullptr;
+    obs::Counter *evictionCounter_ = nullptr;
+    obs::Gauge *bytesGauge_ = nullptr;
+};
+
+} // namespace fusion::cache
+
+#endif // FUSION_CACHE_CHUNK_CACHE_H

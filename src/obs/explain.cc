@@ -30,7 +30,21 @@ QueryExplain::pushCount() const
 size_t
 QueryExplain::fetchCount() const
 {
-    return projections.size() - pushCount();
+    return static_cast<size_t>(
+        std::count_if(projections.begin(), projections.end(),
+                      [](const ExplainChunk &c) {
+                          return c.verdict == "fetch";
+                      }));
+}
+
+size_t
+QueryExplain::localCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(projections.begin(), projections.end(),
+                      [](const ExplainChunk &c) {
+                          return c.verdict == "local";
+                      }));
 }
 
 std::string
@@ -44,9 +58,11 @@ QueryExplain::render() const
            " scanned, " + std::to_string(rowGroupsSkipped) +
            " skipped (zone maps)\n";
     out += "filter stage: " + std::to_string(filterPushdowns) +
-           " pushdowns, " + std::to_string(filterFetches) + " fetches\n";
+           " pushdowns, " + std::to_string(filterFetches) + " fetches, " +
+           std::to_string(filterCached) + " cached\n";
     out += "projection stage: " + std::to_string(pushCount()) +
-           " pushdowns, " + std::to_string(fetchCount()) + " fetches\n";
+           " pushdowns, " + std::to_string(fetchCount()) + " fetches, " +
+           std::to_string(localCount()) + " cached-local\n";
 
     // Column widths over the data actually rendered.
     const char *headers[] = {"chunk", "rg", "column",  "sel",
@@ -99,6 +115,7 @@ QueryExplain::toJson() const
            ",\n";
     out += "  \"filter_fetches\": " + std::to_string(filterFetches) +
            ",\n";
+    out += "  \"filter_cached\": " + std::to_string(filterCached) + ",\n";
     out += "  \"projections\": [\n";
     for (size_t i = 0; i < projections.size(); ++i) {
         const ExplainChunk &c = projections[i];

@@ -26,11 +26,14 @@ struct ExplainChunk {
     std::string column;
     double selectivity = 0.0;
     double compressibility = 1.0;
-    /** "push" or "fetch" — where the projection actually ran. */
+    /** "push", "fetch" or "local" — where the projection actually
+     *  ran ("local" = evaluated from the coordinator hot-chunk
+     *  cache; its Cost-Equation terms are recorded but overridden). */
     std::string verdict;
     /** Why: "cost product < 1", "cost product >= 1", "node
      *  unresponsive (health fallback)", "chunk split across nodes",
-     *  "aggregate-only projection", "adaptive pushdown disabled". */
+     *  "aggregate-only projection", "adaptive pushdown disabled",
+     *  "cached-local". */
     std::string reason;
 
     /** The Cost Equation's left-hand side. */
@@ -46,10 +49,14 @@ struct QueryExplain {
     size_t rowGroupsSkipped = 0;
     size_t filterPushdowns = 0;
     size_t filterFetches = 0;
+    /** Filter chunks served from the coordinator hot-chunk cache. */
+    size_t filterCached = 0;
     std::vector<ExplainChunk> projections;
 
     size_t pushCount() const;
     size_t fetchCount() const;
+    /** Projection chunks with verdict "local" (cached-local). */
+    size_t localCount() const;
 
     /** Aligned text table (the `EXPLAIN` output). */
     std::string render() const;

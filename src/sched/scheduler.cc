@@ -266,6 +266,11 @@ SharedScanScheduler::runBatch(const std::vector<query::Query> &batch)
                 ins_.fetchConversions->add(1);
             }
         }
+        // The converted chunk now crosses the wire once to the
+        // coordinator — admit it so later queries (and batches) plan
+        // it as "cached-local" instead of re-moving the bytes.
+        store_.admitChunkToCache(group_key.substr(0, group_key.find('|')),
+                                 rep.chunkId);
     }
 
     // Re-attach amended EXPLAIN reports.

@@ -65,8 +65,30 @@ BaselineStore::planQuery(const ObjectManifest &manifest,
             double coord_work = chunkDecodeWork(chunk);
             if (is_filter_col && is_proj_col)
                 coord_work += chunkSelectWork(chunk);
+            // Even the fetch-everything baseline benefits from the
+            // coordinator hot-chunk cache: a resident chunk skips the
+            // wire and disk entirely (decoded layer also skips the
+            // decompress pass).
+            auto cached = cacheLookupChunk(manifest, chunk_id);
+            if (cached.hit) {
+                double local_work =
+                    cached.decoded ? chunkSelectWork(chunk)
+                                   : chunkDecodeWork(chunk);
+                if (is_filter_col && is_proj_col)
+                    local_work += chunkSelectWork(chunk);
+                SimTask task{plan.coordinatorId, 0, 0, 0.0, 0, local_work,
+                             "cached_local"};
+                task.chunkId = chunk_id;
+                plan.filterTasks.push_back(std::move(task));
+                if (is_filter_col)
+                    ++plan.outcome.filterChunkCached;
+                else
+                    ++plan.outcome.projectionCachedLocal;
+                continue;
+            }
             appendChunkFetchTasks(manifest, chunk_id, plan.coordinatorId,
                                   coord_work, plan.filterTasks);
+            cacheAdmitChunk(manifest, chunk_id);
             if (is_filter_col)
                 ++plan.outcome.filterChunkFetches;
             else

@@ -84,6 +84,20 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             size_t col = schema.columnIndex(col_name).value();
             const format::ChunkMeta &chunk = meta.chunk(rg, col);
             uint32_t chunk_id = manifest.chunkIdFor(rg, col);
+            // Cache residency wins over node health AND the wire math:
+            // a resident chunk filters at the coordinator for pure CPU
+            // cost, no request, disk or reply bytes.
+            auto cached = cacheLookupChunk(manifest, chunk_id);
+            if (cached.hit) {
+                SimTask task{plan.coordinatorId, 0, 0, 0.0, 0,
+                             cached.decoded ? chunkSelectWork(chunk)
+                                            : chunkDecodeWork(chunk),
+                             "cached_local"};
+                task.chunkId = chunk_id;
+                plan.filterTasks.push_back(std::move(task));
+                ++plan.outcome.filterChunkCached;
+                continue;
+            }
             auto state = chunkPushdownState(manifest, chunk_id);
             if (state == ChunkPushdownState::kPushable) {
                 size_t node = manifest.nodesForChunk(chunk_id)[0];
@@ -110,6 +124,8 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                                       chunkDecodeWork(chunk),
                                       plan.filterTasks);
                 ++plan.outcome.filterChunkFetches;
+                // The bytes land at the coordinator anyway: keep them.
+                cacheAdmitChunk(manifest, chunk_id);
             }
         }
     }
@@ -138,10 +154,12 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             uint32_t chunk_id = manifest.chunkIdFor(rg, col);
 
             // The Cost Equation inputs are computed for every chunk so
-            // EXPLAIN can report them even when health overrides the
-            // verdict.
-            auto decision = query::decideProjectionPushdown(
-                plane.selectivity, chunk);
+            // EXPLAIN can report them even when residency or health
+            // overrides the verdict.
+            auto cached = cacheLookupChunk(manifest, chunk_id);
+            auto cached_decision = query::decideProjectionPushdownCached(
+                cached.hit, plane.selectivity, chunk);
+            const query::PushdownDecision &decision = cached_decision.base;
             auto record = [&](const char *verdict, const char *reason) {
                 if (!explain)
                     return;
@@ -150,6 +168,21 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                      decision.selectivity, decision.compressibility,
                      verdict, reason});
             };
+
+            if (cached_decision.local) {
+                // Resident at the coordinator: evaluate locally. No
+                // wire, no disk — only the decode (or, with a decoded
+                // layer attached, just the row-selection pass).
+                SimTask task{plan.coordinatorId, 0, 0, 0.0, 0,
+                             cached.decoded ? chunkSelectWork(chunk)
+                                            : chunkDecodeWork(chunk),
+                             "cached_local"};
+                task.chunkId = chunk_id;
+                plan.projectionTasks.push_back(std::move(task));
+                ++plan.outcome.projectionCachedLocal;
+                record("local", "cached-local");
+                continue;
+            }
 
             auto state = chunkPushdownState(manifest, chunk_id);
             if (state != ChunkPushdownState::kPushable) {
@@ -168,6 +201,7 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                                       chunkDecodeWork(chunk),
                                       plan.projectionTasks);
                 ++plan.outcome.projectionFetches;
+                cacheAdmitChunk(manifest, chunk_id);
                 continue;
             }
             size_t node = manifest.nodesForChunk(chunk_id)[0];
@@ -233,6 +267,9 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 plan.projectionTasks.push_back(std::move(task));
                 ++plan.outcome.projectionFetches;
                 record("fetch", "cost product >= 1");
+                // The fetch parks the chunk at the coordinator — admit
+                // it so repeat queries flip to "cached-local".
+                cacheAdmitChunk(manifest, chunk_id);
             }
         }
     }
@@ -242,6 +279,7 @@ FusionStore::planQuery(const ObjectManifest &manifest,
         report.rowGroupsSkipped = plan.outcome.rowGroupsSkipped;
         report.filterPushdowns = plan.outcome.filterChunkPushdowns;
         report.filterFetches = plan.outcome.filterChunkFetches;
+        report.filterCached = plan.outcome.filterChunkCached;
         plan.outcome.explain =
             std::make_shared<const obs::QueryExplain>(std::move(report));
     }

@@ -29,7 +29,7 @@ makeCode(size_t n, size_t k)
 
 ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
     : cluster_(cluster), options_(options),
-      rs_(makeCode(options.n, options.k))
+      rs_(makeCode(options.n, options.k)), chunkCache_(options.cacheBytes)
 {
     FUSION_CHECK_MSG(cluster.numNodes() >= options.n,
                      "cluster smaller than erasure-code width n");
@@ -60,6 +60,14 @@ ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
     ins_.wireProjectionReply = &reg.counter("wire.projection.reply_bytes");
     ins_.wireClientRequest = &reg.counter("wire.client.request_bytes");
     ins_.wireClientReply = &reg.counter("wire.client.reply_bytes");
+    // Hot-chunk cache tier counters are registered even when the cache
+    // is disabled so metric snapshots keep a stable key set.
+    ins_.cacheChunkHits = &reg.counter("cache.chunk.hits");
+    ins_.cacheChunkMisses = &reg.counter("cache.chunk.misses");
+    ins_.cacheChunkEvictions = &reg.counter("cache.chunk.evictions");
+    ins_.cacheChunkBytes = &reg.gauge("cache.chunk.bytes");
+    chunkCache_.bindMetrics(ins_.cacheChunkHits, ins_.cacheChunkMisses,
+                            ins_.cacheChunkEvictions, ins_.cacheChunkBytes);
     // 100 us .. ~10 s in x2 steps covers the simulated latency range.
     ins_.queryLatency = &reg.histogram(
         "query.latency_seconds", obs::exponentialBounds(1e-4, 2.0, 17));
@@ -116,6 +124,7 @@ ObjectStore::deleteObject(const std::string &name)
             cluster_.node(old.stripeNodes[s][b])
                 .dropBlock(old.blockKey(s, b));
     }
+    chunkCache_.invalidateObject(name);
     manifests_.erase(it);
     return Status::ok();
 }
@@ -506,6 +515,11 @@ ObjectStore::readChunkBytes(const ObjectManifest &manifest,
     }
     if (degraded) {
         ins_.degradedChunkReads->add(1);
+        // A degraded read means this chunk's canonical placement is
+        // suspect; any cached copy could go stale once repair rewrites
+        // blocks, so the cache never serves a chunk touched by
+        // reconstruction.
+        chunkCache_.invalidate(manifest.name, chunk_id);
         obs_.tracer.instant(
             "degraded_read",
             "\"chunk\": " + std::to_string(chunk_id) + ", \"object\": \"" +
@@ -937,9 +951,76 @@ ObjectStore::chunkPushdownState(const ObjectManifest &manifest,
 void
 ObjectStore::dropCaches()
 {
+    // Memoization caches only; the semantic hot-chunk cache survives
+    // (it is kept correct by invalidation, not recomputation).
     decodeCache_.clear();
     bitmapCache_.clear();
     planCache_.clear();
+}
+
+ObjectStore::CacheLookup
+ObjectStore::cacheLookupChunk(const ObjectManifest &manifest,
+                              uint32_t chunk_id)
+{
+    CacheLookup out;
+    if (!chunkCache_.enabled())
+        return out;
+    uint64_t span = obs_.tracer.beginSpan(
+        "cache_lookup",
+        "\"chunk\": " + std::to_string(chunk_id) + ", \"object\": \"" +
+            manifest.name + "\"");
+    out.hit = chunkCache_.lookup(manifest.name, chunk_id) != nullptr;
+    out.decoded =
+        out.hit && chunkCache_.decoded(manifest.name, chunk_id) != nullptr;
+    obs_.tracer.endSpan(span);
+    return out;
+}
+
+bool
+ObjectStore::cacheAdmitChunk(const ObjectManifest &manifest,
+                             uint32_t chunk_id)
+{
+    if (!chunkCache_.enabled())
+        return false;
+    if (chunkCache_.contains(manifest.name, chunk_id)) {
+        // Refresh the SIEVE visited bit without re-assembling bytes.
+        return chunkCache_.admit(manifest.name, chunk_id, nullptr);
+    }
+    // Assemble directly from node block maps: admission models the
+    // coordinator keeping bytes it already moved, so it must not count
+    // extra fault-path work — and degraded bytes never enter the cache.
+    const fac::ChunkExtent &extent = manifest.extents.at(chunk_id);
+    auto bytes = std::make_shared<Bytes>(extent.size);
+    for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
+        const sim::StorageNode &node = cluster_.node(
+            manifest.stripeNodes[piece.stripe][piece.blockIndex]);
+        if (!nodeResponsive(node))
+            return false;
+        const Bytes *block =
+            node.findBlock(manifest.blockKey(piece.stripe, piece.blockIndex));
+        if (!block || piece.blockOffset + piece.size > block->size())
+            return false;
+        std::copy(block->begin() + piece.blockOffset,
+                  block->begin() + piece.blockOffset + piece.size,
+                  bytes->begin() + piece.chunkOffset);
+    }
+    if (!chunkCache_.admit(manifest.name, chunk_id, std::move(bytes)))
+        return false;
+    // Attach the decoded layer when the memoization cache already has
+    // it: local evaluation then skips the decompress/decode pass.
+    auto decoded = decodeCache_.find({manifest.name, uint64_t{chunk_id}});
+    if (decoded != decodeCache_.end())
+        chunkCache_.attachDecoded(manifest.name, chunk_id, decoded->second);
+    return true;
+}
+
+bool
+ObjectStore::admitChunkToCache(const std::string &object, uint32_t chunk_id)
+{
+    auto m = manifest(object);
+    if (!m.isOk())
+        return false;
+    return cacheAdmitChunk(*m.value(), chunk_id);
 }
 
 uint64_t

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/chunk_cache.h"
 #include "ec/reed_solomon.h"
 #include "manifest.h"
 #include "obs/observability.h"
@@ -56,6 +57,14 @@ struct StoreOptions {
     /** Extension (paper future work): compute aggregates on storage
      *  nodes so pure-aggregate projections reply with scalars. */
     bool aggregatePushdown = false;
+    /**
+     * Coordinator hot-chunk cache capacity in bytes; 0 disables the
+     * tier. Chunks the planner fetched to the coordinator are admitted
+     * and later queries evaluate them locally, flipping the Cost
+     * Equation (see cache/chunk_cache.h). Defaults from the
+     * FUSION_CACHE_BYTES environment variable.
+     */
+    uint64_t cacheBytes = cache::defaultCacheBytesFromEnv();
 
     // ---- degraded-read robustness (fault injection, see DESIGN.md) ----
 
@@ -103,6 +112,11 @@ struct QueryOutcome {
     size_t filterChunkPushdowns = 0; // filters executed on storage nodes
     size_t projectionPushdowns = 0;
     size_t projectionFetches = 0;
+    /** Filter chunks evaluated at the coordinator from the hot-chunk
+     *  cache (no wire, no disk). */
+    size_t filterChunkCached = 0;
+    /** Projection chunks whose verdict the cache flipped to local. */
+    size_t projectionCachedLocal = 0;
     /** Pushdowns rerouted to coordinator-side evaluation because the
      *  chunk's node was faulted when the query was planned. */
     size_t pushdownFallbacks = 0;
@@ -217,7 +231,9 @@ class ObjectStore
     /**
      * Drops the decode/bitmap/plan memoization caches so subsequent
      * reads hit the (possibly faulted) nodes again. Fault tests use
-     * this to force re-execution of the degraded read path.
+     * this to force re-execution of the degraded read path. The
+     * semantic hot-chunk cache (chunkCache()) is NOT dropped — it
+     * models coordinator state and is kept correct by invalidation.
      */
     void dropCaches();
 
@@ -340,6 +356,21 @@ class ObjectStore
     /** The store's query-latency histogram (scheduler records into the
      *  same instrument queryAsync uses). */
     obs::Histogram &queryLatencyHistogram() { return *ins_.queryLatency; }
+
+    /** The coordinator hot-chunk cache (disabled when capacity is 0). */
+    cache::ChunkCache &chunkCache() { return chunkCache_; }
+    const cache::ChunkCache &chunkCache() const { return chunkCache_; }
+
+    /**
+     * Admits one chunk's raw bytes into the coordinator cache, pulling
+     * pieces directly from healthy nodes' block maps (no fault
+     * accounting — this models the coordinator retaining bytes it
+     * already moved). Refuses when the cache is off, the object is
+     * unknown, or any holding node is unresponsive (degraded bytes
+     * never enter the cache). The shared-scan scheduler calls this
+     * after converting a merged pushdown into a fetch.
+     */
+    bool admitChunkToCache(const std::string &object, uint32_t chunk_id);
 
   protected:
     /** Subclass hook: choose the stripe layout for a new object. */
@@ -468,6 +499,27 @@ class ObjectStore
                                    double coord_cpu_work,
                                    std::vector<SimTask> &tasks);
 
+    // ---- coordinator hot-chunk cache (cache/chunk_cache.h) ----
+
+    /** What the planner learned from one counted cache probe. */
+    struct CacheLookup {
+        bool hit = false;
+        /** The entry also carries a decoded column layer, so local
+         *  evaluation skips the decompress/decode pass. */
+        bool decoded = false;
+    };
+
+    /**
+     * Counted residency probe (emits a `cache_lookup` span and bumps
+     * cache.chunk.{hits,misses}). Planners call this once per candidate
+     * chunk; a hit flips the Cost Equation verdict to local.
+     */
+    CacheLookup cacheLookupChunk(const ObjectManifest &manifest,
+                                 uint32_t chunk_id);
+
+    /** admitChunkToCache against a resolved manifest. */
+    bool cacheAdmitChunk(const ObjectManifest &manifest, uint32_t chunk_id);
+
     sim::Cluster &cluster_;
     StoreOptions options_;
     ec::ReedSolomon rs_;
@@ -499,9 +551,21 @@ class ObjectStore
         obs::Counter *wireProjectionReply = nullptr;
         obs::Counter *wireClientRequest = nullptr;
         obs::Counter *wireClientReply = nullptr;
+        obs::Counter *cacheChunkHits = nullptr;
+        obs::Counter *cacheChunkMisses = nullptr;
+        obs::Counter *cacheChunkEvictions = nullptr;
+        obs::Gauge *cacheChunkBytes = nullptr;
         obs::Histogram *queryLatency = nullptr;
     };
     Instruments ins_;
+
+    /**
+     * The semantic hot-chunk cache. Unlike the memoization caches below
+     * it survives dropCaches(): entries are kept correct by explicit
+     * invalidation (deleteObject, degraded reads touching the chunk),
+     * not by being experiment-speed artifacts.
+     */
+    cache::ChunkCache chunkCache_;
 
   private:
     void simulateQuery(std::shared_ptr<QueryPlan> plan,

@@ -320,13 +320,15 @@ struct ExplainRig {
 };
 
 ExplainRig
-makeExplainRig()
+makeExplainRig(uint64_t cache_bytes = 0)
 {
     ExplainRig rig;
     rig.config.numNodes = 9;
     rig.cluster = std::make_unique<sim::Cluster>(rig.config);
-    rig.store = std::make_unique<store::FusionStore>(*rig.cluster,
-                                                     store::StoreOptions{});
+    store::StoreOptions options;
+    options.cacheBytes = cache_bytes;
+    rig.store =
+        std::make_unique<store::FusionStore>(*rig.cluster, options);
     auto file = workload::buildLineitemFile(3000, 7);
     FUSION_CHECK(file.isOk());
     FUSION_CHECK(rig.store->put("lineitem", file.value().bytes).isOk());
@@ -397,6 +399,58 @@ TEST(ExplainTest, RecordsEveryProjectionDecision)
     EXPECT_NE(text.find(report.table), std::string::npos);
 }
 
+TEST(ExplainTest, CachedLocalVerdictRecordsFlippedCostTerms)
+{
+    // High selectivity on the well-compressed quantity column gives a
+    // fetch verdict; the fetch admits the chunks, so the repeat query
+    // flips every decision to "local" / "cached-local".
+    ExplainRig rig = makeExplainRig(64 << 20);
+    rig.store->obs().explainEnabled = true;
+    const char *sql =
+        "SELECT l_quantity FROM lineitem WHERE l_quantity < 45";
+
+    auto cold = rig.store->querySql(sql);
+    ASSERT_TRUE(cold.isOk());
+    ASSERT_GT(cold.value().projectionFetches, 0u);
+    EXPECT_EQ(cold.value().explain->localCount(), 0u);
+
+    auto warm = rig.store->querySql(sql);
+    ASSERT_TRUE(warm.isOk());
+    const store::QueryOutcome &o = warm.value();
+    ASSERT_NE(o.explain, nullptr);
+    const obs::QueryExplain &report = *o.explain;
+
+    // Tallies agree with the outcome, including the cached buckets.
+    EXPECT_GT(o.projectionCachedLocal, 0u);
+    EXPECT_EQ(report.localCount(), o.projectionCachedLocal);
+    EXPECT_EQ(report.fetchCount(), o.projectionFetches);
+    EXPECT_EQ(report.pushCount(), o.projectionPushdowns);
+    EXPECT_EQ(report.projections.size(),
+              o.projectionPushdowns + o.projectionFetches +
+                  o.projectionCachedLocal);
+    // The quantity chunks serve the filter stage from the cache too.
+    EXPECT_GT(o.filterChunkCached, 0u);
+    EXPECT_EQ(report.filterCached, o.filterChunkCached);
+
+    for (const obs::ExplainChunk &chunk : report.projections) {
+        if (chunk.verdict != "local")
+            continue;
+        EXPECT_EQ(chunk.reason, "cached-local");
+        // The Cost-Equation terms are still recorded — and show the
+        // flip: the equation alone said fetch (product >= 1), but
+        // residency made local evaluation free of wire cost.
+        EXPECT_GE(chunk.product(), 1.0);
+        EXPECT_GT(chunk.compressibility, 1.0);
+    }
+
+    EXPECT_NE(report.render().find("cached-local"), std::string::npos);
+    EXPECT_NE(report.toJson().find("\"verdict\": \"local\""),
+              std::string::npos);
+    EXPECT_NE(report.toJson().find("\"filter_cached\""),
+              std::string::npos);
+    EXPECT_TRUE(jsonBalanced(report.toJson()));
+}
+
 TEST(ExplainTest, FaultedNodeDecisionsRecordHealthFallback)
 {
     ExplainRig rig = makeExplainRig();
@@ -447,14 +501,16 @@ struct ObsRun {
 };
 
 ObsRun
-runObservedWorkload(size_t threads)
+runObservedWorkload(size_t threads, uint64_t cache_bytes = 0)
 {
     ThreadPool::setSharedThreads(threads);
 
     sim::ClusterConfig config;
     config.numNodes = 9;
     sim::Cluster cluster(config);
-    store::FusionStore store(cluster, {});
+    store::StoreOptions options;
+    options.cacheBytes = cache_bytes;
+    store::FusionStore store(cluster, options);
     // Enable before put() so stripe_encode spans are captured too.
     store.obs().tracer.setEnabled(true);
     store.obs().explainEnabled = true;
@@ -470,13 +526,22 @@ runObservedWorkload(size_t threads)
     sim::FaultInjector faults(cluster, schedule);
     faults.arm();
 
-    const char *sqls[] = {
+    std::vector<std::string> sqls = {
         "SELECT l_orderkey FROM lineitem WHERE l_quantity < 10",
         "SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem "
         "WHERE l_discount < 0.05",
         "SELECT * FROM lineitem WHERE l_orderkey < 50",
         "SELECT l_comment FROM lineitem WHERE l_extendedprice < 15000",
     };
+    if (cache_bytes > 0) {
+        // A repeated fetch-verdict query: the first run admits the
+        // quantity chunks, the repeat serves them cached-local while
+        // the crash schedule is active.
+        sqls.push_back(
+            "SELECT l_quantity FROM lineitem WHERE l_quantity < 45");
+        sqls.push_back(
+            "SELECT l_quantity FROM lineitem WHERE l_quantity < 45");
+    }
     sim::SimEngine &engine = cluster.engine();
     std::vector<std::optional<Result<store::QueryOutcome>>> captured(
         std::size(sqls));
@@ -542,6 +607,37 @@ TEST(ObsDeterminismTest, TraceMetricsExplainIdenticalAcrossThreadCounts)
 
     for (size_t threads : {2, 4}) {
         ObsRun pooled = runObservedWorkload(threads);
+        EXPECT_EQ(pooled.traceJson, serial.traceJson)
+            << "trace differs at threads=" << threads;
+        EXPECT_EQ(pooled.metricsJson, serial.metricsJson)
+            << "metrics differ at threads=" << threads;
+        EXPECT_EQ(pooled.explainJson, serial.explainJson)
+            << "explain differs at threads=" << threads;
+        EXPECT_TRUE(pooled.faults == serial.faults);
+    }
+}
+
+TEST(ObsDeterminismTest, CacheEnabledRunIdenticalAcrossThreadCounts)
+{
+    // Same crash/revive schedule, cache tier on: the hit/miss/eviction
+    // sequence, the cache_lookup spans and the cached-local verdicts
+    // must all be byte-identical at any FUSION_THREADS value.
+    const uint64_t cache_bytes = 64 << 20;
+    ObsRun serial = runObservedWorkload(1, cache_bytes);
+
+    EXPECT_NE(serial.traceJson.find("\"cache_lookup\""),
+              std::string::npos);
+    EXPECT_NE(serial.explainJson.find("cached-local"), std::string::npos);
+    EXPECT_NE(serial.metricsJson.find("cache.chunk.hits"),
+              std::string::npos);
+    EXPECT_NE(serial.metricsJson.find("cache.chunk.bytes"),
+              std::string::npos);
+    EXPECT_GT(serial.faults.readRetries, 0u);
+    EXPECT_TRUE(jsonBalanced(serial.traceJson));
+    EXPECT_TRUE(jsonBalanced(serial.metricsJson));
+
+    for (size_t threads : {2, 4}) {
+        ObsRun pooled = runObservedWorkload(threads, cache_bytes);
         EXPECT_EQ(pooled.traceJson, serial.traceJson)
             << "trace differs at threads=" << threads;
         EXPECT_EQ(pooled.metricsJson, serial.metricsJson)

@@ -355,6 +355,173 @@ TEST(SchedTest, DedupDisabledIssuesEveryTask)
 }
 
 // ---------------------------------------------------------------------
+// Interaction with the coordinator hot-chunk cache: batches against a
+// warm, cold or mixed cache stay bit-identical to isolated execution,
+// and cache-resident chunks never reach the dedup machinery.
+// ---------------------------------------------------------------------
+
+Rig
+makeCachedRig(uint64_t cache_bytes, size_t rows = 3000)
+{
+    Rig rig;
+    sim::ClusterConfig config;
+    config.numNodes = 9;
+    rig.cluster = std::make_unique<sim::Cluster>(config);
+    store::StoreOptions options;
+    options.cacheBytes = cache_bytes;
+    rig.store =
+        std::make_unique<store::FusionStore>(*rig.cluster, options);
+    auto file = workload::buildLineitemFile(rows, 7);
+    FUSION_CHECK(file.isOk());
+    rig.table = workload::makeLineitemTable(rows, 7);
+    FUSION_CHECK(rig.store->put("lineitem", file.value().bytes).isOk());
+    return rig;
+}
+
+/** Fetch-verdict query (quantity compresses well; high selectivity),
+ *  so cold runs admit its chunks into the coordinator cache. */
+query::Query
+cacheableQuery(const Rig &rig, double selectivity = 0.8)
+{
+    return workload::microbenchQuery(
+        "lineitem", "l_quantity",
+        rig.table.column(workload::kQuantity), selectivity);
+}
+
+TEST(SchedCacheTest, WarmBatchSkipsDedupAndMatchesIsolatedExecution)
+{
+    const uint64_t cache_bytes = 64 << 20;
+    Rig warm_rig = makeCachedRig(cache_bytes);
+    Rig solo_rig = makeCachedRig(cache_bytes);
+    query::Query q = cacheableQuery(warm_rig);
+
+    // Cold pass on both rigs admits every projection chunk.
+    ASSERT_TRUE(warm_rig.store->query(q).isOk());
+    ASSERT_TRUE(solo_rig.store->query(q).isOk());
+    ASSERT_GT(warm_rig.store->chunkCache().entryCount(), 0u);
+    obs::MetricsRegistry &reg = warm_rig.store->obs().metrics;
+    auto storage_wire = [&reg]() {
+        return reg.counter("wire.filter.request_bytes").value() +
+               reg.counter("wire.filter.reply_bytes").value() +
+               reg.counter("wire.projection.request_bytes").value() +
+               reg.counter("wire.projection.reply_bytes").value();
+    };
+    uint64_t storage_wire_before = storage_wire();
+
+    std::vector<query::Query> batch{q, q, q, q};
+    sched::SharedScanScheduler scheduler(*warm_rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        // Every projection chunk is cache-resident: the planner emits
+        // unkeyed local tasks, so nothing reaches the dedup table.
+        EXPECT_GT(outcomes.value()[i].projectionCachedLocal, 0u);
+        EXPECT_EQ(outcomes.value()[i].projectionFetches, 0u);
+        EXPECT_EQ(outcomes.value()[i].projectionPushdowns, 0u);
+        auto solo = solo_rig.store->query(q);
+        ASSERT_TRUE(solo.isOk());
+        EXPECT_EQ(resultFingerprint(outcomes.value()[i].result),
+                  resultFingerprint(solo.value().result))
+            << "query " << i;
+    }
+    const sched::BatchStats &stats = scheduler.lastBatchStats();
+    EXPECT_EQ(stats.sharedFetches, 0u);
+    EXPECT_EQ(stats.mergedPushdowns, 0u);
+    // A fully warm batch moves no storage traffic at all — the only
+    // wire left is the client request/reply exchange.
+    EXPECT_EQ(storage_wire(), storage_wire_before);
+}
+
+TEST(SchedCacheTest, ColdBatchPopulatesCacheAndLaterMembersHit)
+{
+    // Serial batch planning warms the cache mid-batch: the first
+    // member's fetch verdicts admit the chunks, and every later member
+    // of the same batch plans them as cached-local — the dedup table
+    // never even sees their movement.
+    Rig rig = makeCachedRig(64 << 20);
+    query::Query q = cacheableQuery(rig);
+    std::vector<query::Query> batch{q, q, q, q};
+
+    sched::SharedScanScheduler scheduler(*rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+    EXPECT_GT(outcomes.value()[0].projectionFetches, 0u);
+    EXPECT_EQ(outcomes.value()[0].projectionCachedLocal, 0u);
+    for (size_t i = 1; i < batch.size(); ++i) {
+        EXPECT_GT(outcomes.value()[i].projectionCachedLocal, 0u)
+            << "batch member " << i;
+        EXPECT_EQ(outcomes.value()[i].projectionFetches, 0u);
+        EXPECT_EQ(resultFingerprint(outcomes.value()[i].result),
+                  resultFingerprint(outcomes.value()[0].result));
+    }
+    EXPECT_GT(rig.store->chunkCache().entryCount(), 0u);
+}
+
+TEST(SchedCacheTest, ConvertedSharedFetchAdmitsChunksToCache)
+{
+    // A pusher (selective query) sharing chunks with a fetcher gets
+    // converted to ride the shared fetch; the conversion admits the
+    // chunk so the next batch plans it cached-local.
+    Rig rig = makeCachedRig(64 << 20);
+    query::Query pusher = cacheableQuery(rig, 0.02); // push verdict
+    query::Query fetcher = cacheableQuery(rig, 0.8); // fetch verdict
+
+    sched::SharedScanScheduler scheduler(*rig.store);
+    auto cold = scheduler.runBatch({pusher, fetcher});
+    ASSERT_TRUE(cold.isOk());
+    EXPECT_GT(scheduler.lastBatchStats().fetchConversions, 0u);
+    ASSERT_GT(rig.store->chunkCache().entryCount(), 0u);
+
+    // Both queries now evaluate from the cache, even the one whose
+    // Cost Equation said push — residency dominates.
+    auto warm = scheduler.runBatch({pusher, fetcher});
+    ASSERT_TRUE(warm.isOk());
+    for (const auto &outcome : warm.value())
+        EXPECT_GT(outcome.projectionCachedLocal, 0u);
+    for (size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(resultFingerprint(warm.value()[i].result),
+                  resultFingerprint(cold.value()[i].result));
+}
+
+TEST(SchedCacheTest, MixedCacheStateBatchMatchesIsolatedExecution)
+{
+    const uint64_t cache_bytes = 64 << 20;
+    Rig mixed_rig = makeCachedRig(cache_bytes);
+    Rig solo_rig = makeCachedRig(cache_bytes);
+
+    // Warm only the quantity chunks on both rigs.
+    ASSERT_TRUE(mixed_rig.store->query(cacheableQuery(mixed_rig)).isOk());
+    ASSERT_TRUE(solo_rig.store->query(cacheableQuery(solo_rig)).isOk());
+
+    // Batch mixes warm (quantity) and cold (extendedprice, orderkey)
+    // queries; overlap among the cold ones still dedups.
+    std::vector<query::Query> batch;
+    batch.push_back(cacheableQuery(mixed_rig));
+    batch.push_back(workload::microbenchQuery(
+        "lineitem", "l_extendedprice",
+        mixed_rig.table.column(workload::kExtendedPrice), 0.7));
+    batch.push_back(batch.back());
+    batch.push_back(workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        mixed_rig.table.column(workload::kOrderKey), 0.02));
+
+    sched::SharedScanScheduler scheduler(*mixed_rig.store);
+    auto outcomes = scheduler.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+    EXPECT_GT(outcomes.value()[0].projectionCachedLocal, 0u);
+    EXPECT_EQ(outcomes.value()[3].projectionCachedLocal, 0u);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        auto solo = solo_rig.store->query(batch[i]);
+        ASSERT_TRUE(solo.isOk());
+        EXPECT_EQ(resultFingerprint(outcomes.value()[i].result),
+                  resultFingerprint(solo.value().result))
+            << "query " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
 // Determinism across thread counts.
 // ---------------------------------------------------------------------
 

@@ -348,6 +348,134 @@ TEST(RecoveryTest, BaselineStoreSurvivesFaultsToo)
     EXPECT_GE(rig.store->faultStats().parityReconstructions, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Coordinator hot-chunk cache under faults: degraded reads must never
+// leave (or serve) a stale cache entry.
+// ---------------------------------------------------------------------
+
+TEST(RecoveryCacheTest, DegradedReadsInvalidateCachedChunks)
+{
+    Bytes object = lineitemBytes();
+    StoreOptions cached_options;
+    cached_options.cacheBytes = 64 << 20;
+    TestRig rig = makeRig(true, cached_options);
+    ASSERT_TRUE(rig.store->put("lineitem", object).isOk());
+
+    // Warm the cache: fetch verdicts admit every quantity chunk.
+    auto warm = rig.store->querySql(
+        "SELECT l_quantity FROM lineitem WHERE l_quantity < 45");
+    ASSERT_TRUE(warm.isOk());
+    ASSERT_GT(warm.value().projectionFetches, 0u);
+    ASSERT_GT(rig.store->chunkCache().entryCount(), 0u);
+
+    // Kill a node that actually holds a cached quantity chunk so the
+    // re-read is degraded.
+    const ObjectManifest &m = *rig.store->manifest("lineitem").value();
+    const size_t victim =
+        m.nodesForChunk(rig.store->chunkCache().residentKeys()[0].second)
+            .at(0);
+    rig.cluster->killNode(victim);
+    rig.store->dropCaches(); // memoization only; chunk cache survives
+
+    // A new literal forces the data plane to re-execute against the
+    // dead node: chunks with pieces there are reconstructed from
+    // parity, and each reconstruction invalidates its cache entry.
+    auto degraded = rig.store->querySql(
+        "SELECT l_quantity FROM lineitem WHERE l_quantity < 40");
+    ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
+    EXPECT_GE(rig.store->faultStats().parityReconstructions, 1u);
+
+    // No surviving entry may involve the dead node — every cached
+    // chunk that did was touched by a degraded read and dropped.
+    for (const auto &key : rig.store->chunkCache().residentKeys()) {
+        for (const auto &piece : m.chunkPieces.at(key.second))
+            EXPECT_NE(m.stripeNodes[piece.stripe][piece.blockIndex],
+                      victim)
+                << "stale cache entry for chunk " << key.second;
+    }
+
+    // And the degraded result matches a cache-off reference under the
+    // same fault — reconstructed bytes were never served stale.
+    TestRig reference = makeRig(true);
+    ASSERT_TRUE(reference.store->put("lineitem", object).isOk());
+    reference.cluster->killNode(victim);
+    reference.store->dropCaches();
+    auto expected = reference.store->querySql(
+        "SELECT l_quantity FROM lineitem WHERE l_quantity < 40");
+    ASSERT_TRUE(expected.isOk());
+    expectSameResults(degraded.value().result, expected.value().result);
+}
+
+TEST(RecoveryCacheTest, CrashReviveScheduleMatchesCacheOffReference)
+{
+    // Fault-schedule regression: a crash/revive window sweeps across a
+    // cache-enabled workload; every result must match the same
+    // timeline on a cache-off rig under the same schedule, while the
+    // cache demonstrably serves hits.
+    Bytes object = lineitemBytes();
+    std::vector<std::pair<double, query::Query>> timeline = {
+        {0.0, sql("SELECT l_quantity FROM lineitem "
+                  "WHERE l_quantity < 45")}, // warms the cache
+        {0.1, sql("SELECT l_quantity FROM lineitem "
+                  "WHERE l_quantity < 44")}, // during the crash
+        {0.2, sql("SELECT SUM(l_quantity) FROM lineitem "
+                  "WHERE l_quantity < 43")}, // still during the crash
+        {0.6, sql("SELECT l_quantity FROM lineitem "
+                  "WHERE l_quantity < 42")}, // after the revive
+    };
+
+    // Crash a node that holds a quantity chunk (placement is a pure
+    // function of the object bytes, so a probe rig finds one).
+    size_t victim;
+    {
+        StoreOptions probe_options;
+        probe_options.cacheBytes = 64 << 20;
+        TestRig probe = makeRig(true, probe_options);
+        ASSERT_TRUE(probe.store->put("lineitem", object).isOk());
+        ASSERT_TRUE(probe.store
+                        ->querySql("SELECT l_quantity FROM lineitem "
+                                   "WHERE l_quantity < 45")
+                        .isOk());
+        const auto resident = probe.store->chunkCache().residentKeys();
+        ASSERT_FALSE(resident.empty());
+        const ObjectManifest &m =
+            *probe.store->manifest("lineitem").value();
+        victim = m.nodesForChunk(resident[0].second).at(0);
+    }
+
+    auto run = [&object, &timeline, victim](uint64_t cache_bytes) {
+        StoreOptions options;
+        options.cacheBytes = cache_bytes;
+        TestRig rig = makeRig(true, options);
+        FUSION_CHECK(rig.store->put("lineitem", object).isOk());
+        sim::FaultSchedule schedule;
+        schedule.crashAt(0.05, victim).reviveAt(0.4, victim);
+        rig.faults = std::make_unique<sim::FaultInjector>(*rig.cluster,
+                                                          schedule);
+        rig.faults->arm();
+        // Drop the memoization caches inside the crash window so the
+        // 0.1+ queries re-execute their data planes against the dead
+        // node (the semantic chunk cache survives this).
+        rig.cluster->engine().scheduleAt(
+            0.08, [store = rig.store.get()]() { store->dropCaches(); });
+        auto outcomes = runAt(*rig.store, timeline);
+        return std::make_pair(std::move(rig), std::move(outcomes));
+    };
+
+    auto [cached_rig, cached] = run(64 << 20);
+    auto [plain_rig, plain] = run(0);
+    ASSERT_EQ(cached.size(), plain.size());
+    for (size_t i = 0; i < cached.size(); ++i) {
+        ASSERT_TRUE(cached[i].isOk()) << cached[i].status().toString();
+        ASSERT_TRUE(plain[i].isOk());
+        expectSameResults(cached[i].value().result,
+                          plain[i].value().result);
+    }
+    // The schedule actually bit, and the cache actually served.
+    EXPECT_GE(cached_rig.store->faultStats().degradedChunkReads, 1u);
+    EXPECT_GT(cached_rig.store->chunkCache().hits(), 0u);
+}
+
 TEST(RecoveryTest, RepairAfterMediaLossCountsReconstructions)
 {
     Bytes object = lineitemBytes();
