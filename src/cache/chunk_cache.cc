@@ -128,6 +128,7 @@ ChunkCache::admit(const std::string &object, uint32_t chunk_id,
         Slot{std::move(key), std::move(bytes), nullptr, size, false});
     index_.emplace(queue_.front().key, queue_.begin());
     sizeBytes_ += size;
+    ++admissions_;
     syncBytesGauge();
     return true;
 }

@@ -106,6 +106,11 @@ class ChunkCache
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     uint64_t evictions() const { return evictions_; }
+    /** New entries accepted (re-admissions of resident chunks are not
+     *  counted). The admission window's convert-to-shared-fetch path
+     *  asserts on this: a mid-window conversion must land the chunk's
+     *  bytes here exactly once. */
+    uint64_t admissions() const { return admissions_; }
 
     /**
      * Mirrors tallies into registry instruments: cache.chunk.hits /
@@ -146,6 +151,7 @@ class ChunkCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t admissions_ = 0;
     obs::Counter *hitCounter_ = nullptr;
     obs::Counter *missCounter_ = nullptr;
     obs::Counter *evictionCounter_ = nullptr;

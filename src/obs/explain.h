@@ -33,7 +33,11 @@ struct ExplainChunk {
     /** Why: "cost product < 1", "cost product >= 1", "node
      *  unresponsive (health fallback)", "chunk split across nodes",
      *  "aggregate-only projection", "adaptive pushdown disabled",
-     *  "cached-local". */
+     *  "cached-local". The shared-scan scheduler amends this with
+     *  "merged-pushdown" / "shared-fetch" / "load-shed" (see
+     *  sched/scheduler.h) and, when the consumer attached to a chunk
+     *  entry created at an earlier simulated instant, with
+     *  "joined-inflight". */
     std::string reason;
 
     /** The Cost Equation's left-hand side. */

@@ -14,6 +14,8 @@
 #define FUSION_QUERY_COST_H
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "format/metadata.h"
 
@@ -132,6 +134,80 @@ decideSharedProjectionPushdown(uint64_t merged_reply_bytes,
     }
     return decision;
 }
+
+/**
+ * Incremental form of the shared Cost Equation for the continuous
+ * admission window. Consumers attach to a chunk's merge state one at a
+ * time (in simulated arrival order, not batch order); each attach
+ * folds the consumer's reply subgroup in and re-evaluates the merged
+ * verdict against the live per-node load. Distinct subgroups are keyed
+ * by the pushdown share key (the filter signature): duplicate
+ * consumers share one reply and add no bytes, so the merged decision
+ * after N attaches is identical to evaluating the final consumer set
+ * at once — the verdict can only flip push -> fetch as consumers
+ * accumulate (merged reply bytes grow monotonically).
+ */
+class SharedPushdownMerge
+{
+  public:
+    SharedPushdownMerge() = default;
+    explicit SharedPushdownMerge(const format::ChunkMeta &chunk)
+        : storedSize_(chunk.storedSize), plainSize_(chunk.plainSize)
+    {
+    }
+
+    /**
+     * Folds one consumer's reply subgroup in (duplicates are free) and
+     * returns the merged decision. `node_outstanding_seconds` is the
+     * target node's live admitted-pushdown load INCLUDING this chunk's
+     * already-charged subgroups plus what this attach would add.
+     */
+    SharedPushdownDecision
+    attach(const std::string &subgroup_key, uint64_t reply_bytes,
+           double node_outstanding_seconds, double load_limit_seconds)
+    {
+        if (subgroups_.emplace(subgroup_key, reply_bytes).second)
+            mergedReplyBytes_ += reply_bytes;
+        return decide(node_outstanding_seconds, load_limit_seconds);
+    }
+
+    /** Re-evaluates the merged verdict without adding a consumer. */
+    SharedPushdownDecision
+    decide(double node_outstanding_seconds,
+           double load_limit_seconds) const
+    {
+        format::ChunkMeta chunk;
+        chunk.storedSize = storedSize_;
+        chunk.plainSize = plainSize_;
+        return decideSharedProjectionPushdown(mergedReplyBytes_, chunk,
+                                              node_outstanding_seconds,
+                                              load_limit_seconds);
+    }
+
+    uint64_t mergedReplyBytes() const { return mergedReplyBytes_; }
+    size_t subgroupCount() const { return subgroups_.size(); }
+    /** Members of `subgroup_key` so far (0 when never attached). */
+    size_t
+    subgroupMembers(const std::string &subgroup_key) const
+    {
+        auto it = members_.find(subgroup_key);
+        return it == members_.end() ? 0 : it->second;
+    }
+
+    /** Tallies one member into its subgroup (reply-sharing stats). */
+    void addMember(const std::string &subgroup_key)
+    {
+        ++members_[subgroup_key];
+    }
+
+  private:
+    uint64_t storedSize_ = 0;
+    uint64_t plainSize_ = 0;
+    uint64_t mergedReplyBytes_ = 0;
+    /** Distinct filter signatures -> reply bytes (one reply each). */
+    std::map<std::string, uint64_t> subgroups_;
+    std::map<std::string, size_t> members_;
+};
 
 } // namespace fusion::query
 

@@ -1,20 +1,13 @@
 #include "scheduler.h"
 
-#include <array>
-#include <functional>
-#include <map>
-#include <memory>
 #include <utility>
 
-#include "query/cost.h"
 #include "sim/cluster.h"
 
 namespace fusion::sched {
 
 using store::ObjectStore;
 using store::QueryOutcome;
-using SimTask = ObjectStore::SimTask;
-using QueryPlan = ObjectStore::QueryPlan;
 
 namespace {
 
@@ -59,26 +52,15 @@ chunkGroupKey(const std::string &key)
     return {};
 }
 
-/** In-flight / completed state of one deduplicated task. */
-struct SharedEntry {
-    bool issued = false;
-    bool done = false;
-    /** Continuations of consumers that arrived while in flight. */
-    std::vector<std::function<void()>> waiters;
-};
-
-/** Per-batch simulation state shared across the DES callbacks. */
-struct BatchCtx {
-    std::map<std::string, SharedEntry> table;
-    size_t queriesDone = 0;
-};
-
 } // namespace
 
 SharedScanScheduler::SharedScanScheduler(store::ObjectStore &store,
                                          const SchedOptions &options)
     : store_(store), options_(options)
 {
+    const sim::NodeConfig &nc = store.cluster().config().node;
+    nodeCapacity_ = nc.cpuRate * static_cast<double>(nc.cpuCores);
+
     obs::MetricsRegistry &reg = store.obs().metrics;
     ins_.batches = &reg.counter("sched.batches");
     ins_.queries = &reg.counter("sched.queries");
@@ -86,376 +68,628 @@ SharedScanScheduler::SharedScanScheduler(store::ObjectStore &store,
     ins_.tasksIssued = &reg.counter("sched.tasks_issued");
     ins_.sharedFetches = &reg.counter("sched.shared_fetches");
     ins_.mergedPushdowns = &reg.counter("sched.merged_pushdowns");
+    ins_.joinedInflight = &reg.counter("sched.joined_inflight");
     ins_.fetchConversions = &reg.counter("sched.fetch_conversions");
     ins_.loadSheds = &reg.counter("sched.load_sheds");
     ins_.wireBytesSaved = &reg.counter("sched.wire_bytes_saved");
+    ins_.queueWait = &reg.histogram("sched.queue_wait_seconds",
+                                    obs::exponentialBounds(1e-6, 4.0, 14));
 }
+
+// ---- handle pool ----
+
+QueryHandle *
+SharedScanScheduler::acquireHandle(uint64_t tag)
+{
+    QueryHandle *h;
+    if (!freeHandles_.empty()) {
+        h = freeHandles_.front();
+        freeHandles_.pop_front();
+    } else {
+        handles_.push_back(std::make_unique<QueryHandle>());
+        h = handles_.back().get();
+    }
+    h->tag = tag;
+    h->state_ = QueryHandle::State::kPending;
+    h->status_ = Status::ok();
+    h->outcome_ = QueryOutcome{};
+    h->submitSeconds_ = store_.cluster().engine().now();
+    h->doneSeconds_ = 0.0;
+    return h;
+}
+
+QueryHandle *
+SharedScanScheduler::failHandle(QueryHandle *h, Status status)
+{
+    h->state_ = QueryHandle::State::kDone;
+    h->status_ = std::move(status);
+    h->doneSeconds_ = h->submitSeconds_;
+    completed_.push_back(h);
+    return h;
+}
+
+// ---- admission ----
+
+QueryHandle *
+SharedScanScheduler::submit(const query::Query &q, uint64_t tag)
+{
+    QueryHandle *h = acquireHandle(tag);
+    ++stats_.queries;
+    ins_.queries->add(1);
+
+    auto planned = store_.planQueryForBatch(q);
+    if (!planned.isOk())
+        return failHandle(h, planned.status());
+
+    auto pq = std::make_shared<PendingQuery>();
+    pq->handle = h;
+    pq->seq = nextSeq_++;
+    pq->submitSeconds = h->submitSeconds_;
+    pq->plan = std::move(planned.value());
+
+    const size_t planned_tasks =
+        pq->plan->filterTasks.size() + pq->plan->projectionTasks.size();
+    stats_.tasksPlanned += planned_tasks;
+    ins_.tasksPlanned->add(planned_tasks);
+    for (const SimTask &t : pq->plan->filterTasks)
+        ++stats_.perNode[t.nodeId].tasksPlanned;
+    for (const SimTask &t : pq->plan->projectionTasks)
+        ++stats_.perNode[t.nodeId].tasksPlanned;
+
+    // Group pass: admit each per-chunk projection to the merged Cost
+    // Equation, converting groups whose verdict flips. Runs before the
+    // entry pass so a task rewritten here attaches its final key.
+    for (size_t ti = 0; ti < pq->plan->projectionTasks.size(); ++ti)
+        attachGroup(pq, ti);
+
+    // Entry pass: create-or-join one window entry per keyed task.
+    auto attach_all = [this](const std::vector<SimTask> &tasks) {
+        std::vector<std::shared_ptr<ExecEntry>> entries(tasks.size());
+        if (!options_.dedupFetches)
+            return entries; // every task runs alone, old semantics
+        for (size_t i = 0; i < tasks.size(); ++i)
+            if (!tasks[i].shareKey.empty())
+                entries[i] = attachEntry(tasks[i].shareKey);
+        return entries;
+    };
+    pq->filterEntries = attach_all(pq->plan->filterTasks);
+    pq->projEntries = attach_all(pq->plan->projectionTasks);
+
+    active_.emplace(pq->seq, pq);
+    startQueue_.push_back(std::move(pq));
+    return h;
+}
+
+QueryHandle *
+SharedScanScheduler::submitSql(const std::string &sql, uint64_t tag)
+{
+    auto q = query::parseQuery(sql);
+    if (!q.isOk())
+        return failHandle(acquireHandle(tag), q.status());
+    return submit(q.value(), tag);
+}
+
+void
+SharedScanScheduler::markOverride(PendingQuery &pq, uint32_t chunk_id,
+                                  const char *verdict, const char *reason)
+{
+    pq.overrides[chunk_id] = {verdict, reason};
+}
+
+void
+SharedScanScheduler::attachGroup(const std::shared_ptr<PendingQuery> &pq,
+                                 size_t ti)
+{
+    SimTask &t = pq->plan->projectionTasks[ti];
+    std::string gkey = chunkGroupKey(t.shareKey);
+    if (gkey.empty())
+        return;
+    const double now = store_.cluster().engine().now();
+    const bool pusher = isPushdownFamily(keyFamily(t.shareKey));
+
+    auto &slot = groupWindow_[gkey];
+    if (!slot) {
+        slot = std::make_shared<ChunkGroup>();
+        slot->key = gkey;
+        slot->createdSeconds = now;
+        slot->nodeId = t.nodeId;
+        slot->chunkId = t.chunkId;
+        format::ChunkMeta chunk;
+        chunk.storedSize = t.chunkStoredBytes;
+        chunk.plainSize = t.chunkPlainBytes;
+        slot->merge = query::SharedPushdownMerge(chunk);
+    }
+    ChunkGroup &g = *slot;
+    const bool late = now > g.createdSeconds;
+    if (late) {
+        ++stats_.joinedInflight;
+        ins_.joinedInflight->add(1);
+    }
+
+    if (!pusher) {
+        // A consumer that fetches the whole chunk to the coordinator.
+        g.hasFetcher = true;
+        g.consumers.push_back({pq, ti, false, now});
+        if (late)
+            markOverride(*pq, t.chunkId, "fetch", "joined-inflight");
+        // Pushdown replies on top of that fetch are pure extra wire:
+        // flip any admitted pushdowns to ride it.
+        if (options_.dedupFetches && !g.converted && g.pusherCount > 0)
+            convertGroup(g, "shared-fetch", false);
+        return;
+    }
+
+    if (g.converted || (g.hasFetcher && options_.dedupFetches)) {
+        // The chunk already crosses the wire whole; ride that fetch.
+        convertConsumer(*pq, ti, late ? "joined-inflight" : "shared-fetch",
+                        false);
+        g.consumers.push_back({pq, ti, true, now});
+        return;
+    }
+
+    // Incremental merged Cost Equation. The load term sees the node's
+    // live outstanding work plus what this attach would add (a new
+    // filter signature is one more storage-node execution; a duplicate
+    // shares an admitted reply and adds nothing).
+    const bool first_of_subgroup = g.merge.subgroupMembers(t.shareKey) == 0;
+    const double inc =
+        first_of_subgroup ? t.nodeCpuWork / nodeCapacity_ : 0.0;
+    auto decision =
+        g.merge.attach(t.shareKey, t.replyBytes,
+                       nodeOutstanding_[g.nodeId] + inc,
+                       options_.nodeLoadLimitSeconds);
+    g.merge.addMember(t.shareKey);
+    g.consumers.push_back({pq, ti, true, now});
+    ++g.pusherCount;
+
+    bool convert = false;
+    bool load_shed = false;
+    const char *reason = nullptr;
+    if (options_.mergePushdowns && g.pusherCount >= 2) {
+        if (!decision.push) {
+            convert = true;
+            load_shed = decision.loadShed;
+            reason = load_shed ? "load-shed" : "shared-fetch";
+        }
+    } else if (options_.nodeLoadLimitSeconds > 0.0 &&
+               nodeOutstanding_[g.nodeId] + inc >
+                   options_.nodeLoadLimitSeconds) {
+        // Singleton pushdown keeps its planner verdict unless the
+        // target node is already oversubscribed.
+        convert = true;
+        load_shed = true;
+        reason = "load-shed";
+    }
+    if (convert) {
+        convertGroup(g, reason, load_shed);
+        return;
+    }
+
+    // Admitted: charge one execution per new filter signature to the
+    // node; the charge is refunded when the execution completes (or
+    // when the group converts).
+    if (first_of_subgroup) {
+        nodeOutstanding_[g.nodeId] += inc;
+        chargedLoad_[t.shareKey] = {g.nodeId, inc};
+    }
+    // Consumers of a multi-member subgroup share one reply; re-mark
+    // the whole subgroup so every member's EXPLAIN shows the sharing
+    // (late joiners keep the more specific "joined-inflight").
+    if (g.merge.subgroupMembers(t.shareKey) >= 2) {
+        for (const GroupConsumer &c : g.consumers) {
+            const SimTask &ct = c.pq->plan->projectionTasks[c.ti];
+            if (!c.pusher || ct.shareKey != t.shareKey)
+                continue;
+            markOverride(*c.pq, ct.chunkId, "push",
+                         c.attachSeconds > g.createdSeconds
+                             ? "joined-inflight"
+                             : "merged-pushdown");
+        }
+    } else if (late) {
+        markOverride(*pq, t.chunkId, "push", "joined-inflight");
+    }
+}
+
+std::shared_ptr<SharedScanScheduler::ExecEntry>
+SharedScanScheduler::attachEntry(const std::string &key)
+{
+    auto it = execWindow_.find(key);
+    if (it != execWindow_.end()) {
+        ++it->second->consumers;
+        return it->second;
+    }
+    auto entry = std::make_shared<ExecEntry>();
+    entry->key = key;
+    entry->consumers = 1;
+    entry->createdSeconds = store_.cluster().engine().now();
+    entry->windowSpan = store_.obs().tracer.beginSpan(
+        "admission_window", "\"key\": \"" + key + "\"");
+    execWindow_.emplace(key, entry);
+    return entry;
+}
+
+void
+SharedScanScheduler::releaseEntry(const std::shared_ptr<ExecEntry> &entry)
+{
+    if (entry == nullptr)
+        return;
+    FUSION_CHECK_MSG(!entry->issued,
+                     "cannot detach from an issued window entry");
+    FUSION_CHECK(entry->consumers > 0);
+    if (--entry->consumers == 0) {
+        store_.obs().tracer.endSpan(entry->windowSpan);
+        entry->windowSpan = 0;
+        execWindow_.erase(entry->key);
+    }
+}
+
+void
+SharedScanScheduler::convertConsumer(PendingQuery &pq, size_t ti,
+                                     const char *reason, bool load_shed)
+{
+    SimTask &t = pq.plan->projectionTasks[ti];
+    t = store_.makeSharedFetchTask(t);
+    FUSION_CHECK(pq.plan->outcome.projectionPushdowns > 0);
+    --pq.plan->outcome.projectionPushdowns;
+    ++pq.plan->outcome.projectionFetches;
+    markOverride(pq, t.chunkId, "fetch", reason);
+    if (load_shed) {
+        ++stats_.loadSheds;
+        ins_.loadSheds->add(1);
+    } else {
+        ++stats_.fetchConversions;
+        ins_.fetchConversions->add(1);
+    }
+    // Consumers admitted in earlier submits already attached a window
+    // entry under the pushdown key; rebind them to the shared fetch.
+    // (The submitting query's entry pass runs after the group pass and
+    // picks up the rewritten key by itself.)
+    if (options_.dedupFetches && ti < pq.projEntries.size()) {
+        releaseEntry(pq.projEntries[ti]);
+        pq.projEntries[ti] = attachEntry(t.shareKey);
+    }
+}
+
+void
+SharedScanScheduler::convertGroup(ChunkGroup &g, const char *reason,
+                                  bool load_shed)
+{
+    // Flip every admitted pushdown consumer to the shared-fetch form
+    // of its task, refunding the pushdown load charged at admission.
+    for (const GroupConsumer &c : g.consumers) {
+        if (!c.pusher)
+            continue;
+        const std::string key = c.pq->plan->projectionTasks[c.ti].shareKey;
+        auto charged = chargedLoad_.find(key);
+        if (charged != chargedLoad_.end()) {
+            nodeOutstanding_[charged->second.first] -=
+                charged->second.second;
+            chargedLoad_.erase(charged);
+        }
+        convertConsumer(*c.pq, c.ti, reason, load_shed);
+    }
+    g.pusherCount = 0;
+    g.converted = true;
+    // The converted chunk now crosses the wire once to the
+    // coordinator — admit it so later queries plan it as
+    // "cached-local" instead of re-moving the bytes.
+    store_.admitChunkToCache(g.key.substr(0, g.key.find('|')), g.chunkId);
+}
+
+// ---- issue / drive ----
+
+void
+SharedScanScheduler::sealAtIssue(ExecEntry &entry)
+{
+    store_.obs().tracer.endSpan(entry.windowSpan);
+    entry.windowSpan = 0;
+    // Later arrivals must not join an issued transfer: the key (and
+    // its chunk group) leave the window, starting a new generation.
+    execWindow_.erase(entry.key);
+    std::string gkey = chunkGroupKey(entry.key);
+    if (!gkey.empty())
+        groupWindow_.erase(gkey);
+    // An issued pushdown's admission charge rides on the entry until
+    // the storage node finishes the work.
+    auto charged = chargedLoad_.find(entry.key);
+    if (charged != chargedLoad_.end()) {
+        entry.releaseNode = charged->second.first;
+        entry.releaseSeconds = charged->second.second;
+        chargedLoad_.erase(charged);
+    }
+}
+
+void
+SharedScanScheduler::releaseEntryLoad(ExecEntry &entry)
+{
+    if (entry.releaseSeconds > 0.0) {
+        nodeOutstanding_[entry.releaseNode] -= entry.releaseSeconds;
+        entry.releaseSeconds = 0.0;
+    }
+}
+
+void
+SharedScanScheduler::demand(const std::shared_ptr<PendingQuery> &pq,
+                            bool projection, size_t ti,
+                            const std::shared_ptr<sim::Join> &join)
+{
+    QueryPlan &plan = *pq->plan;
+    const SimTask &task =
+        projection ? plan.projectionTasks[ti] : plan.filterTasks[ti];
+    const std::shared_ptr<ExecEntry> &entry =
+        projection ? pq->projEntries[ti] : pq->filterEntries[ti];
+    const size_t coordinator = plan.coordinatorId;
+    sim::Cluster &cluster = store_.cluster();
+    obs::Tracer &tracer = store_.obs().tracer;
+
+    if (entry == nullptr) {
+        // Unkeyed (or dedup disabled): runs alone. Refund any
+        // admission charge once the work completes.
+        ++stats_.tasksIssued;
+        ins_.tasksIssued->add(1);
+        ++stats_.perNode[task.nodeId].tasksIssued;
+        store_.accountTask(task, coordinator, projection, plan.outcome);
+        auto charged = chargedLoad_.find(task.shareKey);
+        if (!task.shareKey.empty() && charged != chargedLoad_.end()) {
+            auto release = charged->second;
+            chargedLoad_.erase(charged);
+            auto wrap = std::make_shared<sim::Join>(
+                1, [this, release, join]() {
+                    nodeOutstanding_[release.first] -= release.second;
+                    join->signal();
+                });
+            store_.executeTask(task, coordinator, wrap);
+        } else {
+            store_.executeTask(task, coordinator, join);
+        }
+        return;
+    }
+
+    if (!entry->issued) {
+        entry->issued = true;
+        sealAtIssue(*entry);
+        ++stats_.tasksIssued;
+        ins_.tasksIssued->add(1);
+        ++stats_.perNode[task.nodeId].tasksIssued;
+        store_.accountTask(task, coordinator, projection, plan.outcome);
+        // The issuer's own join signal plus waiter fan-out.
+        auto fanout = std::make_shared<sim::Join>(
+            1, [this, entry, join]() {
+                entry->done = true;
+                releaseEntryLoad(*entry);
+                join->signal();
+                auto waiters = std::move(entry->waiters);
+                entry->waiters.clear();
+                for (auto &waiter : waiters)
+                    waiter();
+            });
+        store_.executeTask(task, coordinator, fanout);
+        return;
+    }
+
+    // Absorbed: the bytes are (or were) already on their way to this
+    // coordinator. Pay only the per-consumer coordinator work (select
+    // pass on the shared reply, or this task's own coord work when no
+    // cheaper shared form exists).
+    const bool push_family = isPushdownFamily(keyFamily(task.shareKey));
+    if (push_family) {
+        ++stats_.mergedPushdowns;
+        ins_.mergedPushdowns->add(1);
+    } else {
+        ++stats_.sharedFetches;
+        ins_.sharedFetches->add(1);
+    }
+    if (task.nodeId != coordinator) {
+        uint64_t saved = task.requestBytes + task.replyBytes;
+        stats_.wireBytesSaved += saved;
+        ins_.wireBytesSaved->add(saved);
+    }
+    double coord_work = task.consumerSelectWork > 0.0
+                            ? task.consumerSelectWork
+                            : task.coordCpuWork;
+    plan.outcome.cpuSeconds +=
+        coord_work / cluster.config().node.cpuRate;
+    uint64_t wait_span = tracer.beginSpan(
+        "sched_wait", "\"key\": \"" + task.shareKey + "\"");
+    sim::StorageNode *coord = &cluster.node(coordinator);
+    const double demanded = cluster.engine().now();
+    auto complete = [this, coord, coord_work, join, wait_span,
+                     demanded]() {
+        ins_.queueWait->observe(store_.cluster().engine().now() -
+                                demanded);
+        store_.obs().tracer.endSpan(wait_span);
+        coord->cpu().acquire(coord_work, [join]() { join->signal(); });
+    };
+    if (entry->done)
+        complete();
+    else
+        entry->waiters.push_back(std::move(complete));
+}
+
+void
+SharedScanScheduler::startQuery(const std::shared_ptr<PendingQuery> &pq)
+{
+    sim::Cluster &cluster = store_.cluster();
+    obs::Tracer &tracer = store_.obs().tracer;
+    sim::StorageNode *client = &cluster.client();
+    sim::StorageNode *coord = &cluster.node(pq->plan->coordinatorId);
+
+    pq->spans[0] = tracer.beginSpan(
+        "query",
+        "\"seq\": " + std::to_string(pq->seq) +
+            ", \"tag\": " + std::to_string(pq->handle->tag) +
+            ", \"filter_tasks\": " +
+            std::to_string(pq->plan->filterTasks.size()) +
+            ", \"projection_tasks\": " +
+            std::to_string(pq->plan->projectionTasks.size()));
+
+    auto finish = [this, pq, client, coord]() {
+        store_.obs().tracer.endSpan(pq->spans[2]);
+        store_.cluster().transfer(*coord, *client,
+                                  pq->plan->clientReplyBytes,
+                                  [this, pq]() { complete(pq); });
+    };
+
+    auto projection_stage = [this, pq, coord, finish]() {
+        obs::Tracer &t = store_.obs().tracer;
+        t.endSpan(pq->spans[1]);
+        pq->spans[2] = t.beginSpan("projection_stage");
+        coord->cpu().acquire(
+            pq->plan->interStageCoordWork, [this, pq, finish]() {
+                auto join = std::make_shared<sim::Join>(
+                    pq->plan->projectionTasks.size(), finish);
+                for (size_t ti = 0;
+                     ti < pq->plan->projectionTasks.size(); ++ti)
+                    demand(pq, true, ti, join);
+            });
+    };
+
+    auto filter_stage = [this, pq, projection_stage]() {
+        pq->spans[1] = store_.obs().tracer.beginSpan("filter_stage");
+        auto join = std::make_shared<sim::Join>(
+            pq->plan->filterTasks.size(), projection_stage);
+        for (size_t ti = 0; ti < pq->plan->filterTasks.size(); ++ti)
+            demand(pq, false, ti, join);
+    };
+
+    auto start_plan = [this, pq, filter_stage]() {
+        if (pq->plan->extraLatencySeconds > 0.0)
+            store_.cluster().engine().schedule(
+                pq->plan->extraLatencySeconds, filter_stage);
+        else
+            filter_stage();
+    };
+
+    cluster.transfer(*client, *coord, store_.options().clientRequestBytes,
+                     start_plan);
+}
+
+void
+SharedScanScheduler::complete(const std::shared_ptr<PendingQuery> &pq)
+{
+    sim::Cluster &cluster = store_.cluster();
+    QueryPlan &plan = *pq->plan;
+    plan.outcome.latencySeconds =
+        cluster.engine().now() - pq->submitSeconds;
+    store_.queryLatencyHistogram().observe(plan.outcome.latencySeconds);
+    store_.accountClientExchange(plan.clientReplyBytes, plan.outcome);
+
+    // Re-attach the amended EXPLAIN report. All of this query's chunk
+    // groups are sealed by now, so the overrides are final.
+    if (!pq->overrides.empty() && plan.outcome.explain != nullptr) {
+        obs::QueryExplain amended = *plan.outcome.explain;
+        for (auto &pc : amended.projections) {
+            auto it = pq->overrides.find(pc.chunkId);
+            if (it == pq->overrides.end())
+                continue;
+            pc.verdict = it->second.first;
+            pc.reason = it->second.second;
+        }
+        plan.outcome.explain =
+            std::make_shared<const obs::QueryExplain>(std::move(amended));
+    }
+
+    store_.obs().tracer.endSpan(pq->spans[0]);
+
+    QueryHandle *h = pq->handle;
+    h->outcome_ = plan.outcome;
+    h->status_ = Status::ok();
+    h->doneSeconds_ = cluster.engine().now();
+    h->state_ = QueryHandle::State::kDone;
+    lastDoneSeconds_ = h->doneSeconds_;
+    completed_.push_back(h);
+    active_.erase(pq->seq);
+}
+
+void
+SharedScanScheduler::startPending()
+{
+    while (!startQueue_.empty()) {
+        auto pq = std::move(startQueue_.front());
+        startQueue_.pop_front();
+        pq->started = true;
+        startQuery(pq);
+    }
+}
+
+QueryHandle *
+SharedScanScheduler::awaitAny()
+{
+    obs::Tracer &tracer = store_.obs().tracer;
+    sim::SimEngine &engine = store_.cluster().engine();
+    uint64_t span = tracer.beginSpan("handle_await", "\"mode\": \"any\"");
+    startPending();
+    while (completed_.empty() && engine.step())
+        startPending();
+    tracer.endSpan(span);
+    if (completed_.empty())
+        return nullptr;
+    QueryHandle *h = completed_.front();
+    completed_.pop_front();
+    freeHandles_.push_back(h);
+    return h;
+}
+
+void
+SharedScanScheduler::awaitAll()
+{
+    obs::Tracer &tracer = store_.obs().tracer;
+    sim::SimEngine &engine = store_.cluster().engine();
+    uint64_t span = tracer.beginSpan("handle_await", "\"mode\": \"all\"");
+    startPending();
+    while (engine.step())
+        startPending();
+    tracer.endSpan(span);
+    FUSION_CHECK_MSG(active_.empty(),
+                     "await_all left queries in flight");
+}
+
+// ---- closed-batch compatibility wrappers ----
 
 Result<std::vector<QueryOutcome>>
 SharedScanScheduler::runBatch(const std::vector<query::Query> &batch)
 {
     stats_ = BatchStats{};
-    stats_.queries = batch.size();
     ins_.batches->add(1);
-    ins_.queries->add(batch.size());
     if (batch.empty())
         return std::vector<QueryOutcome>{};
 
-    // ---- phase 1: plan every query (serial, deterministic order) ----
-    std::vector<std::shared_ptr<QueryPlan>> plans;
-    plans.reserve(batch.size());
-    for (const auto &q : batch) {
-        auto plan = store_.planQueryForBatch(q);
-        if (!plan.isOk())
-            return plan.status();
-        plans.push_back(std::move(plan.value()));
-    }
-    for (const auto &plan : plans)
-        stats_.tasksPlanned +=
-            plan->filterTasks.size() + plan->projectionTasks.size();
-    ins_.tasksPlanned->add(stats_.tasksPlanned);
-
-    // ---- phase 2: shared Cost Equation over merged consumer sets ----
-    // Projection tasks are grouped by (object, chunk); each group's
-    // verdict is recomputed against what the whole batch will actually
-    // move. Groups are visited in sorted key order and node load
-    // accumulates across them, so the admission decisions are
-    // deterministic.
-    struct Member {
-        size_t qi; // query index
-        size_t ti; // index into that plan's projectionTasks
-    };
-    std::map<std::string, std::vector<Member>> groups;
-    for (size_t qi = 0; qi < plans.size(); ++qi) {
-        const auto &tasks = plans[qi]->projectionTasks;
-        for (size_t ti = 0; ti < tasks.size(); ++ti) {
-            std::string group = chunkGroupKey(tasks[ti].shareKey);
-            if (!group.empty())
-                groups[group].push_back({qi, ti});
-        }
-    }
-
-    const sim::NodeConfig &nc = store_.cluster().config().node;
-    const double node_capacity =
-        nc.cpuRate * static_cast<double>(nc.cpuCores);
-    std::map<size_t, double> node_load_seconds;
-    // Per-query EXPLAIN amendments: chunkId -> (verdict, reason).
-    std::vector<std::map<uint32_t, std::pair<const char *, const char *>>>
-        overrides(plans.size());
-
-    for (const auto &[group_key, members] : groups) {
-        std::vector<Member> pushers, fetchers;
-        for (const Member &m : members) {
-            const SimTask &t = plans[m.qi]->projectionTasks[m.ti];
-            if (isPushdownFamily(keyFamily(t.shareKey)))
-                pushers.push_back(m);
-            else
-                fetchers.push_back(m);
-        }
-        if (pushers.empty())
-            continue;
-        const SimTask &rep = plans[pushers[0].qi]
-                                 ->projectionTasks[pushers[0].ti];
-        const size_t node = rep.nodeId;
-
-        bool convert = false;
-        bool load_shed = false;
-        const char *reason = nullptr;
-
-        // Distinct filter signatures = distinct merged replies; one
-        // execution per subgroup if the group stays pushed down.
-        std::map<std::string, const SimTask *> subgroups;
-        for (const Member &m : pushers) {
-            const SimTask &t = plans[m.qi]->projectionTasks[m.ti];
-            subgroups.emplace(t.shareKey, &t);
-        }
-
-        if (!fetchers.empty() && options_.dedupFetches) {
-            // Some consumer already fetches this whole chunk to the
-            // coordinator; pushdown replies on top of that fetch are
-            // pure extra wire. Ride the shared fetch instead.
-            convert = true;
-            reason = "shared-fetch";
-        } else if (options_.mergePushdowns && pushers.size() >= 2) {
-            uint64_t merged_reply = 0;
-            double subgroup_load = 0.0;
-            for (const auto &[key, task] : subgroups) {
-                merged_reply += task->replyBytes;
-                subgroup_load += task->nodeCpuWork / node_capacity;
-            }
-            format::ChunkMeta chunk;
-            chunk.storedSize = rep.chunkStoredBytes;
-            chunk.plainSize = rep.chunkPlainBytes;
-            // Load term uses the projected load: what the node would
-            // owe if this subgroup were admitted on top of the batch
-            // work already assigned to it.
-            auto decision = query::decideSharedProjectionPushdown(
-                merged_reply, chunk,
-                node_load_seconds[node] + subgroup_load,
-                options_.nodeLoadLimitSeconds);
-            if (!decision.push) {
-                convert = true;
-                load_shed = decision.loadShed;
-                reason = load_shed ? "load-shed" : "shared-fetch";
-            }
-        } else if (options_.nodeLoadLimitSeconds > 0.0 &&
-                   node_load_seconds[node] +
-                           rep.nodeCpuWork / node_capacity >
-                       options_.nodeLoadLimitSeconds) {
-            // Singleton pushdown keeps its planner verdict unless the
-            // target node is already oversubscribed by this batch.
-            convert = true;
-            load_shed = true;
-            reason = "load-shed";
-        }
-
-        if (!convert) {
-            // Admit: charge one execution per subgroup to the node.
-            for (const auto &[key, task] : subgroups)
-                node_load_seconds[node] +=
-                    task->nodeCpuWork / node_capacity;
-            // Consumers of a multi-member subgroup share one reply.
-            for (const auto &[key, task] : subgroups) {
-                size_t count = 0;
-                for (const Member &m : pushers)
-                    if (plans[m.qi]->projectionTasks[m.ti].shareKey ==
-                        key)
-                        ++count;
-                if (count < 2)
-                    continue;
-                for (const Member &m : pushers)
-                    if (plans[m.qi]->projectionTasks[m.ti].shareKey ==
-                        key)
-                        overrides[m.qi][task->chunkId] = {
-                            "push", "merged-pushdown"};
-            }
-            continue;
-        }
-
-        // Convert every pushdown consumer to a shared chunk fetch; the
-        // chunk crosses the wire once and each consumer pays only its
-        // own decode/select work at the coordinator.
-        for (const Member &m : pushers) {
-            QueryPlan &plan = *plans[m.qi];
-            SimTask &t = plan.projectionTasks[m.ti];
-            SimTask fetch;
-            fetch.nodeId = t.nodeId;
-            fetch.requestBytes = store_.options().requestRpcBytes;
-            fetch.diskBytes = t.chunkStoredBytes;
-            fetch.nodeCpuWork = 0.0;
-            fetch.replyBytes = t.chunkStoredBytes;
-            fetch.coordCpuWork = t.fetchDecodeWork;
-            fetch.label = "chunk_fetch";
-            fetch.shareKey = "cfetch|" + group_key;
-            fetch.chunkId = t.chunkId;
-            fetch.selectivity = t.selectivity;
-            fetch.chunkStoredBytes = t.chunkStoredBytes;
-            fetch.chunkPlainBytes = t.chunkPlainBytes;
-            fetch.fetchDecodeWork = t.fetchDecodeWork;
-            fetch.consumerSelectWork = t.consumerSelectWork;
-            t = std::move(fetch);
-            FUSION_CHECK(plan.outcome.projectionPushdowns > 0);
-            --plan.outcome.projectionPushdowns;
-            ++plan.outcome.projectionFetches;
-            overrides[m.qi][t.chunkId] = {"fetch", reason};
-            if (load_shed) {
-                ++stats_.loadSheds;
-                ins_.loadSheds->add(1);
-            } else {
-                ++stats_.fetchConversions;
-                ins_.fetchConversions->add(1);
-            }
-        }
-        // The converted chunk now crosses the wire once to the
-        // coordinator — admit it so later queries (and batches) plan
-        // it as "cached-local" instead of re-moving the bytes.
-        store_.admitChunkToCache(group_key.substr(0, group_key.find('|')),
-                                 rep.chunkId);
-    }
-
-    // Re-attach amended EXPLAIN reports.
-    for (size_t qi = 0; qi < plans.size(); ++qi) {
-        if (overrides[qi].empty() || !plans[qi]->outcome.explain)
-            continue;
-        obs::QueryExplain amended = *plans[qi]->outcome.explain;
-        for (auto &pc : amended.projections) {
-            auto it = overrides[qi].find(pc.chunkId);
-            if (it == overrides[qi].end())
-                continue;
-            pc.verdict = it->second.first;
-            pc.reason = it->second.second;
-        }
-        plans[qi]->outcome.explain =
-            std::make_shared<const obs::QueryExplain>(std::move(amended));
-    }
-
-    // ---- phase 3: concurrent simulation with task dedup ----
     sim::Cluster &cluster = store_.cluster();
     obs::Tracer &tracer = store_.obs().tracer;
-    auto ctx = std::make_shared<BatchCtx>();
     const double batch_start = cluster.engine().now();
-    const double cpu_rate = nc.cpuRate;
 
-    std::vector<QueryOutcome> outcomes(plans.size());
-    size_t done_count = 0;
+    std::vector<QueryHandle *> handles;
+    handles.reserve(batch.size());
+    for (const auto &q : batch)
+        handles.push_back(submit(q));
 
     uint64_t batch_span = tracer.beginSpan(
         "shared_scan",
         "\"queries\": " + std::to_string(batch.size()) +
-            ", \"tasks_planned\": " + std::to_string(stats_.tasksPlanned));
+            ", \"tasks_planned\": " +
+            std::to_string(stats_.tasksPlanned));
+    awaitAll();
+    stats_.makespanSeconds =
+        lastDoneSeconds_ > batch_start ? lastDoneSeconds_ - batch_start
+                                       : 0.0;
+    tracer.endSpan(batch_span);
 
-    // Demands a task's execution. Unkeyed (or dedup-disabled) tasks run
-    // directly; keyed tasks run once and fan their completion out to
-    // every later consumer, which pays only coordinator-side work.
-    auto demand = [this, ctx, &cluster, &tracer, cpu_rate](
-                      const SimTask &task, QueryPlan &plan,
-                      bool projection_stage,
-                      std::shared_ptr<sim::Join> join) {
-        const size_t coordinator = plan.coordinatorId;
-        if (task.shareKey.empty() || !options_.dedupFetches) {
-            ++stats_.tasksIssued;
-            ins_.tasksIssued->add(1);
-            store_.accountTask(task, coordinator, projection_stage,
-                               plan.outcome);
-            store_.executeTask(task, coordinator, join);
-            return;
-        }
-        SharedEntry &entry = ctx->table[task.shareKey];
-        if (!entry.issued) {
-            entry.issued = true;
-            ++stats_.tasksIssued;
-            ins_.tasksIssued->add(1);
-            store_.accountTask(task, coordinator, projection_stage,
-                               plan.outcome);
-            // The issuer's own join signal plus waiter fan-out.
-            auto fanout = std::make_shared<sim::Join>(
-                1, [ctx, key = task.shareKey, join]() {
-                    SharedEntry &e = ctx->table[key];
-                    e.done = true;
-                    join->signal();
-                    auto waiters = std::move(e.waiters);
-                    e.waiters.clear();
-                    for (auto &waiter : waiters)
-                        waiter();
-                });
-            store_.executeTask(task, coordinator, fanout);
-            return;
-        }
-
-        // Absorbed: the bytes are (or were) already on their way to
-        // this coordinator. Pay only the per-consumer coordinator work
-        // (select pass on the shared reply, or this task's own coord
-        // work when no cheaper shared form exists).
-        const bool push_family = isPushdownFamily(keyFamily(task.shareKey));
-        if (push_family) {
-            ++stats_.mergedPushdowns;
-            ins_.mergedPushdowns->add(1);
-        } else {
-            ++stats_.sharedFetches;
-            ins_.sharedFetches->add(1);
-        }
-        if (task.nodeId != coordinator) {
-            uint64_t saved = task.requestBytes + task.replyBytes;
-            stats_.wireBytesSaved += saved;
-            ins_.wireBytesSaved->add(saved);
-        }
-        double coord_work = task.consumerSelectWork > 0.0
-                                ? task.consumerSelectWork
-                                : task.coordCpuWork;
-        plan.outcome.cpuSeconds += coord_work / cpu_rate;
-        uint64_t wait_span = tracer.beginSpan(
-            "sched_wait", "\"key\": \"" + task.shareKey + "\"");
-        sim::StorageNode *coord = &cluster.node(coordinator);
-        auto complete = [&tracer, coord, coord_work, join, wait_span]() {
-            tracer.endSpan(wait_span);
-            coord->cpu().acquire(coord_work,
-                                 [join]() { join->signal(); });
-        };
-        if (entry.done)
-            complete();
-        else
-            entry.waiters.push_back(std::move(complete));
-    };
-
-    // Drive each query's two-stage flow; all queries are admitted at
-    // the same simulated instant and progress concurrently.
-    for (size_t qi = 0; qi < plans.size(); ++qi) {
-        auto plan = plans[qi];
-        sim::StorageNode *client = &cluster.client();
-        sim::StorageNode *coord = &cluster.node(plan->coordinatorId);
-
-        auto spans = std::make_shared<std::array<uint64_t, 3>>();
-        (*spans)[0] = tracer.beginSpan(
-            "query", "\"batch_index\": " + std::to_string(qi) +
-                         ", \"filter_tasks\": " +
-                         std::to_string(plan->filterTasks.size()) +
-                         ", \"projection_tasks\": " +
-                         std::to_string(plan->projectionTasks.size()));
-
-        auto finish = [this, &tracer, &cluster, &outcomes, &done_count,
-                       ctx, plan, qi, client, coord, batch_start, spans,
-                       batch_span, total = plans.size()]() {
-            tracer.endSpan((*spans)[2]);
-            cluster.transfer(
-                *coord, *client, plan->clientReplyBytes,
-                [this, &tracer, &cluster, &outcomes, &done_count, ctx,
-                 plan, qi, batch_start, spans, batch_span, total]() {
-                    plan->outcome.latencySeconds =
-                        cluster.engine().now() - batch_start;
-                    store_.queryLatencyHistogram().observe(
-                        plan->outcome.latencySeconds);
-                    store_.accountClientExchange(plan->clientReplyBytes,
-                                                 plan->outcome);
-                    tracer.endSpan((*spans)[0]);
-                    outcomes[qi] = plan->outcome;
-                    if (++done_count == total) {
-                        ctx->queriesDone = done_count;
-                        stats_.makespanSeconds =
-                            cluster.engine().now() - batch_start;
-                        tracer.endSpan(batch_span);
-                    }
-                });
-        };
-
-        auto projection_stage = [this, &tracer, plan, demand, finish,
-                                 coord, spans]() {
-            tracer.endSpan((*spans)[1]);
-            (*spans)[2] = tracer.beginSpan("projection_stage");
-            coord->cpu().acquire(
-                plan->interStageCoordWork, [this, plan, demand,
-                                            finish]() {
-                    auto join = std::make_shared<sim::Join>(
-                        plan->projectionTasks.size(), finish);
-                    for (const auto &task : plan->projectionTasks)
-                        demand(task, *plan, true, join);
-                });
-        };
-
-        auto filter_stage = [this, &tracer, plan, demand,
-                             projection_stage, spans]() {
-            (*spans)[1] = tracer.beginSpan("filter_stage");
-            auto join = std::make_shared<sim::Join>(
-                plan->filterTasks.size(), projection_stage);
-            for (const auto &task : plan->filterTasks)
-                demand(task, *plan, false, join);
-        };
-
-        auto start_plan = [this, &cluster, plan, filter_stage]() {
-            if (plan->extraLatencySeconds > 0.0)
-                cluster.engine().schedule(plan->extraLatencySeconds,
-                                          filter_stage);
-            else
-                filter_stage();
-        };
-
-        cluster.transfer(*client, *coord,
-                         store_.options().clientRequestBytes,
-                         start_plan);
+    std::vector<QueryOutcome> outcomes;
+    outcomes.reserve(batch.size());
+    Status error = Status::ok();
+    for (QueryHandle *h : handles) {
+        if (!h->status().isOk() && error.isOk())
+            error = h->status();
+        outcomes.push_back(h->outcome());
     }
-
-    cluster.engine().run();
-    FUSION_CHECK_MSG(done_count == plans.size(),
-                     "shared-scan batch did not complete");
+    // Recycle the batch's handles back into the submit pool (outcomes
+    // were copied out above, so reuse cannot clobber them).
+    while (!completed_.empty()) {
+        freeHandles_.push_back(completed_.front());
+        completed_.pop_front();
+    }
+    if (!error.isOk())
+        return error;
     return outcomes;
 }
 

@@ -9,17 +9,25 @@ SimEngine::scheduleAt(SimTime when, std::function<void()> fn)
     queue_.push(Event{when, nextSeq_++, std::move(fn)});
 }
 
+bool
+SimEngine::step()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top returns const&; the event must be copied
+    // out before pop so its callback can schedule more events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++eventsProcessed_;
+    event.fn();
+    return true;
+}
+
 void
 SimEngine::run()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top returns const&; the event must be copied
-        // out before pop so its callback can schedule more events.
-        Event event = queue_.top();
-        queue_.pop();
-        now_ = event.time;
-        ++eventsProcessed_;
-        event.fn();
+    while (step()) {
     }
 }
 

@@ -39,6 +39,14 @@ class SimEngine
     /** Schedules `fn` at an absolute time >= now(). */
     void scheduleAt(SimTime when, std::function<void()> fn);
 
+    /**
+     * Processes the single earliest event and advances the clock to
+     * it. Returns false (and leaves the clock alone) when the queue is
+     * empty. Incremental drivers — the shared-scan scheduler's
+     * awaitAny — interleave steps with their own completion checks.
+     */
+    bool step();
+
     /** Runs events until the queue is empty. */
     void run();
 

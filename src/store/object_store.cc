@@ -1132,6 +1132,34 @@ ObjectStore::accountClientExchange(uint64_t reply_bytes,
     ins_.wireClientReply->add(reply_bytes);
 }
 
+ObjectStore::SimTask
+ObjectStore::makeSharedFetchTask(const SimTask &pushdown) const
+{
+    // "ppush|object|chunk|sig" (or apush) -> "cfetch|object|chunk".
+    size_t p1 = pushdown.shareKey.find('|');
+    size_t p2 = pushdown.shareKey.find('|', p1 + 1);
+    size_t p3 = pushdown.shareKey.find('|', p2 + 1);
+    FUSION_CHECK_MSG(p3 != std::string::npos,
+                     "not a per-chunk pushdown task");
+    SimTask fetch;
+    fetch.nodeId = pushdown.nodeId;
+    fetch.requestBytes = options_.requestRpcBytes;
+    fetch.diskBytes = pushdown.chunkStoredBytes;
+    fetch.nodeCpuWork = 0.0;
+    fetch.replyBytes = pushdown.chunkStoredBytes;
+    fetch.coordCpuWork = pushdown.fetchDecodeWork;
+    fetch.label = "chunk_fetch";
+    fetch.shareKey =
+        "cfetch|" + pushdown.shareKey.substr(p1 + 1, p3 - p1 - 1);
+    fetch.chunkId = pushdown.chunkId;
+    fetch.selectivity = pushdown.selectivity;
+    fetch.chunkStoredBytes = pushdown.chunkStoredBytes;
+    fetch.chunkPlainBytes = pushdown.chunkPlainBytes;
+    fetch.fetchDecodeWork = pushdown.fetchDecodeWork;
+    fetch.consumerSelectWork = pushdown.consumerSelectWork;
+    return fetch;
+}
+
 void
 ObjectStore::accountPlanResources(QueryPlan &plan) const
 {

@@ -353,6 +353,16 @@ class ObjectStore
     void accountClientExchange(uint64_t reply_bytes,
                                QueryOutcome &out) const;
 
+    /**
+     * The shared-fetch form of a planned projection pushdown: the
+     * compressed chunk crosses the wire once to the coordinator, which
+     * pays the decode; the pushdown's shared-scan metadata rides along
+     * so every converted consumer keys the same `cfetch|obj|chunk`
+     * transfer. The admission window calls this when a chunk's merged
+     * Cost Equation verdict flips to fetch before its transfer issued.
+     */
+    SimTask makeSharedFetchTask(const SimTask &pushdown) const;
+
     /** The store's query-latency histogram (scheduler records into the
      *  same instrument queryAsync uses). */
     obs::Histogram &queryLatencyHistogram() { return *ins_.queryLatency; }

@@ -4,9 +4,15 @@
  * sharded chunk-location map it leans on, cross-query dedup (shared
  * fetches, merged pushdowns, load shedding) with the sched.* metrics
  * and EXPLAIN reasons they emit, result equivalence against isolated
- * execution, wire-byte savings on overlapping batches, and the
- * determinism contract — scheduler metrics, trace and EXPLAIN output
- * byte-identical across FUSION_THREADS values.
+ * execution, wire-byte savings on overlapping batches, the async
+ * QueryHandle API (reusable handles, caller tags, awaitAny harvest
+ * order), the continuous admission window (pre-issue joins with the
+ * "joined-inflight" EXPLAIN reason, the issue-time generation
+ * boundary, mid-window conversion to shared fetch with cache
+ * admission, per-node dedup stats), and the determinism contract —
+ * scheduler metrics, trace and EXPLAIN output byte-identical across
+ * FUSION_THREADS values, including open-loop arrivals under a crash
+ * fault schedule.
  */
 #include <gtest/gtest.h>
 
@@ -19,6 +25,7 @@
 #include "query/parser.h"
 #include "sched/scheduler.h"
 #include "sim/cluster.h"
+#include "sim/fault.h"
 #include "store/fusion_store.h"
 #include "workload/lineitem.h"
 #include "workload/queries.h"
@@ -579,6 +586,409 @@ TEST(SchedDeterminismTest, RepeatRunsAreByteIdentical)
     EXPECT_EQ(a.metricsJson, b.metricsJson);
     EXPECT_EQ(a.traceJson, b.traceJson);
     EXPECT_EQ(a.explainJson, b.explainJson);
+}
+
+// ---------------------------------------------------------------------
+// Async QueryHandle API: submit / awaitAny / awaitAll, reusable
+// handles with caller tags, and runBatch as a thin wrapper.
+// ---------------------------------------------------------------------
+
+TEST(AsyncHandleTest, SubmitAwaitMatchesIsolatedExecution)
+{
+    Rig rig = makeRig();
+    Rig solo_rig = makeRig();
+    auto batch = overlappingBatch(rig, 6, 0.5);
+
+    sched::SharedScanScheduler scheduler(*rig.store);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        sched::QueryHandle *h = scheduler.submit(batch[i], i);
+        EXPECT_TRUE(h->pending());
+        EXPECT_EQ(h->tag, i);
+    }
+    EXPECT_EQ(scheduler.inFlight(), batch.size());
+
+    // Harvest in completion order; every tag appears exactly once and
+    // each outcome is bit-identical to isolated execution.
+    std::vector<bool> seen(batch.size(), false);
+    size_t harvested = 0;
+    double prev_done = 0.0;
+    while (sched::QueryHandle *h = scheduler.awaitAny()) {
+        ASSERT_TRUE(h->done());
+        ASSERT_TRUE(h->status().isOk());
+        ASSERT_LT(h->tag, batch.size());
+        EXPECT_FALSE(seen[h->tag]);
+        seen[h->tag] = true;
+        EXPECT_GT(h->sojournSeconds(), 0.0);
+        EXPECT_GE(h->completionSeconds(), prev_done); // FIFO harvest
+        prev_done = h->completionSeconds();
+        auto solo = solo_rig.store->query(batch[h->tag]);
+        ASSERT_TRUE(solo.isOk());
+        EXPECT_EQ(resultFingerprint(h->outcome().result),
+                  resultFingerprint(solo.value().result))
+            << "tag " << h->tag;
+        ++harvested;
+    }
+    EXPECT_EQ(harvested, batch.size());
+    EXPECT_EQ(scheduler.inFlight(), 0u);
+}
+
+TEST(AsyncHandleTest, IdleAwaitAndFailedSubmit)
+{
+    Rig rig = makeRig();
+    sched::SharedScanScheduler scheduler(*rig.store);
+    EXPECT_EQ(scheduler.awaitAny(), nullptr);
+    scheduler.awaitAll(); // no-op on an empty window
+    EXPECT_EQ(scheduler.inFlight(), 0u);
+
+    // A statement that cannot be parsed completes its handle
+    // immediately with the error; nothing enters the window.
+    sched::QueryHandle *bad = scheduler.submitSql("NOT SQL", 99);
+    ASSERT_NE(bad, nullptr);
+    EXPECT_TRUE(bad->done());
+    EXPECT_FALSE(bad->status().isOk());
+    EXPECT_EQ(bad->tag, 99u);
+    EXPECT_EQ(scheduler.inFlight(), 0u);
+    EXPECT_EQ(scheduler.awaitAny(), bad);
+}
+
+TEST(AsyncHandleTest, HandleReuseAfterCompletion)
+{
+    Rig rig = makeRig();
+    Rig solo_rig = makeRig();
+    query::Query q1 = workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        rig.table.column(workload::kOrderKey), 0.02);
+    query::Query q2 = workload::microbenchQuery(
+        "lineitem", "l_partkey",
+        rig.table.column(workload::kPartKey), 0.03);
+
+    sched::SharedScanScheduler scheduler(*rig.store);
+    sched::QueryHandle *h1 = scheduler.submit(q1, 11);
+    scheduler.awaitAll();
+    EXPECT_TRUE(h1->done());
+    EXPECT_EQ(scheduler.completedPending(), 1u);
+    EXPECT_EQ(scheduler.awaitAny(), h1);
+
+    // The harvested handle is recycled by the next submit; its state
+    // and tag are overwritten for the new query.
+    sched::QueryHandle *h2 = scheduler.submit(q2, 22);
+    EXPECT_EQ(h2, h1);
+    EXPECT_TRUE(h2->pending());
+    EXPECT_EQ(h2->tag, 22u);
+    EXPECT_EQ(scheduler.awaitAny(), h2);
+    EXPECT_TRUE(h2->done());
+    auto solo = solo_rig.store->query(q2);
+    ASSERT_TRUE(solo.isOk());
+    EXPECT_EQ(resultFingerprint(h2->outcome().result),
+              resultFingerprint(solo.value().result));
+}
+
+TEST(AsyncHandleTest, RunBatchIsAWrapperOverSubmitAwaitAll)
+{
+    Rig batch_rig = makeRig();
+    Rig async_rig = makeRig();
+    auto batch = overlappingBatch(batch_rig, 8, 0.5);
+
+    sched::SharedScanScheduler batch_sched(*batch_rig.store);
+    auto outcomes = batch_sched.runBatch(batch);
+    ASSERT_TRUE(outcomes.isOk());
+
+    sched::SharedScanScheduler async_sched(*async_rig.store);
+    std::vector<sched::QueryHandle *> handles;
+    for (size_t i = 0; i < batch.size(); ++i)
+        handles.push_back(async_sched.submit(batch[i], i));
+    async_sched.awaitAll();
+
+    for (size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(resultFingerprint(handles[i]->outcome().result),
+                  resultFingerprint(outcomes.value()[i].result))
+            << "query " << i;
+    const sched::BatchStats &a = batch_sched.lastBatchStats();
+    const sched::BatchStats &b = async_sched.windowStats();
+    EXPECT_EQ(a.tasksPlanned, b.tasksPlanned);
+    EXPECT_EQ(a.tasksIssued, b.tasksIssued);
+    EXPECT_EQ(a.sharedFetches, b.sharedFetches);
+    EXPECT_EQ(a.mergedPushdowns, b.mergedPushdowns);
+    EXPECT_EQ(a.wireBytesSaved, b.wireBytesSaved);
+}
+
+// ---------------------------------------------------------------------
+// Continuous admission window: pre-issue joins, the issue boundary,
+// conversion in place mid-window, and per-node dedup accounting.
+// ---------------------------------------------------------------------
+
+TEST(AdmissionWindowTest, LateArrivalJoinsPendingChunkEntry)
+{
+    Rig rig = makeRig(3000, /*observe=*/true);
+    Rig solo_rig = makeRig();
+    query::Query q = workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        rig.table.column(workload::kOrderKey), 0.02);
+
+    // The second query arrives 100 us in — while the first query's
+    // client request is still on the wire, so its planned chunk work
+    // is pending (not yet issued) and the late arrival joins it.
+    sched::SharedScanScheduler scheduler(*rig.store);
+    sched::QueryHandle *h1 = scheduler.submit(q, 1);
+    sched::QueryHandle *h2 = nullptr;
+    rig.cluster->engine().scheduleAt(
+        1e-4, [&scheduler, &q, &h2]() { h2 = scheduler.submit(q, 2); });
+    scheduler.awaitAll();
+    ASSERT_NE(h2, nullptr);
+    ASSERT_TRUE(h1->done() && h2->done());
+    EXPECT_GT(h2->submitSeconds(), h1->submitSeconds());
+
+    const sched::BatchStats &stats = scheduler.windowStats();
+    EXPECT_GT(stats.joinedInflight, 0u);
+    EXPECT_GT(stats.mergedPushdowns, 0u); // absorbed at demand time
+    EXPECT_GT(stats.wireBytesSaved, 0u);
+
+    // The late joiner's EXPLAIN says so; the creator keeps the
+    // closed-batch reason.
+    ASSERT_NE(h2->outcome().explain, nullptr);
+    bool joined_reason = false;
+    for (const auto &pc : h2->outcome().explain->projections)
+        if (pc.reason == "joined-inflight") {
+            joined_reason = true;
+            EXPECT_EQ(pc.verdict, "push");
+        }
+    EXPECT_TRUE(joined_reason);
+    ASSERT_NE(h1->outcome().explain, nullptr);
+    for (const auto &pc : h1->outcome().explain->projections)
+        EXPECT_NE(pc.reason, "joined-inflight");
+
+    // Joining never changes results.
+    auto solo = solo_rig.store->query(q);
+    ASSERT_TRUE(solo.isOk());
+    for (sched::QueryHandle *h : {h1, h2})
+        EXPECT_EQ(resultFingerprint(h->outcome().result),
+                  resultFingerprint(solo.value().result));
+
+    // Satellite observability: queue-wait histogram and window spans.
+    std::string metrics =
+        rig.store->obs().metrics.snapshot().toJson();
+    EXPECT_NE(metrics.find("sched.queue_wait_seconds"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("sched.joined_inflight"), std::string::npos);
+    std::string trace = rig.store->obs().tracer.toChromeJson("fusion");
+    EXPECT_NE(trace.find("\"admission_window\""), std::string::npos);
+    EXPECT_NE(trace.find("\"handle_await\""), std::string::npos);
+}
+
+TEST(AdmissionWindowTest, ArrivalAfterIssueStartsNewGeneration)
+{
+    Rig rig = makeRig();
+    query::Query q = workload::microbenchQuery(
+        "lineitem", "l_orderkey",
+        rig.table.column(workload::kOrderKey), 0.02);
+
+    sched::SharedScanScheduler scheduler(*rig.store);
+    sched::QueryHandle *h1 = scheduler.submit(q, 1);
+    scheduler.awaitAll();
+    const sched::BatchStats first = scheduler.windowStats();
+    EXPECT_GT(first.tasksIssued, 0u);
+
+    // Same query after every transfer issued and completed: nothing to
+    // join — every task issues again as a fresh generation.
+    sched::QueryHandle *h2 = scheduler.submit(q, 2);
+    scheduler.awaitAll();
+    const sched::BatchStats &second = scheduler.windowStats();
+    EXPECT_EQ(second.tasksIssued, 2 * first.tasksIssued);
+    EXPECT_EQ(second.mergedPushdowns, first.mergedPushdowns);
+    EXPECT_EQ(second.sharedFetches, first.sharedFetches);
+    EXPECT_EQ(second.joinedInflight, 0u);
+    EXPECT_EQ(second.wireBytesSaved, first.wireBytesSaved);
+    EXPECT_EQ(resultFingerprint(h1->outcome().result),
+              resultFingerprint(h2->outcome().result));
+}
+
+TEST(AdmissionWindowTest, ConvertToSharedFetchMidWindow)
+{
+    Rig rig = makeCachedRig(64 << 20);
+    rig.store->obs().explainEnabled = true;
+    Rig solo_rig = makeCachedRig(64 << 20);
+    query::Query pusher = cacheableQuery(rig, 0.02); // push verdict
+    query::Query fetcher = cacheableQuery(rig, 0.8); // fetch verdict
+    query::Query later = cacheableQuery(rig, 0.5);
+
+    // The pusher is admitted alone (its chunks stay pushdowns); the
+    // fetcher arrives mid-window and fetches the same chunks whole, so
+    // the pending pushdowns convert in place to ride the shared fetch,
+    // admitting the chunk bytes into the hot-chunk cache. The third
+    // arrival then plans entirely cached-local.
+    sched::SharedScanScheduler scheduler(*rig.store);
+    sched::QueryHandle *hp = scheduler.submit(pusher, 1);
+    sched::QueryHandle *hf = nullptr;
+    sched::QueryHandle *hl = nullptr;
+    sim::SimEngine &engine = rig.cluster->engine();
+    engine.scheduleAt(1e-4, [&scheduler, &fetcher, &hf]() {
+        hf = scheduler.submit(fetcher, 2);
+    });
+    engine.scheduleAt(2e-4, [&scheduler, &later, &hl]() {
+        hl = scheduler.submit(later, 3);
+    });
+    scheduler.awaitAll();
+    ASSERT_NE(hf, nullptr);
+    ASSERT_NE(hl, nullptr);
+
+    const sched::BatchStats &stats = scheduler.windowStats();
+    EXPECT_GT(stats.fetchConversions, 0u);
+    EXPECT_GT(stats.joinedInflight, 0u);
+
+    // Every pending pushdown of the first query flipped to a fetch.
+    EXPECT_EQ(hp->outcome().projectionPushdowns, 0u);
+    EXPECT_GT(hp->outcome().projectionFetches, 0u);
+    ASSERT_NE(hp->outcome().explain, nullptr);
+    bool converted_reason = false;
+    for (const auto &pc : hp->outcome().explain->projections)
+        if (pc.reason == "shared-fetch") {
+            converted_reason = true;
+            EXPECT_EQ(pc.verdict, "fetch");
+        }
+    EXPECT_TRUE(converted_reason);
+    ASSERT_NE(hf->outcome().explain, nullptr);
+    bool joined_reason = false;
+    for (const auto &pc : hf->outcome().explain->projections)
+        if (pc.reason == "joined-inflight")
+            joined_reason = true;
+    EXPECT_TRUE(joined_reason);
+
+    // Conversion landed the chunk bytes in the cache mid-stream.
+    EXPECT_GT(rig.store->chunkCache().admissions(), 0u);
+    EXPECT_GT(rig.store->chunkCache().entryCount(), 0u);
+    EXPECT_GT(hl->outcome().projectionCachedLocal, 0u);
+
+    for (sched::QueryHandle *h : {hp, hf, hl}) {
+        auto solo = solo_rig.store->query(
+            h == hp ? pusher : (h == hf ? fetcher : later));
+        ASSERT_TRUE(solo.isOk());
+        EXPECT_EQ(resultFingerprint(h->outcome().result),
+                  resultFingerprint(solo.value().result));
+    }
+}
+
+TEST(AdmissionWindowTest, PerNodeDedupStats)
+{
+    Rig rig = makeRig();
+    auto batch = overlappingBatch(rig, 8, 0.5);
+    sched::SharedScanScheduler scheduler(*rig.store);
+    ASSERT_TRUE(scheduler.runBatch(batch).isOk());
+
+    const sched::BatchStats &stats = scheduler.lastBatchStats();
+    ASSERT_FALSE(stats.perNode.empty());
+    size_t planned = 0, issued = 0;
+    bool some_node_dedups = false;
+    for (const auto &[node, ns] : stats.perNode) {
+        planned += ns.tasksPlanned;
+        issued += ns.tasksIssued;
+        EXPECT_LE(ns.tasksIssued, ns.tasksPlanned) << "node " << node;
+        if (ns.dedupRate() > 0.0)
+            some_node_dedups = true;
+    }
+    EXPECT_EQ(planned, stats.tasksPlanned);
+    EXPECT_EQ(issued, stats.tasksIssued);
+    EXPECT_TRUE(some_node_dedups);
+    EXPECT_GT(stats.dedupRate(), 0.0);
+    EXPECT_LT(stats.dedupRate(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop determinism: staggered arrivals under a crash fault
+// schedule stay byte-identical across FUSION_THREADS values, and every
+// result stays bit-identical to isolated execution.
+// ---------------------------------------------------------------------
+
+struct OpenLoopRun {
+    std::string order; // tag@completion:fingerprint lines
+    std::map<uint64_t, std::string> fingerprints;
+    std::string metricsJson;
+    std::string traceJson;
+    std::string explainJson;
+};
+
+OpenLoopRun
+runOpenLoopWorkload(size_t threads)
+{
+    ThreadPool::setSharedThreads(threads);
+    Rig rig = makeRig(3000, /*observe=*/true);
+
+    // Node 3 crashes while arrivals are still streaming in and comes
+    // back after the window drains: later arrivals plan degraded
+    // (reconstruction) paths, earlier in-flight work keeps going.
+    sim::FaultSchedule schedule;
+    schedule.crashAt(0.0015, 3).reviveAt(0.02, 3);
+    sim::FaultInjector faults(*rig.cluster, schedule);
+    faults.arm();
+
+    auto batch = overlappingBatch(rig, 6, 0.5);
+    sched::SharedScanScheduler scheduler(*rig.store);
+    sim::SimEngine &engine = rig.cluster->engine();
+    for (size_t i = 0; i < batch.size(); ++i)
+        engine.scheduleAt(5e-4 * static_cast<double>(i),
+                          [&scheduler, &batch, i]() {
+                              scheduler.submit(batch[i], i);
+                          });
+    scheduler.awaitAll();
+
+    OpenLoopRun run;
+    while (sched::QueryHandle *h = scheduler.awaitAny()) {
+        FUSION_CHECK(h->status().isOk());
+        std::string fp = resultFingerprint(h->outcome().result);
+        run.order += std::to_string(h->tag) + "@" +
+                     std::to_string(h->completionSeconds()) + ":" + fp +
+                     "\n";
+        run.fingerprints[h->tag] = fp;
+        if (h->outcome().explain != nullptr) {
+            run.explainJson += h->outcome().explain->toJson();
+            run.explainJson += "\n";
+        }
+    }
+    run.metricsJson = rig.store->obs().metrics.snapshot().toJson();
+    run.traceJson = rig.store->obs().tracer.toChromeJson("fusion");
+    ThreadPool::setSharedThreads(1);
+    return run;
+}
+
+TEST(OpenLoopDeterminismTest, CrashScheduleByteIdenticalAcrossThreads)
+{
+    OpenLoopRun serial = runOpenLoopWorkload(1);
+    EXPECT_NE(serial.metricsJson.find("sched.queue_wait_seconds"),
+              std::string::npos);
+    EXPECT_NE(serial.traceJson.find("\"admission_window\""),
+              std::string::npos);
+    EXPECT_NE(serial.traceJson.find("\"handle_await\""),
+              std::string::npos);
+    EXPECT_EQ(serial.fingerprints.size(), 6u);
+
+    for (size_t threads : {2, 4}) {
+        OpenLoopRun other = runOpenLoopWorkload(threads);
+        EXPECT_EQ(serial.order, other.order)
+            << "completion order diverged at FUSION_THREADS=" << threads;
+        EXPECT_EQ(serial.metricsJson, other.metricsJson)
+            << "metrics diverged at FUSION_THREADS=" << threads;
+        EXPECT_EQ(serial.traceJson, other.traceJson)
+            << "trace diverged at FUSION_THREADS=" << threads;
+        EXPECT_EQ(serial.explainJson, other.explainJson)
+            << "EXPLAIN diverged at FUSION_THREADS=" << threads;
+    }
+    OpenLoopRun repeat = runOpenLoopWorkload(1);
+    EXPECT_EQ(serial.order, repeat.order);
+    EXPECT_EQ(serial.traceJson, repeat.traceJson);
+}
+
+TEST(OpenLoopDeterminismTest, ResultsMatchIsolatedExecution)
+{
+    OpenLoopRun run = runOpenLoopWorkload(1);
+    Rig solo_rig = makeRig();
+    auto batch = overlappingBatch(solo_rig, 6, 0.5);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        auto solo = solo_rig.store->query(batch[i]);
+        ASSERT_TRUE(solo.isOk());
+        ASSERT_TRUE(run.fingerprints.count(i)) << "tag " << i;
+        EXPECT_EQ(run.fingerprints[i],
+                  resultFingerprint(solo.value().result))
+            << "tag " << i;
+    }
 }
 
 } // namespace

@@ -322,5 +322,47 @@ TEST(LintRepo, CacheModuleIsClean)
     EXPECT_EQ(leaks, 0u) << msg;
 }
 
+/** The rewritten admission-window scheduler must stay lint-clean: it
+ *  is the repo's densest callback/lifetime code, exactly where the
+ *  lint rules earn their keep. */
+TEST(LintRepo, SchedModuleIsClean)
+{
+    const fs::path dir = fs::path(FUSION_LINT_SOURCE_ROOT) / "src/sched";
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    std::vector<std::string> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp")
+            files.push_back(entry.path().generic_string());
+    }
+    std::sort(files.begin(), files.end());
+    ASSERT_GT(files.size(), 1u) << "sched module scan set empty";
+
+    std::vector<std::string> unorderedNames;
+    std::vector<std::pair<std::string, std::string>> contents;
+    for (const std::string &file : files) {
+        contents.emplace_back(file, readFile(file));
+        for (auto &n : collectUnorderedNames(contents.back().second))
+            unorderedNames.push_back(std::move(n));
+    }
+    std::sort(unorderedNames.begin(), unorderedNames.end());
+
+    std::string msg;
+    size_t leaks = 0;
+    for (const auto &[file, content] : contents) {
+        FileReport report = lintSource(file, content,
+                                       Options::defaults(),
+                                       unorderedNames);
+        for (const Finding &f : report.findings) {
+            ++leaks;
+            msg += f.file + ":" + std::to_string(f.line) + ": [" +
+                   f.rule + "] " + f.message + "\n";
+        }
+    }
+    EXPECT_EQ(leaks, 0u) << msg;
+}
+
 } // namespace
 } // namespace fusion::lint
