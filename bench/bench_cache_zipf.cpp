@@ -40,6 +40,7 @@
 
 #include "benchutil/harness.h"
 #include "common/random.h"
+#include "obs/timeseries.h"
 #include "sim/cluster.h"
 #include "store/fusion_store.h"
 #include "workload/lineitem.h"
@@ -123,6 +124,8 @@ struct CellResult {
     double p99 = 0.0;
     double hitRate = 0.0;
     uint64_t evictions = 0;
+    /** Decayed-heat top chunks, captured before the rig dies. */
+    std::vector<obs::ChunkHeatTable::HotChunk> hottest;
 };
 
 /**
@@ -154,7 +157,25 @@ runCell(size_t num_objects, size_t rows, uint64_t cache_bytes,
                     : static_cast<double>(cache.hits()) /
                           static_cast<double>(looked);
     cell.evictions = cache.evictions();
+    cell.hottest = rig.store->obs().telemetry.heat().hottest(
+        rig.cluster->engine().now(), 8);
     return cell;
+}
+
+/** Renders the decayed-heat leaderboard the telemetry layer keeps per
+ *  (object, chunk) — the skew the cache exploits, as the heat table
+ *  sees it. */
+void
+printHeatReport(const CellResult &cell, double theta, double frac)
+{
+    std::printf("hottest chunks (decayed heat, theta=%.2f cache=%.0f%% "
+                "of working set):\n",
+                theta, frac * 100.0);
+    benchutil::TablePrinter heat({"object", "chunk", "heat"});
+    for (const auto &hot : cell.hottest)
+        heat.addRow({hot.object, benchutil::fmt("%u", hot.chunk),
+                     benchutil::fmt("%.2f", hot.heat)});
+    heat.print();
 }
 
 void
@@ -243,7 +264,8 @@ main(int argc, char **argv)
         else if (arg.rfind("--tolerance=", 0) == 0)
             tolerance = std::atof(arg.c_str() + 12);
         else if (arg.rfind("--trace-out=", 0) == 0 ||
-                 arg.rfind("--metrics-out=", 0) == 0)
+                 arg.rfind("--metrics-out=", 0) == 0 ||
+                 arg.rfind("--timeseries-out=", 0) == 0)
             continue; // consumed by obsInit
         else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -275,6 +297,7 @@ main(int argc, char **argv)
          "on p99 ms", "hit rate", "evictions"});
 
     int acceptance_failures = 0;
+    CellResult heat_cell; // the acceptance cell's heat leaderboard
     for (double theta : thetas) {
         // One rank trace per theta, shared by every cache size so the
         // cells see byte-identical reference streams.
@@ -322,6 +345,9 @@ main(int argc, char **argv)
                  benchutil::fmt("%llu", static_cast<unsigned long long>(
                                             on.evictions))});
 
+            if (theta == 0.99 && frac == 0.10)
+                heat_cell = on;
+
             // Acceptance: high skew with a cache a tenth of the working
             // set must cut wire bytes >= 30% and lower the tail.
             if (theta == 0.99 && frac == 0.10 &&
@@ -340,6 +366,11 @@ main(int argc, char **argv)
         }
     }
     table.print();
+
+    if (!heat_cell.hottest.empty()) {
+        std::printf("\n");
+        printHeatReport(heat_cell, 0.99, 0.10);
+    }
 
     writeJson(out_path, quick, metrics);
     std::printf("wrote %s\n", out_path.c_str());

@@ -489,7 +489,8 @@ main(int argc, char **argv)
         else if (arg.rfind("--tolerance=", 0) == 0)
             tolerance = std::atof(arg.c_str() + 12);
         else if (arg.rfind("--trace-out=", 0) == 0 ||
-                 arg.rfind("--metrics-out=", 0) == 0)
+                 arg.rfind("--metrics-out=", 0) == 0 ||
+                 arg.rfind("--timeseries-out=", 0) == 0)
             continue; // consumed by obsInit
         else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

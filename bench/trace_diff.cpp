@@ -67,7 +67,8 @@ bool
 stablePrefix(const std::string &name)
 {
     return name.rfind("wire.", 0) == 0 || name.rfind("fault.", 0) == 0 ||
-           name.rfind("sched.", 0) == 0 || name.rfind("cache.", 0) == 0;
+           name.rfind("sched.", 0) == 0 || name.rfind("cache.", 0) == 0 ||
+           name.rfind("health.", 0) == 0;
 }
 
 /** Pulls scalar `"name": number` pairs out of a flat JSON object,

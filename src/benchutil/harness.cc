@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace fusion::benchutil {
 
@@ -12,6 +13,8 @@ namespace {
 ObsOptions g_obs_options;
 std::vector<obs::TraceProcess> g_trace_processes;
 obs::MetricsSnapshot g_metrics_accum;
+/** (process label, obs::Telemetry::toJson snapshot) per collection. */
+std::vector<std::pair<std::string, std::string>> g_timeseries_docs;
 size_t g_collect_seq = 0;
 
 void
@@ -27,6 +30,18 @@ obsWriteOutputs()
     if (!g_obs_options.traceOut.empty())
         obs::writeTextFile(g_obs_options.traceOut,
                            obs::chromeTraceJson(g_trace_processes));
+    if (!g_obs_options.timeseriesOut.empty()) {
+        std::string out = "{\n\"timeseries\": [";
+        for (size_t i = 0; i < g_timeseries_docs.size(); ++i) {
+            if (i)
+                out += ",";
+            out += "\n{\"process\": \"" + g_timeseries_docs[i].first +
+                   "\", \"snapshot\": " + g_timeseries_docs[i].second +
+                   "}";
+        }
+        out += "\n]\n}\n";
+        obs::writeTextFile(g_obs_options.timeseriesOut, out);
+    }
 }
 
 } // namespace
@@ -46,6 +61,8 @@ obsInit(int argc, char **argv)
             g_obs_options.traceOut = v;
         else if (const char *v = flag_value(argv[i], "--metrics-out"))
             g_obs_options.metricsOut = v;
+        else if (const char *v = flag_value(argv[i], "--timeseries-out"))
+            g_obs_options.timeseriesOut = v;
         // Unknown flags belong to the bench; leave them alone.
     }
     if (g_obs_options.traceOut.empty())
@@ -54,6 +71,9 @@ obsInit(int argc, char **argv)
     if (g_obs_options.metricsOut.empty())
         if (const char *env = std::getenv("FUSION_METRICS_OUT"))
             g_obs_options.metricsOut = env;
+    if (g_obs_options.timeseriesOut.empty())
+        if (const char *env = std::getenv("FUSION_TIMESERIES_OUT"))
+            g_obs_options.timeseriesOut = env;
     if (g_obs_options.enabled()) {
         static bool registered = false;
         if (!registered) {
@@ -77,15 +97,20 @@ obsOptions()
 void
 obsCollect(store::ObjectStore &store)
 {
+    if (!g_obs_options.enabled())
+        return;
+    const std::string label = std::string(store.kindName()) + "#" +
+                              std::to_string(g_collect_seq++);
+    if (!g_obs_options.timeseriesOut.empty())
+        g_timeseries_docs.emplace_back(
+            label, store.obs().telemetry.toJson(
+                       store.cluster().engine().now()));
     if (g_obs_options.traceOut.empty())
         return;
     auto spans = store.obs().tracer.takeSpans();
     if (spans.empty())
         return;
-    g_trace_processes.push_back(
-        {std::string(store.kindName()) + "#" +
-             std::to_string(g_collect_seq++),
-         std::move(spans)});
+    g_trace_processes.push_back({label, std::move(spans)});
 }
 
 RunStats
@@ -103,6 +128,8 @@ runClosedLoop(store::ObjectStore &store, const RunConfig &config,
     if (obs_on) {
         if (!g_obs_options.traceOut.empty())
             store.obs().tracer.setEnabled(true);
+        if (!g_obs_options.timeseriesOut.empty())
+            store.obs().telemetry.flight().setEnabled(true);
         metrics_start = store.obs().metrics.snapshot();
     }
 

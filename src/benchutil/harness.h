@@ -92,21 +92,28 @@ void banner(const std::string &id, const std::string &title);
 struct ObsOptions {
     std::string traceOut;   // Chrome trace_event JSON (Perfetto-loadable)
     std::string metricsOut; // merged metrics snapshot JSON
+    /** Windowed-telemetry snapshots (obs::Telemetry::toJson), one per
+     *  collected store, wrapped as {"timeseries": [...]}. */
+    std::string timeseriesOut;
 
     bool
     enabled() const
     {
-        return !traceOut.empty() || !metricsOut.empty();
+        return !traceOut.empty() || !metricsOut.empty() ||
+               !timeseriesOut.empty();
     }
 };
 
 /**
- * Parses `--trace-out=FILE` / `--metrics-out=FILE` from argv (env
- * fallback: FUSION_TRACE_OUT / FUSION_METRICS_OUT), ignoring flags it
+ * Parses `--trace-out=FILE` / `--metrics-out=FILE` /
+ * `--timeseries-out=FILE` from argv (env fallback: FUSION_TRACE_OUT /
+ * FUSION_METRICS_OUT / FUSION_TIMESERIES_OUT), ignoring flags it
  * does not know, and registers an atexit writer for the requested
- * files. Call first thing in every bench main. When either output is
+ * files. Call first thing in every bench main. When any output is
  * requested, store rigs enable their tracers and runClosedLoop
- * accumulates per-run metric deltas and drains spans automatically.
+ * accumulates per-run metric deltas and drains spans automatically;
+ * the timeseries output additionally enables each driven store's
+ * flight recorder.
  */
 void obsInit(int argc, char **argv);
 

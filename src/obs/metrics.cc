@@ -6,9 +6,7 @@
 
 namespace fusion::obs {
 
-namespace {
-
-/** Shortest round-trippable decimal for a double, canonicalized. */
+/** See metrics.h. */
 std::string
 formatDouble(double v)
 {
@@ -16,8 +14,6 @@ formatDouble(double v)
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
-
-} // namespace
 
 // ---------------------------------------------------------------------
 // Histogram
@@ -81,6 +77,47 @@ exponentialBounds(double first, double factor, size_t count)
     return bounds;
 }
 
+double
+histogramPercentile(const SnapshotValue &v, double p)
+{
+    uint64_t n = 0;
+    for (uint64_t c : v.buckets)
+        n += c;
+    if (n == 0 || v.bounds.empty())
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    const double h = static_cast<double>(n - 1) * p / 100.0;
+    uint64_t before = 0;
+    for (size_t i = 0; i < v.buckets.size(); ++i) {
+        const uint64_t c = v.buckets[i];
+        if (c == 0)
+            continue;
+        if (h < static_cast<double>(before + c) ||
+            before + c == n) {
+            // Overflow bucket: unbounded above, clamp to the last
+            // bound so the estimate never invents a value.
+            if (i == v.bounds.size())
+                return v.bounds.back();
+            const double lo = i == 0 ? 0.0 : v.bounds[i - 1];
+            const double hi = v.bounds[i];
+            const double pos =
+                (h - static_cast<double>(before) + 0.5) /
+                static_cast<double>(c);
+            double value = lo + (hi - lo) * pos;
+            if (value < lo)
+                value = lo;
+            if (value > hi)
+                value = hi;
+            return value;
+        }
+        before += c;
+    }
+    return v.bounds.back();
+}
+
 // ---------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------
@@ -118,7 +155,10 @@ MetricsSnapshot::toJson() const
             out += "], \"counts\": [";
             for (size_t i = 0; i < v.buckets.size(); ++i)
                 out += (i ? ", " : "") + std::to_string(v.buckets[i]);
-            out += "]}";
+            out += "], \"p50\": " + formatDouble(histogramPercentile(v, 50.0));
+            out += ", \"p95\": " + formatDouble(histogramPercentile(v, 95.0));
+            out += ", \"p99\": " + formatDouble(histogramPercentile(v, 99.0));
+            out += "}";
             break;
           }
         }

@@ -175,6 +175,10 @@ class Histogram
 std::vector<double> exponentialBounds(double first, double factor,
                                       size_t count);
 
+/** Shortest round-trippable decimal for a double (%.17g), shared by
+ *  every canonical telemetry JSON emitter. */
+std::string formatDouble(double v);
+
 /** One folded metric value in a snapshot. */
 struct SnapshotValue {
     enum class Kind { kCounter, kDouble, kGauge, kHistogram };
@@ -186,6 +190,16 @@ struct SnapshotValue {
 
     bool operator==(const SnapshotValue &other) const;
 };
+
+/**
+ * Interpolated percentile (p in [0, 100]) reconstructed analytically
+ * from a histogram snapshot's bucket counts: the inclusive rank
+ * h = (n-1)·p/100 (SampleHistogram::percentileInterpolated's
+ * convention) is located in the cumulative counts and mapped to a
+ * value linearly inside the containing bucket; the overflow bucket
+ * clamps to the last bound. 0 when the histogram is empty.
+ */
+double histogramPercentile(const SnapshotValue &v, double p);
 
 /** Point-in-time fold of a registry: sorted name -> value. */
 struct MetricsSnapshot {

@@ -11,6 +11,7 @@
 
 #include "explain.h"
 #include "metrics.h"
+#include "timeseries.h"
 #include "trace.h"
 
 namespace fusion::obs {
@@ -19,6 +20,8 @@ namespace fusion::obs {
 struct Observability {
     MetricsRegistry metrics;
     Tracer tracer;
+    /** Windowed telemetry: node health, chunk heat, flight recorder. */
+    Telemetry telemetry;
     /** When true, FusionStore::query fills QueryOutcome::explain. */
     bool explainEnabled = false;
 };

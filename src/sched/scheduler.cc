@@ -234,10 +234,17 @@ SharedScanScheduler::attachGroup(const std::shared_ptr<PendingQuery> &pq,
     const bool first_of_subgroup = g.merge.subgroupMembers(t.shareKey) == 0;
     const double inc =
         first_of_subgroup ? t.nodeCpuWork / nodeCapacity_ : 0.0;
+    // The load-shed term is scaled by the target node's health score
+    // (obs/timeseries.h): a node working through retries/timeouts
+    // advertises less capacity, so pushdowns convert to coordinator
+    // fetches earlier. Healthy nodes score exactly 1.0, leaving the
+    // configured limit untouched.
+    const double load_limit =
+        options_.nodeLoadLimitSeconds *
+        store_.obs().telemetry.health().score(g.nodeId, now);
     auto decision =
         g.merge.attach(t.shareKey, t.replyBytes,
-                       nodeOutstanding_[g.nodeId] + inc,
-                       options_.nodeLoadLimitSeconds);
+                       nodeOutstanding_[g.nodeId] + inc, load_limit);
     g.merge.addMember(t.shareKey);
     g.consumers.push_back({pq, ti, true, now});
     ++g.pusherCount;
@@ -252,8 +259,7 @@ SharedScanScheduler::attachGroup(const std::shared_ptr<PendingQuery> &pq,
             reason = load_shed ? "load-shed" : "shared-fetch";
         }
     } else if (options_.nodeLoadLimitSeconds > 0.0 &&
-               nodeOutstanding_[g.nodeId] + inc >
-                   options_.nodeLoadLimitSeconds) {
+               nodeOutstanding_[g.nodeId] + inc > load_limit) {
         // Singleton pushdown keeps its planner verdict unless the
         // target node is already oversubscribed.
         convert = true;
@@ -571,7 +577,8 @@ SharedScanScheduler::complete(const std::shared_ptr<PendingQuery> &pq)
     QueryPlan &plan = *pq->plan;
     plan.outcome.latencySeconds =
         cluster.engine().now() - pq->submitSeconds;
-    store_.queryLatencyHistogram().observe(plan.outcome.latencySeconds);
+    store_.recordQueryLatency(cluster.engine().now(),
+                              plan.outcome.latencySeconds);
     store_.accountClientExchange(plan.clientReplyBytes, plan.outcome);
 
     // Re-attach the amended EXPLAIN report. All of this query's chunk

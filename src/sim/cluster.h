@@ -8,7 +8,9 @@
 #ifndef FUSION_SIM_CLUSTER_H
 #define FUSION_SIM_CLUSTER_H
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -77,6 +79,43 @@ class Cluster
         faultInjector_ = injector;
     }
 
+    /**
+     * Observer of applied fault-schedule events. Arguments: simulated
+     * seconds, static_cast<int>(FaultKind), node id, slow factor.
+     * Primitive arguments keep this header free of fault.h (which
+     * includes cluster.h). Listeners run on the driver thread, in
+     * registration order, after the event has been applied.
+     */
+    using FaultEventListener =
+        std::function<void(double, int, size_t, double)>;
+
+    /** Registers a listener; returns an id for removeFaultListener. */
+    size_t addFaultListener(FaultEventListener listener)
+    {
+        faultListeners_.emplace_back(++nextFaultListenerId_,
+                                     std::move(listener));
+        return nextFaultListenerId_;
+    }
+
+    void removeFaultListener(size_t id)
+    {
+        for (auto it = faultListeners_.begin();
+             it != faultListeners_.end(); ++it) {
+            if (it->first == id) {
+                faultListeners_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Called by FaultInjector::apply after stamping the event. */
+    void notifyFaultEvent(double seconds, int kind, size_t node,
+                          double slow_factor) const
+    {
+        for (const auto &[id, listener] : faultListeners_)
+            listener(seconds, kind, node, slow_factor);
+    }
+
     uint64_t totalNetworkBytes() const { return totalNetworkBytes_; }
     void resetTrafficStats() { totalNetworkBytes_ = 0; }
 
@@ -91,6 +130,8 @@ class Cluster
     Rng placementRng_;
     uint64_t totalNetworkBytes_ = 0;
     FaultInjector *faultInjector_ = nullptr;
+    std::vector<std::pair<size_t, FaultEventListener>> faultListeners_;
+    size_t nextFaultListenerId_ = 0;
 };
 
 } // namespace fusion::sim

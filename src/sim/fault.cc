@@ -221,6 +221,9 @@ FaultInjector::apply(const FaultEvent &event)
     FaultEvent stamped = event;
     stamped.time = cluster_.engine().now();
     applied_.push_back(stamped);
+    cluster_.notifyFaultEvent(stamped.time,
+                              static_cast<int>(stamped.kind),
+                              stamped.nodeId, stamped.slowFactor);
 }
 
 std::string

@@ -109,6 +109,8 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                                 std::to_string(chunk_id) + "|" +
                                 column_filter_sig(col_name);
                 task.chunkId = chunk_id;
+                obs_.telemetry.heat().recordAccess(
+                    cluster_.engine().now(), manifest.name, chunk_id);
                 plan.filterTasks.push_back(std::move(task));
                 warm_chunks.insert({node, chunk_id});
                 ++plan.outcome.filterChunkPushdowns;
@@ -226,6 +228,11 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 task.fetchDecodeWork = chunkDecodeWork(chunk);
                 task.consumerSelectWork = chunkSelectWork(chunk);
             };
+
+            // Every projection-stage task (push or fetch) is one more
+            // access for the chunk-heat table.
+            obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
+                                               manifest.name, chunk_id);
 
             if (options_.aggregatePushdown && aggregate_only) {
                 // Node returns a (count, sum, min, max) scalar tuple.

@@ -71,6 +71,47 @@ ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
     // 100 us .. ~10 s in x2 steps covers the simulated latency range.
     ins_.queryLatency = &reg.histogram(
         "query.latency_seconds", obs::exponentialBounds(1e-4, 2.0, 17));
+
+    // Windowed telemetry (obs/timeseries.h): per-node health scores
+    // feeding the adaptive retry budget and the scheduler's load-shed
+    // term, the chunk-heat table and the crash flight recorder. Health
+    // gauges are registered for every node up front so snapshots keep
+    // a stable key set.
+    obs_.telemetry.health().configure(cluster_.numNodes(),
+                                      obs_.telemetry.options());
+    lastBand_.assign(cluster_.numNodes(),
+                     obs::NodeHealthTracker::Band::kHealthy);
+    ins_.healthGauges.reserve(cluster_.numNodes());
+    for (size_t node = 0; node < cluster_.numNodes(); ++node) {
+        obs::Gauge &gauge =
+            reg.gauge("health.node." + std::to_string(node));
+        gauge.set(1.0);
+        ins_.healthGauges.push_back(&gauge);
+    }
+    ins_.healthUpdates = &reg.counter("health.updates");
+    ins_.flightDumps = &reg.counter("health.flight_dumps");
+    faultListenerId_ = cluster_.addFaultListener(
+        [this](double seconds, int kind, size_t node,
+               double slow_factor) {
+            onFaultEvent(seconds, kind, node, slow_factor);
+        });
+}
+
+ObjectStore::~ObjectStore()
+{
+    cluster_.removeFaultListener(faultListenerId_);
+}
+
+void
+ObjectStore::recordQueryLatency(double now_seconds,
+                                double latency_seconds)
+{
+    ins_.queryLatency->observe(latency_seconds);
+    obs_.telemetry.window("query.latency_seconds")
+        .observe(now_seconds, latency_seconds);
+    obs_.telemetry.flight().record(
+        now_seconds, "query",
+        "\"latency_seconds\": " + obs::formatDouble(latency_seconds));
 }
 
 ObjectStore::FaultStats
@@ -401,6 +442,12 @@ ObjectStore::fetchBlockWithRetry(const ObjectManifest &manifest,
 
     double when = cluster_.engine().now();
     double backoff = options_.retryBackoffBaseSeconds;
+    // The budget is fixed at read entry: a node's health band decides
+    // how much backoff this read may burn before declaring the block
+    // lost (healthy nodes keep the configured budget, so fault-free
+    // runs are unchanged).
+    const size_t budget = retryBudgetFor(node_id, when);
+    obs::NodeHealthTracker &health = obs_.telemetry.health();
     for (size_t attempt = 0;; ++attempt) {
         bool responsive;
         if (attempt > 0 && faults != nullptr) {
@@ -415,22 +462,96 @@ ObjectStore::fetchBlockWithRetry(const ObjectManifest &manifest,
             responsive = nodeResponsive(node);
         }
         if (responsive) {
+            // A success that closes a timeout streak is flap evidence
+            // and a band transition; plain successes are free.
+            const bool streak_open =
+                health.consecutiveTimeouts(node_id) > 0;
+            health.recordSuccess(when, node_id);
+            if (streak_open)
+                noteHealthEvent(when, node_id);
             const Bytes *block =
                 node.findBlock(manifest.blockKey(stripe, block_index));
             if (block != nullptr)
                 return block;
             return nullptr; // wiped media: retrying cannot help
         }
-        if (attempt >= options_.maxReadRetries)
+        if (attempt >= budget)
             break;
         ins_.readRetries->add(1);
         ins_.backoffSeconds->add(backoff);
+        health.recordRetry(when, node_id, backoff);
+        obs_.telemetry.flight().record(
+            when, "retry",
+            "\"node\": " + std::to_string(node_id) + ", \"object\": \"" +
+                manifest.name + "\"");
         when += backoff;
         backoff = std::min(2.0 * backoff,
                            options_.retryBackoffMaxSeconds);
     }
     ins_.readTimeouts->add(1);
+    health.recordTimeout(when, node_id);
+    obs_.telemetry.flight().record(
+        when, "timeout",
+        "\"node\": " + std::to_string(node_id) + ", \"object\": \"" +
+            manifest.name + "\"");
+    noteHealthEvent(when, node_id);
     return nullptr;
+}
+
+size_t
+ObjectStore::retryBudgetFor(size_t node_id, double now_seconds) const
+{
+    switch (obs_.telemetry.health().band(node_id, now_seconds)) {
+      case obs::NodeHealthTracker::Band::kHealthy:
+        return options_.maxReadRetries;
+      case obs::NodeHealthTracker::Band::kFlapping:
+        return options_.maxReadRetries + 2;
+      case obs::NodeHealthTracker::Band::kDead:
+        return options_.maxReadRetries > 0 ? 1 : 0;
+    }
+    return options_.maxReadRetries;
+}
+
+void
+ObjectStore::noteHealthEvent(double now_seconds, size_t node_id)
+{
+    const obs::NodeHealthTracker &health = obs_.telemetry.health();
+    ins_.healthGauges[node_id]->set(health.score(node_id, now_seconds));
+    const obs::NodeHealthTracker::Band band =
+        health.band(node_id, now_seconds);
+    if (band == lastBand_[node_id])
+        return;
+    lastBand_[node_id] = band;
+    ins_.healthUpdates->add(1);
+    const std::string detail =
+        "\"node\": " + std::to_string(node_id) + ", \"band\": \"" +
+        obs::NodeHealthTracker::bandName(band) + "\"";
+    obs_.tracer.instant("health_update", detail);
+    obs_.telemetry.flight().record(now_seconds, "health_update", detail);
+}
+
+void
+ObjectStore::dumpFlightRecord(double now_seconds, const char *reason)
+{
+    if (!obs_.telemetry.flight().enabled())
+        return;
+    obs_.telemetry.flight().dump(now_seconds, reason);
+    ins_.flightDumps->add(1);
+    obs_.tracer.instant("flight_record_dump",
+                        std::string("\"reason\": \"") + reason + "\"");
+}
+
+void
+ObjectStore::onFaultEvent(double seconds, int kind, size_t node,
+                          double slow_factor)
+{
+    obs_.telemetry.flight().record(
+        seconds, "fault",
+        "\"node\": " + std::to_string(node) + ", \"kind\": \"" +
+            sim::faultKindName(static_cast<sim::FaultKind>(kind)) +
+            "\", \"slow_factor\": " + obs::formatDouble(slow_factor));
+    if (static_cast<sim::FaultKind>(kind) == sim::FaultKind::kCrash)
+        dumpFlightRecord(seconds, "node_crash");
 }
 
 Result<Bytes>
@@ -524,6 +645,12 @@ ObjectStore::readChunkBytes(const ObjectManifest &manifest,
             "degraded_read",
             "\"chunk\": " + std::to_string(chunk_id) + ", \"object\": \"" +
                 manifest.name + "\"");
+        const double now = cluster_.engine().now();
+        obs_.telemetry.flight().record(
+            now, "degraded_read",
+            "\"chunk\": " + std::to_string(chunk_id) +
+                ", \"object\": \"" + manifest.name + "\"");
+        dumpFlightRecord(now, "degraded_read");
     }
     return out;
 }
@@ -963,6 +1090,11 @@ ObjectStore::cacheLookupChunk(const ObjectManifest &manifest,
                               uint32_t chunk_id)
 {
     CacheLookup out;
+    // Every counted probe is an access for the chunk-heat table,
+    // whether or not the cache tier is on — the heat signal must
+    // exist before anyone sizes a cache (or re-stripes) from it.
+    obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
+                                       manifest.name, chunk_id);
     if (!chunkCache_.enabled())
         return out;
     uint64_t span = obs_.tracer.beginSpan(
@@ -1032,6 +1164,8 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
     uint64_t total = 0;
     size_t first_new = tasks.size();
     std::set<std::pair<size_t, size_t>> degraded_stripes;
+    obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
+                                       manifest.name, chunk_id);
 
     // Share keys: any query fetching the same healthy piece (or the
     // same surviving stripe block during a degraded read) moves the
@@ -1248,7 +1382,8 @@ ObjectStore::simulateQuery(std::shared_ptr<QueryPlan> plan,
                           [this, plan, done, start, spans]() {
                               plan->outcome.latencySeconds =
                                   cluster_.engine().now() - start;
-                              ins_.queryLatency->observe(
+                              recordQueryLatency(
+                                  cluster_.engine().now(),
                                   plan->outcome.latencySeconds);
                               obs_.tracer.endSpan((*spans)[0]);
                               done(plan->outcome);

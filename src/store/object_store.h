@@ -134,7 +134,7 @@ class ObjectStore
 {
   public:
     ObjectStore(sim::Cluster &cluster, const StoreOptions &options);
-    virtual ~ObjectStore() = default;
+    virtual ~ObjectStore();
 
     /** "baseline" or "fusion". */
     virtual const char *kindName() const = 0;
@@ -367,6 +367,14 @@ class ObjectStore
      *  same instrument queryAsync uses). */
     obs::Histogram &queryLatencyHistogram() { return *ins_.queryLatency; }
 
+    /**
+     * Records one completed query's latency into the histogram, the
+     * "query.latency_seconds" sliding window and (when enabled) the
+     * flight recorder — the single funnel for both the serial path and
+     * the shared-scan scheduler, so windowed rates see every query.
+     */
+    void recordQueryLatency(double now_seconds, double latency_seconds);
+
     /** The coordinator hot-chunk cache (disabled when capacity is 0). */
     cache::ChunkCache &chunkCache() { return chunkCache_; }
     const cache::ChunkCache &chunkCache() const { return chunkCache_; }
@@ -500,6 +508,29 @@ class ObjectStore
                                      size_t stripe, size_t block_index);
 
     /**
+     * Health-adaptive retry budget for one read (ROADMAP scale-out
+     * item): healthy nodes keep the configured maxReadRetries (so
+     * fault-free runs are bit-identical to the fixed policy), nodes in
+     * an open timeout streak with recent flap evidence get two extra
+     * retries (they tend to come back mid-backoff), and dead nodes
+     * fail fast with a single probe retry so reads fall over to parity
+     * reconstruction without burning the full backoff ladder.
+     */
+    size_t retryBudgetFor(size_t node_id, double now_seconds) const;
+
+    /**
+     * Refreshes the node's health gauge and, on a band transition,
+     * bumps health.updates, emits a `health_update` instant span and
+     * records the transition in the flight recorder.
+     */
+    void noteHealthEvent(double now_seconds, size_t node_id);
+
+    /** Renders + retains a flight-recorder dump (no-op when the
+     *  recorder is disabled); bumps health.flight_dumps and emits a
+     *  `flight_record_dump` instant span. */
+    void dumpFlightRecord(double now_seconds, const char *reason);
+
+    /**
      * Appends fetch tasks that pull a chunk's raw bytes to the
      * coordinator (one task per remote piece; degraded chunks fetch
      * k surviving stripe blocks instead). Returns total fetched bytes.
@@ -566,6 +597,10 @@ class ObjectStore
         obs::Counter *cacheChunkEvictions = nullptr;
         obs::Gauge *cacheChunkBytes = nullptr;
         obs::Histogram *queryLatency = nullptr;
+        obs::Counter *healthUpdates = nullptr;
+        obs::Counter *flightDumps = nullptr;
+        /** health.node.<id> score gauges, indexed by node id. */
+        std::vector<obs::Gauge *> healthGauges;
     };
     Instruments ins_;
 
@@ -583,6 +618,13 @@ class ObjectStore
     Result<Bytes> recoverBlock(const ObjectManifest &manifest,
                                size_t stripe, size_t block_index);
     void accountPlanResources(QueryPlan &plan) const;
+    /** Cluster fault-listener callback (crashes dump the recorder). */
+    void onFaultEvent(double seconds, int kind, size_t node,
+                      double slow_factor);
+
+    /** Last reported health band per node (health_update dedup). */
+    std::vector<obs::NodeHealthTracker::Band> lastBand_;
+    size_t faultListenerId_ = 0;
 
     // caches
     std::map<std::pair<std::string, uint64_t>,

@@ -316,6 +316,8 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce)
     for (size_t threads : {1, 2, 4, 8}) {
         ThreadPool pool(threads);
         const size_t kCount = 10'000;
+        // Test scaffolding counts raw visits, not instrumentation.
+        // fusion-lint: allow(raw-atomic)
         std::vector<std::atomic<int>> hits(kCount);
         pool.parallelFor(0, kCount,
                          [&](size_t i) { hits[i].fetch_add(1); });
@@ -323,7 +325,7 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce)
             ASSERT_EQ(hits[i].load(), 1) << "index " << i;
         // Empty and single-index ranges.
         pool.parallelFor(5, 5, [](size_t) { FAIL(); });
-        std::atomic<int> one{0};
+        std::atomic<int> one{0}; // fusion-lint: allow(raw-atomic)
         pool.parallelFor(41, 42, [&](size_t i) {
             EXPECT_EQ(i, 41u);
             one.fetch_add(1);
@@ -335,7 +337,7 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce)
 TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock)
 {
     ThreadPool pool(4);
-    std::atomic<int> total{0};
+    std::atomic<int> total{0}; // fusion-lint: allow(raw-atomic)
     pool.parallelFor(0, 8, [&](size_t) {
         // Nested call from a worker must degrade to serial, not hang.
         ThreadPool::shared().parallelFor(0, 16,

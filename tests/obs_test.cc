@@ -489,6 +489,202 @@ TEST(ExplainTest, FaultedNodeDecisionsRecordHealthFallback)
 }
 
 // ---------------------------------------------------------------------
+// Timeseries units: sliding windows, decayed accumulators, node
+// health, chunk heat and the flight recorder.
+// ---------------------------------------------------------------------
+
+TEST(TimeseriesTest, WindowReducerEvictsAndReduces)
+{
+    obs::WindowReducer w(1.0);
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50.0), 0.0);
+
+    w.observe(0.0, 10.0);
+    w.observe(0.5, 20.0);
+    w.observe(1.2, 30.0); // cutoff 0.2 evicts the t=0.0 sample
+    EXPECT_EQ(w.count(), 2u);
+    EXPECT_DOUBLE_EQ(w.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(w.rate(), 2.0);
+
+    w.advance(2.3); // cutoff 1.3: everything out
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.rate(), 0.0);
+}
+
+TEST(TimeseriesTest, WindowReducerPercentileInterpolates)
+{
+    obs::WindowReducer w(10.0);
+    // Insert unsorted; percentile() sorts the resident values.
+    for (double v : {30.0, 10.0, 40.0, 20.0})
+        w.observe(1.0, v);
+    // Inclusive rank h = (n-1)p/100 over {10, 20, 30, 40}.
+    EXPECT_DOUBLE_EQ(w.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50.0), 25.0);
+    EXPECT_DOUBLE_EQ(w.percentile(95.0), 38.5);
+    EXPECT_DOUBLE_EQ(w.percentile(100.0), 40.0);
+}
+
+TEST(TimeseriesTest, DecayCounterHalvesPerHalfLife)
+{
+    obs::DecayCounter c(1.0);
+    EXPECT_DOUBLE_EQ(c.valueAt(5.0), 0.0);
+    c.add(0.0, 8.0);
+    EXPECT_DOUBLE_EQ(c.valueAt(0.0), 8.0);
+    EXPECT_DOUBLE_EQ(c.valueAt(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(c.valueAt(3.0), 1.0);
+    c.add(2.0, 2.0); // 8 * 2^-2 + 2 = 4
+    EXPECT_DOUBLE_EQ(c.valueAt(2.0), 4.0);
+    EXPECT_DOUBLE_EQ(c.valueAt(3.0), 2.0);
+}
+
+TEST(TimeseriesTest, HealthScoreDropsUnderTimeoutsAndRecovers)
+{
+    obs::NodeHealthTracker h;
+    h.configure(4, obs::TimeseriesOptions{});
+    for (size_t n = 0; n < 4; ++n) {
+        EXPECT_DOUBLE_EQ(h.score(n, 0.0), 1.0);
+        EXPECT_EQ(h.band(n, 0.0),
+                  obs::NodeHealthTracker::Band::kHealthy);
+    }
+
+    // Back-to-back timeouts: monotonically non-increasing score.
+    double prev = 1.0;
+    for (int i = 0; i < 5; ++i) {
+        const double t = 0.001 * static_cast<double>(i);
+        h.recordTimeout(t, 2);
+        const double s = h.score(2, t);
+        EXPECT_LE(s, prev);
+        prev = s;
+    }
+    EXPECT_LT(prev, 0.5);
+    EXPECT_EQ(h.band(2, 0.004), obs::NodeHealthTracker::Band::kDead);
+    EXPECT_EQ(h.consecutiveTimeouts(2), 5u);
+    EXPECT_DOUBLE_EQ(h.score(0, 0.004), 1.0); // neighbours untouched
+
+    // No further events: the decayed penalty recovers monotonically.
+    double last = prev;
+    for (int i = 1; i <= 5; ++i) {
+        const double s =
+            h.score(2, 0.004 + 0.05 * static_cast<double>(i));
+        EXPECT_GE(s, last);
+        last = s;
+    }
+    EXPECT_GT(last, prev);
+}
+
+TEST(TimeseriesTest, FlapEvidenceSeparatesFlappingFromDead)
+{
+    obs::NodeHealthTracker h;
+    h.configure(2, obs::TimeseriesOptions{});
+
+    // Success with no open streak is a no-op (the hot path).
+    h.recordSuccess(0.0, 0);
+    EXPECT_DOUBLE_EQ(h.flapEvidence(0, 0.0), 0.0);
+
+    // Timeout -> success closes the streak and books flap evidence.
+    h.recordTimeout(0.01, 0);
+    EXPECT_EQ(h.band(0, 0.01), obs::NodeHealthTracker::Band::kDead);
+    h.recordSuccess(0.02, 0);
+    EXPECT_EQ(h.band(0, 0.02), obs::NodeHealthTracker::Band::kHealthy);
+    EXPECT_GT(h.flapEvidence(0, 0.02), 0.9);
+
+    // The next timeout with fresh flap evidence reads as flapping, not
+    // dead: the retry policy stretches instead of shrinking.
+    h.recordTimeout(0.03, 0);
+    EXPECT_EQ(h.band(0, 0.03),
+              obs::NodeHealthTracker::Band::kFlapping);
+}
+
+TEST(TimeseriesTest, ChunkHeatDecaysAndRanks)
+{
+    obs::TimeseriesOptions opt;
+    opt.heatHalfLifeSeconds = 0.5;
+    obs::ChunkHeatTable heat;
+    heat.configure(opt);
+
+    for (int i = 0; i < 3; ++i)
+        heat.recordAccess(0.0, "a", 0);
+    heat.recordAccess(0.0, "a", 1);
+    heat.recordAccess(0.0, "b", 0);
+    heat.recordAccess(0.0, "b", 0);
+    EXPECT_EQ(heat.size(), 3u);
+    EXPECT_DOUBLE_EQ(heat.heat("a", 0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(heat.heat("a", 0, 0.5), 1.5); // one half-life
+    EXPECT_DOUBLE_EQ(heat.heat("missing", 9, 0.0), 0.0);
+
+    auto hot = heat.hottest(0.0, 2);
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0].object, "a");
+    EXPECT_EQ(hot[0].chunk, 0u);
+    EXPECT_DOUBLE_EQ(hot[0].heat, 3.0);
+    EXPECT_EQ(hot[1].object, "b");
+    EXPECT_EQ(hot[1].chunk, 0u);
+
+    // Equal heat ties break on (object, chunk) ascending.
+    heat.recordAccess(0.0, "a", 1); // "a":1 now ties "b":0 at 2.0
+    hot = heat.hottest(0.0, 3);
+    ASSERT_EQ(hot.size(), 3u);
+    EXPECT_EQ(hot[1].object, "a");
+    EXPECT_EQ(hot[1].chunk, 1u);
+    EXPECT_EQ(hot[2].object, "b");
+}
+
+TEST(TimeseriesTest, FlightRecorderRingOverwritesOldestAndCapsDumps)
+{
+    obs::TimeseriesOptions opt;
+    opt.flightCapacity = 4;
+    opt.maxFlightDumps = 2;
+    obs::FlightRecorder rec;
+    rec.configure(opt);
+
+    // Disabled by default: record() is a no-op (overhead guard).
+    rec.record(0.0, "noise", "");
+    EXPECT_EQ(rec.eventCount(), 0u);
+
+    rec.setEnabled(true);
+    for (int i = 0; i < 6; ++i)
+        rec.record(0.01 * static_cast<double>(i), "event",
+                   "\"seq\": " + std::to_string(i));
+    EXPECT_EQ(rec.eventCount(), 4u); // ring holds the last 4
+
+    std::string dump = rec.dump(0.06, "unit_test");
+    EXPECT_TRUE(jsonBalanced(dump));
+    EXPECT_EQ(dump.find("\"seq\": 0"), std::string::npos);
+    EXPECT_EQ(dump.find("\"seq\": 1"), std::string::npos);
+    // Oldest surviving event renders first.
+    EXPECT_LT(dump.find("\"seq\": 2"), dump.find("\"seq\": 5"));
+    EXPECT_NE(dump.find("\"reason\": \"unit_test\""),
+              std::string::npos);
+
+    // Retention caps at maxFlightDumps; dump() still returns the JSON.
+    rec.dump(0.07, "second");
+    std::string third = rec.dump(0.08, "third");
+    EXPECT_EQ(rec.dumps().size(), 2u);
+    EXPECT_NE(third.find("\"third\""), std::string::npos);
+}
+
+TEST(TimeseriesTest, TelemetrySnapshotIsCanonicalJson)
+{
+    obs::Telemetry tel;
+    tel.health().configure(2, tel.options());
+    tel.window("query.latency_seconds").observe(0.01, 0.5);
+    tel.heat().recordAccess(0.01, "obj", 7);
+    tel.flight().setEnabled(true);
+    tel.flight().record(0.01, "query", "");
+    tel.flight().dump(0.02, "unit_test");
+
+    std::string a = tel.toJson(0.05);
+    std::string b = tel.toJson(0.05); // same instant: same bytes
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(jsonBalanced(a));
+    EXPECT_NE(a.find("\"nodes\""), std::string::npos);
+    EXPECT_NE(a.find("\"query.latency_seconds\""), std::string::npos);
+    EXPECT_NE(a.find("\"obj\""), std::string::npos);
+    EXPECT_NE(a.find("\"unit_test\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Acceptance: byte-identical observability output across thread
 // counts, under an active crash/revive fault schedule.
 // ---------------------------------------------------------------------
@@ -497,6 +693,7 @@ struct ObsRun {
     std::string traceJson;
     std::string metricsJson;
     std::string explainJson; // all queries' reports concatenated
+    std::string timeseriesJson;
     store::ObjectStore::FaultStats faults;
 };
 
@@ -514,6 +711,7 @@ runObservedWorkload(size_t threads, uint64_t cache_bytes = 0)
     // Enable before put() so stripe_encode spans are captured too.
     store.obs().tracer.setEnabled(true);
     store.obs().explainEnabled = true;
+    store.obs().telemetry.flight().setEnabled(true);
     auto file = workload::buildLineitemFile(3000, 7);
     FUSION_CHECK(file.isOk());
     FUSION_CHECK(store.put("lineitem", file.value().bytes).isOk());
@@ -569,6 +767,7 @@ runObservedWorkload(size_t threads, uint64_t cache_bytes = 0)
     }
     run.traceJson = store.obs().tracer.toChromeJson("fusion");
     run.metricsJson = store.obs().metrics.snapshot().toJson();
+    run.timeseriesJson = store.obs().telemetry.toJson(engine.now());
     run.faults = store.faultStats();
     ThreadPool::setSharedThreads(1);
     return run;
@@ -597,6 +796,34 @@ TEST(ObsDeterminismTest, TraceMetricsExplainIdenticalAcrossThreadCounts)
     EXPECT_TRUE(jsonBalanced(serial.traceJson));
     EXPECT_TRUE(jsonBalanced(serial.metricsJson));
 
+    // The timeseries snapshot saw the crash: the per-node health gauges
+    // moved for the crashed node, chunk heat accumulated, and the
+    // flight recorder dumped on both the crash event and the first
+    // degraded read. Healthy nodes keep an exact 1.0 score.
+    EXPECT_TRUE(jsonBalanced(serial.timeseriesJson));
+    EXPECT_NE(serial.timeseriesJson.find("\"node\": 3"),
+              std::string::npos);
+    EXPECT_NE(serial.timeseriesJson.find("\"score\": 1"),
+              std::string::npos);
+    EXPECT_NE(serial.timeseriesJson.find("\"chunks\": [{"),
+              std::string::npos);
+    EXPECT_NE(serial.timeseriesJson.find("\"query.latency_seconds\""),
+              std::string::npos);
+    EXPECT_NE(serial.timeseriesJson.find("\"node_crash\""),
+              std::string::npos);
+    EXPECT_NE(serial.timeseriesJson.find("\"degraded_read\""),
+              std::string::npos);
+    EXPECT_NE(serial.metricsJson.find("health.node.3"),
+              std::string::npos);
+    EXPECT_NE(serial.metricsJson.find("health.flight_dumps"),
+              std::string::npos);
+
+    // The adaptive budget fails over instead of burning the full
+    // fixed budget on every read to the crashed node: retries stay
+    // well under the old maxReadRetries * timeouts product.
+    EXPECT_LT(serial.faults.readRetries,
+              3 * serial.faults.readTimeouts);
+
     // A dump written through the exporter is the same bytes.
     std::string path = ::testing::TempDir() + "obs_test_trace.json";
     ASSERT_TRUE(obs::writeTextFile(path, serial.traceJson));
@@ -613,6 +840,8 @@ TEST(ObsDeterminismTest, TraceMetricsExplainIdenticalAcrossThreadCounts)
             << "metrics differ at threads=" << threads;
         EXPECT_EQ(pooled.explainJson, serial.explainJson)
             << "explain differs at threads=" << threads;
+        EXPECT_EQ(pooled.timeseriesJson, serial.timeseriesJson)
+            << "timeseries differs at threads=" << threads;
         EXPECT_TRUE(pooled.faults == serial.faults);
     }
 }
@@ -644,6 +873,8 @@ TEST(ObsDeterminismTest, CacheEnabledRunIdenticalAcrossThreadCounts)
             << "metrics differ at threads=" << threads;
         EXPECT_EQ(pooled.explainJson, serial.explainJson)
             << "explain differs at threads=" << threads;
+        EXPECT_EQ(pooled.timeseriesJson, serial.timeseriesJson)
+            << "timeseries differs at threads=" << threads;
         EXPECT_TRUE(pooled.faults == serial.faults);
     }
 }

@@ -257,12 +257,18 @@ TEST(RecoveryTest, RetryBackoffIsBoundedAndCounted)
 
     const ObjectStore::FaultStats &stats = rig.store->faultStats();
     ASSERT_GE(stats.readTimeouts, 1u);
-    // Without an armed injector nothing recovers mid-backoff, so every
-    // timed-out read burned the full retry budget.
-    EXPECT_EQ(stats.readRetries, options.maxReadRetries * stats.readTimeouts);
-    // Bounded exponential backoff: 1 + 2 + 2 + 2 ms per timed-out read.
+    // Health-adaptive budget: the first timed-out read burns the full
+    // configured budget; every later read against the now-dead node
+    // fails fast with a single probe retry (obs::NodeHealthTracker
+    // bands the node "dead" once a timeout streak is open with no flap
+    // evidence), falling over to parity reconstruction early.
+    EXPECT_EQ(stats.readRetries,
+              options.maxReadRetries + (stats.readTimeouts - 1));
+    // Bounded exponential backoff: 1 + 2 + 2 + 2 ms for the first
+    // timed-out read, then the 1 ms probe per fail-fast read.
     EXPECT_NEAR(stats.backoffSeconds,
-                7e-3 * static_cast<double>(stats.readTimeouts), 1e-9);
+                7e-3 + 1e-3 * static_cast<double>(stats.readTimeouts - 1),
+                1e-9);
 }
 
 TEST(RecoveryTest, FlappingNodeRecoversDuringBackoffWithoutRebuild)

@@ -260,6 +260,14 @@ const std::set<std::string> kRawSyncTypes = {
     "condition_variable", "condition_variable_any",
     "lock_guard",   "unique_lock",        "scoped_lock",
     "shared_lock",  "call_once",          "once_flag"};
+// Ad-hoc atomics fold in scheduling order and bypass snapshots;
+// instrumentation must go through obs::MetricsRegistry. The aliases
+// (atomic_int etc.) are listed so the common shortcuts hit too.
+const std::set<std::string> kRawAtomicTypes = {
+    "atomic",          "atomic_flag",   "atomic_bool",
+    "atomic_int",      "atomic_uint",   "atomic_long",
+    "atomic_size_t",   "atomic_int64_t", "atomic_uint64_t",
+    "atomic_int32_t",  "atomic_uint32_t"};
 
 bool
 pathAllowed(const Options &options, const std::string &rule,
@@ -297,6 +305,11 @@ Options::defaults()
     Options o;
     o.pathAllow["wallclock"] = {"common/walltime"};
     o.pathAllow["raw-mutex"] = {"common/mutex.h"};
+    // The metrics registry's sharded counters are the sanctioned
+    // atomics; the thread pool's completion latch predates the
+    // registry and is load-bearing for the DES determinism contract.
+    o.pathAllow["raw-atomic"] = {"obs/metrics.h", "obs/metrics.cc",
+                                 "common/thread_pool"};
     return o;
 }
 
@@ -304,8 +317,8 @@ const std::vector<std::string> &
 ruleNames()
 {
     static const std::vector<std::string> names = {
-        "pointer-format", "raw-mutex", "unordered-iter", "unseeded-random",
-        "wallclock"};
+        "pointer-format", "raw-atomic", "raw-mutex", "unordered-iter",
+        "unseeded-random", "wallclock"};
     return names;
 }
 
@@ -444,6 +457,14 @@ lintSource(const std::string &path, const std::string &content,
                         "' — use fusion::Mutex/MutexLock/CondVar "
                         "(common/mutex.h) so clang -Wthread-safety can "
                         "verify the locking discipline");
+            }
+            if (stdQualified && kRawAtomicTypes.count(tok)) {
+                add(line, "raw-atomic",
+                    "raw 'std::" + tok +
+                        "' counter — route instrumentation through "
+                        "obs::MetricsRegistry (obs/metrics.h); ad-hoc "
+                        "atomics fold nondeterministically and bypass "
+                        "metric snapshots");
             }
         });
 

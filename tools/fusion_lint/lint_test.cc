@@ -90,6 +90,7 @@ TEST(LintFixtures, UnseededRandom) { checkFixture("bad_random.cc"); }
 TEST(LintFixtures, UnorderedIter) { checkFixture("bad_unordered_iter.cc"); }
 TEST(LintFixtures, PointerFormat) { checkFixture("bad_pointer_format.cc"); }
 TEST(LintFixtures, RawMutex) { checkFixture("bad_raw_mutex.cc"); }
+TEST(LintFixtures, RawAtomic) { checkFixture("bad_raw_atomic.cc"); }
 
 TEST(LintFixtures, CleanFileHasNoFindings)
 {
@@ -119,8 +120,9 @@ TEST(LintRules, RuleNamesSortedAndComplete)
     const auto &names = ruleNames();
     EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
     EXPECT_EQ(names, (std::vector<std::string>{
-                         "pointer-format", "raw-mutex", "unordered-iter",
-                         "unseeded-random", "wallclock"}));
+                         "pointer-format", "raw-atomic", "raw-mutex",
+                         "unordered-iter", "unseeded-random",
+                         "wallclock"}));
 }
 
 TEST(LintRules, AllowfileSuppressesFileWide)
@@ -162,6 +164,21 @@ TEST(LintRules, MutexWrapperHeaderIsExempt)
     FileReport report =
         lintSource("src/common/mutex.h", src, Options::defaults());
     EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LintRules, MetricsRegistryAtomicsAreExempt)
+{
+    const std::string src = "std::atomic<uint64_t> v{0};\n";
+    FileReport registry =
+        lintSource("src/obs/metrics.h", src, Options::defaults());
+    EXPECT_TRUE(registry.findings.empty());
+    FileReport pool =
+        lintSource("src/common/thread_pool.h", src, Options::defaults());
+    EXPECT_TRUE(pool.findings.empty());
+    FileReport other =
+        lintSource("src/store/object_store.cc", src, Options::defaults());
+    ASSERT_EQ(other.findings.size(), 1u);
+    EXPECT_EQ(other.findings[0].rule, "raw-atomic");
 }
 
 TEST(LintRules, CrossFileUnorderedMember)

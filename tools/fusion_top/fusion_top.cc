@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Text report over observability artifacts: renders per-node health
+ * scores, the hottest chunks, sliding-window rates and histogram
+ * percentiles from the JSON files the bench binaries dump via
+ * `--metrics-out` / `--timeseries-out` (benchutil::obsInit). A "top"
+ * for the simulated cluster — point it at CI artifacts or local dumps.
+ *
+ * Usage:
+ *   fusion_top [--metrics=FILE] [--timeseries=FILE] [--top=N]
+ *
+ * Both inputs are optional but at least one must be given. The parser
+ * is a tolerant scanner in the style of trace_diff: it understands
+ * exactly the canonical shapes obs::MetricsSnapshot::toJson and
+ * obs::Telemetry::toJson emit and ignores everything else.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "fusion_top: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+/** Value of `"key": <number>` inside `obj`, or fallback. */
+double
+findNumber(const std::string &obj, const std::string &key,
+           double fallback = 0.0)
+{
+    const std::string needle = "\"" + key + "\": ";
+    size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return fallback;
+    return std::atof(obj.c_str() + pos + needle.size());
+}
+
+/** Value of `"key": "<string>"` inside `obj`, or empty. */
+std::string
+findString(const std::string &obj, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    size_t begin = pos + needle.size();
+    size_t end = obj.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return obj.substr(begin, end - begin);
+}
+
+/**
+ * Splits the top-level objects of a JSON array found at
+ * `"key": [...]` — brace-matching, no nesting across strings needed
+ * for the canonical emitters this tool reads.
+ */
+std::vector<std::string>
+findObjectArray(const std::string &text, const std::string &key,
+                size_t from = 0)
+{
+    std::vector<std::string> out;
+    const std::string needle = "\"" + key + "\": [";
+    size_t pos = text.find(needle, from);
+    if (pos == std::string::npos)
+        return out;
+    size_t i = pos + needle.size();
+    int array_depth = 1;
+    while (i < text.size() && array_depth > 0) {
+        char c = text[i];
+        if (c == ']') {
+            --array_depth;
+            ++i;
+        } else if (c == '{') {
+            int depth = 0;
+            size_t begin = i;
+            while (i < text.size()) {
+                if (text[i] == '{')
+                    ++depth;
+                else if (text[i] == '}' && --depth == 0) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            out.push_back(text.substr(begin, i - begin));
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+void
+reportMetrics(const std::string &text, size_t top)
+{
+    // Per-node health gauges: "health.node.<id>": <score>.
+    std::vector<std::pair<size_t, double>> health;
+    const std::string needle = "\"health.node.";
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        size_t id = static_cast<size_t>(std::atol(text.c_str() + pos));
+        size_t colon = text.find(": ", pos);
+        if (colon == std::string::npos)
+            break;
+        health.emplace_back(id, std::atof(text.c_str() + colon + 2));
+        pos = colon;
+    }
+    if (!health.empty()) {
+        std::printf("node health (metrics gauges)\n");
+        std::printf("  %-6s %-8s\n", "node", "score");
+        for (const auto &[id, score] : health)
+            std::printf("  %-6zu %-8.4f%s\n", id, score,
+                        score < 0.5    ? "  <-- degraded"
+                        : score < 0.99 ? "  <-- recovering"
+                                       : "");
+        std::printf("\n");
+    }
+
+    // Histograms: "name": {"bounds": ..., "p50": ...}.
+    std::printf("histograms (interpolated percentiles)\n");
+    std::printf("  %-28s %12s %12s %12s\n", "name", "p50", "p95",
+                "p99");
+    size_t shown = 0;
+    pos = 0;
+    while ((pos = text.find("\": {\"bounds\": [", pos)) !=
+           std::string::npos) {
+        size_t name_end = pos;
+        size_t name_begin = text.rfind('"', name_end - 1);
+        if (name_begin == std::string::npos)
+            break;
+        ++name_begin;
+        size_t obj_end = text.find('}', pos);
+        if (obj_end == std::string::npos)
+            break;
+        const std::string name =
+            text.substr(name_begin, name_end - name_begin);
+        const std::string obj = text.substr(pos, obj_end - pos + 1);
+        std::printf("  %-28s %12.6g %12.6g %12.6g\n", name.c_str(),
+                    findNumber(obj, "p50"), findNumber(obj, "p95"),
+                    findNumber(obj, "p99"));
+        ++shown;
+        pos = obj_end;
+    }
+    if (shown == 0)
+        std::printf("  (none)\n");
+    std::printf("\n");
+    (void)top;
+}
+
+void
+reportTimeseries(const std::string &text, size_t top)
+{
+    const auto snapshots = findObjectArray(text, "timeseries");
+    // A bare Telemetry::toJson dump (no benchutil wrapper) also works:
+    // treat the whole file as one snapshot.
+    std::vector<std::string> docs =
+        snapshots.empty() ? std::vector<std::string>{text} : snapshots;
+
+    for (const auto &doc : docs) {
+        const std::string process = findString(doc, "process");
+        std::printf("timeseries%s%s (sim t=%.6gs)\n",
+                    process.empty() ? "" : " for ",
+                    process.c_str(), findNumber(doc, "now"));
+
+        const auto nodes = findObjectArray(doc, "nodes");
+        if (!nodes.empty()) {
+            std::printf("  %-6s %-10s %-8s %-10s\n", "node", "band",
+                        "score", "penalty");
+            for (const auto &n : nodes) {
+                const std::string band = findString(n, "band");
+                std::printf("  %-6.0f %-10s %-8.4f %-10.4g%s\n",
+                            findNumber(n, "node"), band.c_str(),
+                            findNumber(n, "score"),
+                            findNumber(n, "penalty"),
+                            band == "dead"       ? "  <-- failing fast"
+                            : band == "flapping" ? "  <-- stretched budget"
+                                                 : "");
+            }
+        }
+
+        const auto chunks = findObjectArray(doc, "chunks");
+        if (!chunks.empty()) {
+            std::printf("  hottest chunks\n");
+            std::printf("  %-24s %-8s %-10s\n", "object", "chunk",
+                        "heat");
+            size_t shown = 0;
+            for (const auto &c : chunks) {
+                if (shown++ >= top)
+                    break;
+                std::printf("  %-24s %-8.0f %-10.4g\n",
+                            findString(c, "object").c_str(),
+                            findNumber(c, "chunk"),
+                            findNumber(c, "heat"));
+            }
+        }
+
+        const auto windows = findObjectArray(doc, "windows");
+        if (!windows.empty()) {
+            std::printf("  windows\n");
+            std::printf("  %-28s %8s %12s %12s %12s\n", "name",
+                        "count", "rate/s", "mean", "p99");
+            for (const auto &w : windows)
+                std::printf("  %-28s %8.0f %12.6g %12.6g %12.6g\n",
+                            findString(w, "name").c_str(),
+                            findNumber(w, "count"),
+                            findNumber(w, "rate"),
+                            findNumber(w, "mean"),
+                            findNumber(w, "p99"));
+        }
+
+        const auto dumps = findObjectArray(doc, "flight_dumps");
+        if (!dumps.empty()) {
+            std::printf("  flight dumps: %zu", dumps.size());
+            std::printf(" (last reason: %s, %s events)\n",
+                        findString(dumps.back(), "reason").c_str(),
+                        std::to_string(
+                            findObjectArray(dumps.back(), "events")
+                                .size())
+                            .c_str());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string metrics_path;
+    std::string timeseries_path;
+    size_t top = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--metrics=", 0) == 0)
+            metrics_path = arg.substr(10);
+        else if (arg.rfind("--timeseries=", 0) == 0)
+            timeseries_path = arg.substr(13);
+        else if (arg.rfind("--top=", 0) == 0)
+            top = static_cast<size_t>(std::atol(arg.c_str() + 6));
+        else {
+            std::fprintf(stderr,
+                         "usage: fusion_top [--metrics=FILE] "
+                         "[--timeseries=FILE] [--top=N]\n");
+            return 2;
+        }
+    }
+    if (metrics_path.empty() && timeseries_path.empty()) {
+        std::fprintf(stderr,
+                     "fusion_top: need --metrics and/or --timeseries\n");
+        return 2;
+    }
+
+    std::printf("=== fusion_top ===\n\n");
+    if (!metrics_path.empty())
+        reportMetrics(readFile(metrics_path), top);
+    if (!timeseries_path.empty())
+        reportTimeseries(readFile(timeseries_path), top);
+    return 0;
+}

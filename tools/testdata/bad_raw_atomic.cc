@@ -1,0 +1,22 @@
+// Fixture: each line tagged `BAD: <rule>` must produce exactly that
+// finding; untagged lines must produce none.
+#include <atomic>
+
+struct AdHocStats {
+    std::atomic<unsigned long> hits{0};  // BAD: raw-atomic
+    std::atomic_flag busy;               // BAD: raw-atomic
+    std::atomic_int errors{0};           // BAD: raw-atomic
+
+    void
+    touch()
+    {
+        hits.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+// Unqualified identifiers are fine (could be a local type named
+// `atomic`; the rule only fires on std::-qualified uses).
+struct Wrapper {
+    int atomic = 0;
+    int atomic_flag = 0;
+};
