@@ -4,7 +4,8 @@
  * job. The simulator is deterministic, so the observability dumps of a
  * fixed bench invocation are reproducible structure-for-structure: the
  * number of spans per name and the machine-independent counter families
- * (wire.*, fault.*, sched.*, cache.*) must match a checked-in golden
+ * (wire.*, fault.*, sched.*, cache.*, append.*, compaction.*) must
+ * match a checked-in golden
  * exactly. Histograms, pool.* and throughput numbers are skipped — they
  * vary with host core count and speed.
  *
@@ -68,7 +69,8 @@ stablePrefix(const std::string &name)
 {
     return name.rfind("wire.", 0) == 0 || name.rfind("fault.", 0) == 0 ||
            name.rfind("sched.", 0) == 0 || name.rfind("cache.", 0) == 0 ||
-           name.rfind("health.", 0) == 0;
+           name.rfind("health.", 0) == 0 || name.rfind("append.", 0) == 0 ||
+           name.rfind("compaction.", 0) == 0;
 }
 
 /** Pulls scalar `"name": number` pairs out of a flat JSON object,

@@ -83,6 +83,19 @@ struct FusionLayoutOptions {
 ObjectLayout buildFusionLayout(const std::vector<ChunkExtent> &chunks,
                                const FusionLayoutOptions &options);
 
+/**
+ * Heat-partitioned FAC (compaction re-stripe): the chunks in
+ * `hot_chunk_ids` are packed by Algorithm 1 into their own leading
+ * stripes — co-locating the workload's hot set on a small node group —
+ * and the remaining chunks into trailing stripes. Falls back to plain
+ * FAC when the hot set is empty or covers every chunk. Never splits
+ * chunks; overhead can exceed plain FAC (two packings waste more bin
+ * tail), which the caller trades against pushdown locality.
+ */
+ObjectLayout buildHeatFacLayout(const std::vector<ChunkExtent> &chunks,
+                                size_t n, size_t k,
+                                const std::vector<uint32_t> &hot_chunk_ids);
+
 } // namespace fusion::fac
 
 #endif // FUSION_FAC_CONSTRUCTORS_H

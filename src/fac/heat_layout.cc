@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Heat-partitioned FAC construction for compaction-time re-stripe: run
+ * Algorithm 1 separately over the hot and cold chunk sets and
+ * concatenate the stripes (hot first). Each partition keeps FAC's
+ * never-split guarantee, so every hot chunk stays intact on one node —
+ * pushdown-eligible — and hot chunks share stripes (and therefore node
+ * groups) with each other instead of with cold data.
+ */
+#include <algorithm>
+#include <iterator>
+
+#include "constructors.h"
+
+namespace fusion::fac {
+
+ObjectLayout
+buildHeatFacLayout(const std::vector<ChunkExtent> &chunks, size_t n,
+                   size_t k, const std::vector<uint32_t> &hot_chunk_ids)
+{
+    std::vector<ChunkExtent> hot, cold;
+    for (const ChunkExtent &chunk : chunks) {
+        bool is_hot = std::find(hot_chunk_ids.begin(), hot_chunk_ids.end(),
+                                chunk.id) != hot_chunk_ids.end();
+        (is_hot ? hot : cold).push_back(chunk);
+    }
+    if (hot.empty() || cold.empty())
+        return buildFacLayout(chunks, n, k);
+
+    ObjectLayout hot_layout = buildFacLayout(hot, n, k);
+    ObjectLayout cold_layout = buildFacLayout(cold, n, k);
+
+    ObjectLayout out;
+    out.kind = LayoutKind::kFac;
+    out.n = n;
+    out.k = k;
+    out.stripes = std::move(hot_layout.stripes);
+    out.stripes.insert(out.stripes.end(),
+                       std::make_move_iterator(cold_layout.stripes.begin()),
+                       std::make_move_iterator(cold_layout.stripes.end()));
+    out.dataBytes = hot_layout.dataBytes + cold_layout.dataBytes;
+    out.paddingBytes = hot_layout.paddingBytes + cold_layout.paddingBytes;
+    return out;
+}
+
+} // namespace fusion::fac

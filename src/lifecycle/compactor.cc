@@ -1,0 +1,109 @@
+#include "compactor.h"
+
+#include <algorithm>
+
+namespace fusion::lifecycle {
+
+bool
+Compactor::sizeTriggered(const DeltaLogStats &stats) const
+{
+    return stats.bytes >= policy_.maxDeltaBytes ||
+           stats.segments >= policy_.maxDeltaSegments;
+}
+
+bool
+Compactor::pending(const std::string &object) const
+{
+    auto it = pending_.find(object);
+    return it != pending_.end() && it->second;
+}
+
+void
+Compactor::noteDeleted(const std::string &object)
+{
+    // Any in-flight event for the object still fires, but
+    // compactObjectNow treats a missing object as a no-op.
+    pending_.erase(object);
+}
+
+void
+Compactor::noteAppend(const std::string &object)
+{
+    if (!policy_.enabled || pending(object))
+        return;
+    DeltaLogStats stats = host_.deltaLogStats(object);
+    if (stats.segments == 0)
+        return;
+    if (sizeTriggered(stats)) {
+        scheduleFold(object, stats);
+    } else if (policy_.maxAgeSeconds > 0.0) {
+        pending_[object] = true;
+        double deadline =
+            stats.oldestAppendSeconds + policy_.maxAgeSeconds;
+        double delay = std::max(policy_.minDelaySeconds,
+                                deadline - host_.lifecycleNowSeconds());
+        host_.lifecycleScheduleAfter(
+            delay, [this, object]() { ageCheck(object); });
+    }
+}
+
+void
+Compactor::scheduleFold(const std::string &object,
+                        const DeltaLogStats &stats)
+{
+    pending_[object] = true;
+    const uint64_t seal_seq = stats.lastSeq;
+    // The fold lands estimatedCompactSeconds in the future: the modeled
+    // cost of reading base+deltas and re-encoding the new generation.
+    // Until then every query still merges the sealed segments against
+    // the old generation — the crash window the recovery tests probe.
+    double delay =
+        std::max(policy_.minDelaySeconds, stats.estimatedCompactSeconds);
+    host_.lifecycleScheduleAfter(delay, [this, object, seal_seq]() {
+        runFold(object, seal_seq);
+    });
+}
+
+void
+Compactor::ageCheck(const std::string &object)
+{
+    pending_[object] = false;
+    DeltaLogStats stats = host_.deltaLogStats(object);
+    if (stats.segments == 0)
+        return;
+    double now = host_.lifecycleNowSeconds();
+    double age = now - stats.oldestAppendSeconds;
+    if (sizeTriggered(stats) || age + 1e-12 >= policy_.maxAgeSeconds) {
+        scheduleFold(object, stats);
+        return;
+    }
+    // Deadline still ahead (newer oldest segment after a partial fold):
+    // re-arm exactly once per strictly-later deadline, so the event
+    // chain is finite.
+    pending_[object] = true;
+    double delay =
+        std::max(policy_.minDelaySeconds,
+                 stats.oldestAppendSeconds + policy_.maxAgeSeconds - now);
+    host_.lifecycleScheduleAfter(delay,
+                                 [this, object]() { ageCheck(object); });
+}
+
+void
+Compactor::runFold(const std::string &object, uint64_t seal_seq)
+{
+    Status status = host_.compactObjectNow(object, seal_seq);
+    pending_[object] = false;
+    if (status.isOk()) {
+        ++runs_;
+        // Segments appended after the seal may already cross a
+        // threshold again (or need an age check).
+        noteAppend(object);
+    } else {
+        // Stay quiescent until the next append re-triggers: re-arming
+        // here would keep the DES alive forever on a cluster that can
+        // no longer read the base.
+        ++aborts_;
+    }
+}
+
+} // namespace fusion::lifecycle

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic background compaction driven from simulated time. The
+ * Compactor owns only policy and scheduling; the heavy mechanism (read
+ * base + sealed deltas, re-encode, atomic manifest swap) lives behind
+ * the CompactionHost interface the store implements — lifecycle/ never
+ * depends on store/.
+ *
+ * Event discipline: the Compactor schedules bounded, strictly-future
+ * events only in response to appends (or its own finite re-arms), so a
+ * quiescent store never keeps the DES alive — engine.run() still
+ * returns once the last sealed segment is folded. An aborted compaction
+ * (e.g. too many nodes down to read the base) deliberately does NOT
+ * re-arm itself; the next append re-triggers it, which keeps a
+ * permanently degraded cluster from looping the engine forever.
+ */
+#ifndef FUSION_LIFECYCLE_COMPACTOR_H
+#define FUSION_LIFECYCLE_COMPACTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "delta_log.h"
+
+namespace fusion::lifecycle {
+
+/** When the background Compactor seals and folds a delta log. */
+struct CompactionPolicy {
+    bool enabled = true;
+    /** Seal when the log's serialized bytes reach this. */
+    uint64_t maxDeltaBytes = 1ULL << 20;
+    /** ...or when this many segments accumulate. */
+    size_t maxDeltaSegments = 8;
+    /** ...or when the oldest segment is this old (0 = no age trigger). */
+    double maxAgeSeconds = 0.0;
+    /** Floor for every scheduled delay, so events are strictly future. */
+    double minDelaySeconds = 1e-4;
+};
+
+/** The store-side mechanism the Compactor drives. */
+class CompactionHost
+{
+  public:
+    virtual ~CompactionHost() = default;
+
+    virtual double lifecycleNowSeconds() const = 0;
+    virtual void lifecycleScheduleAfter(double delay_seconds,
+                                        std::function<void()> fn) = 0;
+    /** Current log snapshot incl. estimatedCompactSeconds. */
+    virtual DeltaLogStats deltaLogStats(const std::string &object) const = 0;
+    /**
+     * Folds segments [0, seal_seq] of `object` into a fresh base
+     * generation and swaps the manifest atomically. Must leave the old
+     * generation fully intact on any failure. A missing object (deleted
+     * while the compaction was in flight) is a successful no-op.
+     */
+    virtual Status compactObjectNow(const std::string &object,
+                                    uint64_t seal_seq) = 0;
+};
+
+class Compactor
+{
+  public:
+    Compactor(CompactionHost &host, CompactionPolicy policy)
+        : host_(host), policy_(policy)
+    {
+    }
+
+    const CompactionPolicy &policy() const { return policy_; }
+
+    /**
+     * Notifies the Compactor that `object`'s log grew. When a size
+     * threshold is already crossed the log is sealed at its current
+     * lastSeq and the fold is scheduled estimatedCompactSeconds in the
+     * future (the modeled re-encode duration — queries in that window
+     * still see the old generation plus every segment). Otherwise an
+     * age check is armed at the oldest segment's deadline.
+     */
+    void noteAppend(const std::string &object);
+
+    /** Forgets pending state for a deleted object. */
+    void noteDeleted(const std::string &object);
+
+    /** True while a check or fold event is in flight for `object`. */
+    bool pending(const std::string &object) const;
+
+    uint64_t runs() const { return runs_; }
+    uint64_t aborts() const { return aborts_; }
+
+  private:
+    bool sizeTriggered(const DeltaLogStats &stats) const;
+    void scheduleFold(const std::string &object, const DeltaLogStats &stats);
+    void ageCheck(const std::string &object);
+    void runFold(const std::string &object, uint64_t seal_seq);
+
+    CompactionHost &host_;
+    CompactionPolicy policy_;
+    /** Sorted map: deterministic and fusion-lint friendly. */
+    std::map<std::string, bool> pending_;
+    uint64_t runs_ = 0;
+    uint64_t aborts_ = 0;
+};
+
+} // namespace fusion::lifecycle
+
+#endif // FUSION_LIFECYCLE_COMPACTOR_H

@@ -1,0 +1,56 @@
+#include "restripe.h"
+
+namespace fusion::lifecycle {
+
+RestripeDecision
+decideRestripe(const obs::ChunkHeatTable &heat, double now_seconds,
+               const std::string &old_share_name, size_t num_columns,
+               size_t old_data_chunks, size_t new_row_groups,
+               const RestripeOptions &options)
+{
+    RestripeDecision out;
+    if (num_columns < 2) {
+        out.reason = "uniform-heat";
+        return out;
+    }
+
+    std::vector<double> column_heat(num_columns, 0.0);
+    double total = 0.0;
+    for (size_t chunk = 0; chunk < old_data_chunks; ++chunk) {
+        double h = heat.heat(old_share_name,
+                             static_cast<uint32_t>(chunk), now_seconds);
+        column_heat[chunk % num_columns] += h;
+        total += h;
+    }
+    if (total < options.minTotalHeat) {
+        out.reason = "insufficient-heat";
+        return out;
+    }
+
+    const double uniform = total / static_cast<double>(num_columns);
+    for (size_t col = 0; col < num_columns; ++col) {
+        if (column_heat[col] > options.hotFactor * uniform)
+            out.hotColumns.push_back(col);
+    }
+    if (out.hotColumns.empty() || out.hotColumns.size() == num_columns) {
+        out.hotColumns.clear();
+        out.reason = "uniform-heat";
+        return out;
+    }
+
+    out.heatDriven = true;
+    out.reason = "heat-colocate cols=";
+    for (size_t i = 0; i < out.hotColumns.size(); ++i) {
+        if (i > 0)
+            out.reason += ",";
+        out.reason += std::to_string(out.hotColumns[i]);
+    }
+    for (size_t rg = 0; rg < new_row_groups; ++rg) {
+        for (size_t col : out.hotColumns)
+            out.hotChunks.push_back(
+                static_cast<uint32_t>(rg * num_columns + col));
+    }
+    return out;
+}
+
+} // namespace fusion::lifecycle

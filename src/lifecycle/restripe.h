@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Heat-driven re-stripe policy: at compaction time, consult the decayed
+ * per-(object, chunk) access counts in obs::ChunkHeatTable and decide
+ * which columns of the new generation deserve co-location in dedicated
+ * leading stripes (a stats-driven step toward Qd-tree-style
+ * workload-aware layout — see PAPERS.md). Pure policy: the store maps
+ * the decision onto fac::buildHeatFacLayout.
+ */
+#ifndef FUSION_LIFECYCLE_RESTRIPE_H
+#define FUSION_LIFECYCLE_RESTRIPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace fusion::lifecycle {
+
+/** Tuning knobs for decideRestripe. */
+struct RestripeOptions {
+    /** Below this total decayed heat the signal is noise; keep the
+     *  size-only FAC layout. */
+    double minTotalHeat = 1.0;
+    /** A column is hot when its share exceeds hotFactor x uniform. */
+    double hotFactor = 2.0;
+};
+
+/** The policy's verdict, recorded in EXPLAIN/telemetry. */
+struct RestripeDecision {
+    /** Chunk ids of the NEW generation to co-locate (hot columns x all
+     *  row groups); empty when !heatDriven. */
+    std::vector<uint32_t> hotChunks;
+    /** Column indices judged hot, ascending. */
+    std::vector<size_t> hotColumns;
+    bool heatDriven = false;
+    /** "heat-colocate cols=...", "insufficient-heat", "uniform-heat". */
+    std::string reason;
+};
+
+/**
+ * Aggregates the old generation's per-chunk heat by column (chunk id
+ * modulo column count — the fpax chunk numbering) and flags columns
+ * whose decayed share exceeds `hotFactor` x the uniform share, provided
+ * the total heat clears `minTotalHeat`. Hot columns map to the chunk
+ * ids they will occupy in the new generation's `new_row_groups` groups.
+ */
+RestripeDecision decideRestripe(const obs::ChunkHeatTable &heat,
+                                double now_seconds,
+                                const std::string &old_share_name,
+                                size_t num_columns, size_t old_data_chunks,
+                                size_t new_row_groups,
+                                const RestripeOptions &options = {});
+
+} // namespace fusion::lifecycle
+
+#endif // FUSION_LIFECYCLE_RESTRIPE_H

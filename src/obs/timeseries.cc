@@ -277,6 +277,25 @@ ChunkHeatTable::heat(const std::string &object, uint32_t chunk,
     return it->second.valueAt(seconds);
 }
 
+void
+ChunkHeatTable::evictObject(const std::string &object)
+{
+    for (auto it = heat_.begin(); it != heat_.end();) {
+        const std::string &key = it->first.first;
+        // Match the bare name plus its "@g<gen>" / "#delta" aliases, but
+        // never a distinct object that merely shares a prefix.
+        bool owned = key.size() >= object.size() &&
+                     key.compare(0, object.size(), object) == 0 &&
+                     (key.size() == object.size() ||
+                      key[object.size()] == '@' ||
+                      key[object.size()] == '#');
+        if (owned)
+            it = heat_.erase(it);
+        else
+            ++it;
+    }
+}
+
 std::vector<ChunkHeatTable::HotChunk>
 ChunkHeatTable::hottest(double seconds, size_t k) const
 {

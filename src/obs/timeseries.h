@@ -159,6 +159,14 @@ class ChunkHeatTable
     std::vector<HotChunk> hottest(double seconds, size_t k) const;
     size_t size() const { return heat_.size(); }
 
+    /**
+     * Drops every entry recorded for `object`, including its
+     * generation-qualified ("name@gN") and delta-log ("name#delta")
+     * aliases, so deleteObject and compaction swaps never leave stale
+     * chunks for the re-stripe policy or the fusion_top leaderboard.
+     */
+    void evictObject(const std::string &object);
+
   private:
     double halfLife_ = 0.5;
     std::map<std::pair<std::string, uint32_t>, DecayCounter> heat_;

@@ -18,6 +18,23 @@ FusionStore::buildLayout(const std::vector<fac::ChunkExtent> &extents)
     return fac::buildFusionLayout(extents, layout_options);
 }
 
+fac::ObjectLayout
+FusionStore::buildRestripeLayout(
+    const std::vector<fac::ChunkExtent> &extents,
+    const std::vector<uint32_t> &hot_chunks)
+{
+    if (hot_chunks.empty())
+        return buildLayout(extents);
+    fac::ObjectLayout heat_layout = fac::buildHeatFacLayout(
+        extents, options_.n, options_.k, hot_chunks);
+    // Two independent packings waste more bin tail than one; when that
+    // exceeds twice the configured threshold, locality loses to
+    // storage overhead and the ordinary Fusion layout applies.
+    if (heat_layout.overheadVsOptimal() > 2.0 * options_.overheadThreshold)
+        return buildLayout(extents);
+    return heat_layout;
+}
+
 Result<ObjectStore::QueryPlan>
 FusionStore::planQuery(const ObjectManifest &manifest,
                        const query::Query &q)
@@ -105,12 +122,13 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                              chunk.storedSize, chunkDecodeWork(chunk),
                              plane.filterReplyWireSize.at({rg, col}), 0.0,
                              "filter_pushdown"};
-                task.shareKey = "fpush|" + manifest.name + "|" +
+                task.shareKey = "fpush|" + manifest.shareName() + "|" +
                                 std::to_string(chunk_id) + "|" +
                                 column_filter_sig(col_name);
                 task.chunkId = chunk_id;
                 obs_.telemetry.heat().recordAccess(
-                    cluster_.engine().now(), manifest.name, chunk_id);
+                    cluster_.engine().now(), manifest.shareName(),
+                    chunk_id);
                 plan.filterTasks.push_back(std::move(task));
                 warm_chunks.insert({node, chunk_id});
                 ++plan.outcome.filterChunkPushdowns;
@@ -165,10 +183,15 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             auto record = [&](const char *verdict, const char *reason) {
                 if (!explain)
                     return;
+                // A chunk the compaction re-stripe co-located carries
+                // the fact into EXPLAIN, whatever the verdict.
+                std::string why = reason;
+                if (manifest.isHotColocated(chunk_id))
+                    why += "; hot-colocated";
                 report.projections.push_back(
                     {chunk_id, static_cast<uint32_t>(rg), col_name,
                      decision.selectivity, decision.compressibility,
-                     verdict, reason});
+                     verdict, std::move(why)});
             };
 
             if (cached_decision.local) {
@@ -232,13 +255,14 @@ FusionStore::planQuery(const ObjectManifest &manifest,
             // Every projection-stage task (push or fetch) is one more
             // access for the chunk-heat table.
             obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
-                                               manifest.name, chunk_id);
+                                               manifest.shareName(),
+                                               chunk_id);
 
             if (options_.aggregatePushdown && aggregate_only) {
                 // Node returns a (count, sum, min, max) scalar tuple.
                 SimTask task{node, request, disk_bytes, decode_work, 32,
                              0.0, "projection_pushdown"};
-                task.shareKey = "apush|" + manifest.name + "|" +
+                task.shareKey = "apush|" + manifest.shareName() + "|" +
                                 std::to_string(chunk_id) + "|" +
                                 full_filter_sig;
                 fill_shared(task);
@@ -253,7 +277,7 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                 SimTask task{node, request, disk_bytes, decode_work,
                              plane.projectionReplySize.at({rg, col}), 0.0,
                              "projection_pushdown"};
-                task.shareKey = "ppush|" + manifest.name + "|" +
+                task.shareKey = "ppush|" + manifest.shareName() + "|" +
                                 std::to_string(chunk_id) + "|" +
                                 full_filter_sig;
                 fill_shared(task);
@@ -268,7 +292,7 @@ FusionStore::planQuery(const ObjectManifest &manifest,
                              chunk.storedSize, 0.0, chunk.storedSize,
                              chunkDecodeWork(chunk), "chunk_fetch"};
                 task.shareKey =
-                    "cfetch|" + manifest.name + "|" +
+                    "cfetch|" + manifest.shareName() + "|" +
                     std::to_string(chunk_id);
                 fill_shared(task);
                 plan.projectionTasks.push_back(std::move(task));

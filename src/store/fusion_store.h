@@ -38,6 +38,17 @@ class FusionStore : public ObjectStore
     fac::ObjectLayout
     buildLayout(const std::vector<fac::ChunkExtent> &extents) override;
 
+    /**
+     * Compaction re-stripe: packs the heat-chosen hot chunks into
+     * leading stripes (fac::buildHeatFacLayout) so the workload's hot
+     * set shares node groups. Falls back to the plain Fusion layout
+     * when the two-partition packing wastes more than twice the
+     * configured overhead threshold.
+     */
+    fac::ObjectLayout
+    buildRestripeLayout(const std::vector<fac::ChunkExtent> &extents,
+                        const std::vector<uint32_t> &hot_chunks) override;
+
     Result<QueryPlan> planQuery(const ObjectManifest &manifest,
                                 const query::Query &q) override;
 };

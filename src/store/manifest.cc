@@ -21,8 +21,22 @@ ObjectManifest::blocksOnNode(size_t node_id) const
 std::string
 ObjectManifest::blockKey(size_t stripe, size_t block_index) const
 {
-    return name + "#s" + std::to_string(stripe) + "#b" +
+    return shareName() + "#s" + std::to_string(stripe) + "#b" +
            std::to_string(block_index);
+}
+
+std::string
+ObjectManifest::shareName() const
+{
+    return generation == 0 ? name
+                           : name + "@g" + std::to_string(generation);
+}
+
+bool
+ObjectManifest::isHotColocated(uint32_t chunk_id) const
+{
+    return std::find(hotChunkIds.begin(), hotChunkIds.end(), chunk_id) !=
+           hotChunkIds.end();
 }
 
 void

@@ -33,6 +33,22 @@ struct ObjectManifest {
     bool isFpax = false;
     format::FileMetadata fileMeta; // valid when isFpax
 
+    /**
+     * Base-layout generation. 0 for the original put(); compaction
+     * re-encodes base+deltas under generation+1 and swaps the manifest
+     * atomically. Block keys and scheduler share keys embed the
+     * generation (for g > 0) so in-flight shared scans against a
+     * superseded generation can never alias the new one.
+     */
+    uint64_t generation = 0;
+
+    /**
+     * Chunk ids the heat-driven re-stripe policy chose to co-locate in
+     * dedicated leading stripes at compaction time. Empty when the
+     * layout was not heat-informed.
+     */
+    std::vector<uint32_t> hotChunkIds;
+
     fac::ObjectLayout layout;
     /** Chunk extents the layout was built over, indexed by chunk id.
      *  For fpax objects: the column chunks in file order, plus two
@@ -88,6 +104,16 @@ struct ObjectManifest {
 
     /** Storage key of a block on its node. */
     std::string blockKey(size_t stripe, size_t block_index) const;
+
+    /**
+     * Generation-qualified object name used in block keys and scheduler
+     * share keys: the bare name for generation 0 (so pre-lifecycle key
+     * formats are unchanged), "name@g<N>" afterwards.
+     */
+    std::string shareName() const;
+
+    /** True when the re-stripe policy co-located this chunk. */
+    bool isHotColocated(uint32_t chunk_id) const;
 
     /**
      * Derives chunkPieces, the per-chunk node cache and the per-node

@@ -9,6 +9,7 @@
 #include "format/chunk_codec.h"
 #include "format/reader.h"
 #include "format/writer.h"
+#include "lifecycle/restripe.h"
 #include "query/cost.h"
 #include "query/eval.h"
 #include "sim/fault.h"
@@ -90,6 +91,22 @@ ObjectStore::ObjectStore(sim::Cluster &cluster, const StoreOptions &options)
     }
     ins_.healthUpdates = &reg.counter("health.updates");
     ins_.flightDumps = &reg.counter("health.flight_dumps");
+    // Lifecycle instruments are registered even when the store never
+    // appends so metric snapshots keep a stable key set.
+    ins_.appendAppends = &reg.counter("append.appends");
+    ins_.appendRows = &reg.counter("append.rows");
+    ins_.appendBytes = &reg.counter("append.segment_bytes");
+    ins_.appendDeltaScans = &reg.counter("append.delta_scans");
+    ins_.compactionRuns = &reg.counter("compaction.runs");
+    ins_.compactionAborts = &reg.counter("compaction.aborts");
+    ins_.compactionFoldedSegments =
+        &reg.counter("compaction.folded_segments");
+    ins_.compactionBytesIn = &reg.counter("compaction.bytes_in");
+    ins_.compactionBytesOut = &reg.counter("compaction.bytes_out");
+    ins_.compactionHotColocated =
+        &reg.counter("compaction.hot_colocated_chunks");
+    compactor_ =
+        std::make_unique<lifecycle::Compactor>(*this, options_.compaction);
     faultListenerId_ = cluster_.addFaultListener(
         [this](double seconds, int kind, size_t node,
                double slow_factor) {
@@ -165,7 +182,18 @@ ObjectStore::deleteObject(const std::string &name)
             cluster_.node(old.stripeNodes[s][b])
                 .dropBlock(old.blockKey(s, b));
     }
+    auto log = deltaLogs_.find(name);
+    if (log != deltaLogs_.end()) {
+        dropDeltaBlocks(log->second, UINT64_MAX);
+        deltaLogs_.erase(log);
+    }
+    compactor_->noteDeleted(name);
+    // No stale state may survive the name: residency, memoized results
+    // and the chunk-heat entries (including "@gN" / "#delta" aliases)
+    // all go — a later re-stripe or fusion_top must never see them.
     chunkCache_.invalidateObject(name);
+    purgeObjectMemo(name);
+    obs_.telemetry.heat().evictObject(name);
     manifests_.erase(it);
     return Status::ok();
 }
@@ -225,9 +253,22 @@ ObjectStore::put(const std::string &name, Bytes object)
         // Updates are fresh inserts (paper §5): drop the old placement.
         FUSION_RETURN_IF_ERROR(deleteObject(name));
     }
+    auto stored = buildStoredObject(name, object, 0, {});
+    if (!stored.isOk())
+        return stored.status();
+    manifests_.emplace(name, std::move(stored.value().manifest));
+    return stored.value().result;
+}
 
+Result<ObjectStore::StoredObject>
+ObjectStore::buildStoredObject(const std::string &name, const Bytes &object,
+                               uint64_t generation,
+                               const std::vector<uint32_t> &hot_chunks)
+{
     ObjectManifest manifest;
     manifest.name = name;
+    manifest.generation = generation;
+    manifest.hotChunkIds = hot_chunks;
     manifest.objectSize = object.size();
 
     // Identify column chunk boundaries from the format footer.
@@ -256,7 +297,9 @@ ObjectStore::put(const std::string &name, Bytes object)
     }
 
     double layout_start = walltime::monotonicSeconds();
-    manifest.layout = buildLayout(manifest.extents);
+    manifest.layout = hot_chunks.empty()
+                          ? buildLayout(manifest.extents)
+                          : buildRestripeLayout(manifest.extents, hot_chunks);
     double layout_seconds = walltime::monotonicSeconds() - layout_start;
     FUSION_RETURN_IF_ERROR(manifest.layout.validate(manifest.extents));
 
@@ -271,7 +314,8 @@ ObjectStore::put(const std::string &name, Bytes object)
     // Node placement and storage mutation stay on the calling thread.
     const size_t num_stripes = manifest.layout.stripes.size();
     uint64_t encode_span = obs_.tracer.beginSpan(
-        "stripe_encode", "\"object\": \"" + name + "\", \"stripes\": " +
+        "stripe_encode", "\"object\": \"" + manifest.shareName() +
+                             "\", \"stripes\": " +
                              std::to_string(num_stripes));
     std::vector<std::vector<Bytes>> stripe_blocks(num_stripes);
     ThreadPool::shared().parallelFor(0, num_stripes, [&](size_t s) {
@@ -350,8 +394,10 @@ ObjectStore::put(const std::string &name, Bytes object)
     // downstream of them) vary run to run with machine load.
     result.simulatedPutSeconds = client_transfer + slowest_node;
 
-    manifests_.emplace(name, std::move(manifest));
-    return result;
+    StoredObject out;
+    out.manifest = std::move(manifest);
+    out.result = result;
+    return out;
 }
 
 void
@@ -419,6 +465,552 @@ ObjectStore::putAsync(const std::string &name, Bytes object,
     };
     cluster_.transfer(*client, *coord, shared->objectBytes,
                       std::move(stream_blocks));
+}
+
+// ---- object lifecycle (src/lifecycle/) ----
+
+uint64_t
+ObjectStore::baseRowGroupRows(const ObjectManifest &manifest) const
+{
+    // The first row group is always full-size (only the last may be
+    // short), so it recovers the base's writer option; the merged
+    // materialization and the compacted base re-serialize under it and
+    // therefore stay byte-identical to each other.
+    const auto &groups = manifest.fileMeta.rowGroups;
+    return groups.empty() ? (uint64_t{1} << 16) : groups.front().numRows;
+}
+
+Result<AppendResult>
+ObjectStore::append(const std::string &name, const format::Table &rows)
+{
+    auto m = manifest(name);
+    if (!m.isOk())
+        return m.status();
+    const ObjectManifest &base = *m.value();
+    if (!base.isFpax)
+        return Status::failedPrecondition(
+            "append requires an analytics (fpax) object");
+    if (rows.numRows() == 0)
+        return Status::invalidArgument("cannot append an empty batch");
+    if (!(rows.schema() == base.fileMeta.schema))
+        return Status::invalidArgument(
+            "appended schema does not match object '" + name + "'");
+    FUSION_RETURN_IF_ERROR(rows.validate());
+
+    // Like put(), the synchronous form runs in one simulated instant;
+    // appendAsync wraps the streaming replication in a timed span.
+    obs::Tracer::Scoped span(obs_.tracer, "append");
+
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = baseRowGroupRows(base);
+    auto written = format::writeTable(rows, writer_options);
+    if (!written.isOk())
+        return written.status();
+
+    lifecycle::DeltaLog &log = deltaLogs_[name];
+    lifecycle::DeltaSegment segment;
+    segment.rows = rows.numRows();
+    segment.bytes = written.value().bytes.size();
+    segment.appendSeconds = cluster_.engine().now();
+    segment.blockKey =
+        base.shareName() + "#d" + std::to_string(log.nextSeq());
+    segment.meta = written.value().metadata;
+    const size_t replicas =
+        std::min(options_.deltaReplicas, cluster_.numNodes());
+    segment.replicaNodes = cluster_.chooseNodes(replicas);
+    for (size_t node_id : segment.replicaNodes)
+        cluster_.node(node_id).putBlock(segment.blockKey,
+                                        Bytes(written.value().bytes));
+
+    AppendResult result;
+    result.rows = segment.rows;
+    result.segmentBytes = segment.bytes;
+    result.replicas = replicas;
+
+    // Analytic ingest model: client uploads to the coordinator, which
+    // replicates in parallel; one replica's NIC + disk path bounds it.
+    const sim::NodeConfig &nc = cluster_.config().node;
+    result.simulatedAppendSeconds =
+        static_cast<double>(segment.bytes) / nc.nicBandwidth +
+        nc.rpcLatency +
+        static_cast<double>(segment.bytes) / nc.nicBandwidth +
+        static_cast<double>(segment.bytes) / nc.diskBandwidth;
+
+    result.seq = log.append(std::move(segment));
+    ins_.appendAppends->add(1);
+    ins_.appendRows->add(result.rows);
+    ins_.appendBytes->add(result.segmentBytes);
+    compactor_->noteAppend(name);
+    return result;
+}
+
+void
+ObjectStore::appendAsync(const std::string &name, const format::Table &rows,
+                         std::function<void(Result<AppendResult>)> done)
+{
+    uint64_t span = obs_.tracer.beginSpan(
+        "append", "\"object\": \"" + name + "\", \"rows\": " +
+                      std::to_string(rows.numRows()));
+    auto result = append(name, rows);
+    if (!result.isOk()) {
+        obs_.tracer.endSpan(span);
+        done(result.status());
+        return;
+    }
+    auto shared = std::make_shared<AppendResult>(result.value());
+    const lifecycle::DeltaSegment &segment =
+        deltaLogs_.at(name).segments().back();
+    const std::vector<size_t> replicas = segment.replicaNodes;
+    const uint64_t bytes = segment.bytes;
+
+    sim::StorageNode *client = &cluster_.client();
+    sim::StorageNode *coord = &cluster_.node(cluster_.coordinatorFor(name));
+    const double start = cluster_.engine().now();
+    const double seek = cluster_.config().node.diskSeekLatency;
+
+    auto stream = [this, shared, replicas, coord, bytes, seek, start, span,
+                   done = std::move(done)]() mutable {
+        auto join = std::make_shared<sim::Join>(
+            replicas.size(),
+            [this, shared, start, span, done = std::move(done)]() {
+                shared->simulatedAppendSeconds =
+                    cluster_.engine().now() - start;
+                obs_.tracer.endSpan(span);
+                done(*shared);
+            });
+        for (size_t node_id : replicas) {
+            sim::StorageNode *node = &cluster_.node(node_id);
+            if (node == coord) {
+                node->disk().acquire(static_cast<double>(bytes), seek,
+                                     [join]() { join->signal(); });
+                continue;
+            }
+            cluster_.transfer(*coord, *node, bytes,
+                              [node, bytes, seek, join]() {
+                                  node->disk().acquire(
+                                      static_cast<double>(bytes), seek,
+                                      [join]() { join->signal(); });
+                              });
+        }
+    };
+    cluster_.transfer(*client, *coord, bytes, std::move(stream));
+}
+
+const lifecycle::DeltaLog *
+ObjectStore::deltaLog(const std::string &name) const
+{
+    auto it = deltaLogs_.find(name);
+    return it == deltaLogs_.end() ? nullptr : &it->second;
+}
+
+double
+ObjectStore::lifecycleNowSeconds() const
+{
+    return cluster_.engine().now();
+}
+
+void
+ObjectStore::lifecycleScheduleAfter(double delay_seconds,
+                                    std::function<void()> fn)
+{
+    cluster_.engine().schedule(delay_seconds, std::move(fn));
+}
+
+lifecycle::DeltaLogStats
+ObjectStore::deltaLogStats(const std::string &object) const
+{
+    auto it = deltaLogs_.find(object);
+    if (it == deltaLogs_.end())
+        return {};
+    lifecycle::DeltaLogStats stats = it->second.stats();
+    // Modeled fold duration: base + deltas stream off disk and across
+    // the wire once, and the re-encoded base streams back out.
+    uint64_t in_bytes = stats.bytes;
+    auto m = manifests_.find(object);
+    if (m != manifests_.end())
+        in_bytes += m->second.objectSize;
+    const sim::NodeConfig &nc = cluster_.config().node;
+    stats.estimatedCompactSeconds =
+        2.0 * static_cast<double>(in_bytes) *
+        (1.0 / nc.diskBandwidth + 1.0 / nc.nicBandwidth);
+    return stats;
+}
+
+Status
+ObjectStore::compactObject(const std::string &name)
+{
+    auto it = deltaLogs_.find(name);
+    if (it == deltaLogs_.end() || it->second.empty())
+        return Status::ok();
+    return compactObjectNow(name, it->second.lastSeq());
+}
+
+Result<Bytes>
+ObjectStore::readDeltaSegment(const lifecycle::DeltaSegment &segment)
+{
+    for (size_t node_id : segment.replicaNodes) {
+        const sim::StorageNode &node = cluster_.node(node_id);
+        if (!nodeResponsive(node))
+            continue;
+        const Bytes *block = node.findBlock(segment.blockKey);
+        if (block != nullptr)
+            return *block;
+    }
+    return Status::unavailable(
+        "no responsive replica holds delta segment '" + segment.blockKey +
+        "'");
+}
+
+Result<format::Table>
+ObjectStore::materializeMergedTable(
+    const ObjectManifest &manifest,
+    const std::vector<const lifecycle::DeltaSegment *> &segments)
+{
+    // Base bytes via the chunk read path: degraded-read capable, so a
+    // merge (or compaction) survives dead nodes under the EC budget.
+    Bytes base(manifest.objectSize);
+    for (const auto &extent : manifest.extents) {
+        auto chunk = readChunkBytes(manifest, extent.id);
+        if (!chunk.isOk())
+            return chunk.status();
+        std::copy(chunk.value().begin(), chunk.value().end(),
+                  base.begin() + extent.offset);
+    }
+    auto reader = format::FileReader::open(Slice(base));
+    if (!reader.isOk())
+        return reader.status();
+    auto table = reader.value().readTable();
+    if (!table.isOk())
+        return table.status();
+    format::Table merged = std::move(table.value());
+    for (const lifecycle::DeltaSegment *segment : segments) {
+        auto bytes = readDeltaSegment(*segment);
+        if (!bytes.isOk())
+            return bytes.status();
+        auto delta_reader = format::FileReader::open(Slice(bytes.value()));
+        if (!delta_reader.isOk())
+            return delta_reader.status();
+        auto delta = delta_reader.value().readTable();
+        if (!delta.isOk())
+            return delta.status();
+        for (size_t col = 0; col < merged.numColumns(); ++col) {
+            const format::ColumnData &src = delta.value().column(col);
+            for (size_t i = 0; i < src.size(); ++i)
+                merged.column(col).appendValue(src.valueAt(i));
+        }
+    }
+    return merged;
+}
+
+Result<Bytes>
+ObjectStore::materializeMergedBytes(const ObjectManifest &manifest,
+                                    const lifecycle::DeltaLog &log)
+{
+    std::vector<const lifecycle::DeltaSegment *> segments;
+    segments.reserve(log.size());
+    for (const auto &segment : log.segments())
+        segments.push_back(&segment);
+    auto merged = materializeMergedTable(manifest, segments);
+    if (!merged.isOk())
+        return merged.status();
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = baseRowGroupRows(manifest);
+    auto written = format::writeTable(merged.value(), writer_options);
+    if (!written.isOk())
+        return written.status();
+    return std::move(written.value().bytes);
+}
+
+void
+ObjectStore::dropDeltaBlocks(const lifecycle::DeltaLog &log,
+                             uint64_t up_to_seq)
+{
+    for (const auto &segment : log.segments()) {
+        if (segment.seq > up_to_seq)
+            continue;
+        for (size_t node_id : segment.replicaNodes)
+            cluster_.node(node_id).dropBlock(segment.blockKey);
+    }
+}
+
+void
+ObjectStore::purgeObjectMemo(const std::string &name)
+{
+    for (auto it = decodeCache_.begin(); it != decodeCache_.end();) {
+        if (it->first.first == name)
+            it = decodeCache_.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = bitmapCache_.begin(); it != bitmapCache_.end();) {
+        if (std::get<0>(it->first) == name)
+            it = bitmapCache_.erase(it);
+        else
+            ++it;
+    }
+    const std::string prefix = name + "|";
+    for (auto it = planCache_.begin(); it != planCache_.end();) {
+        if (it->first.compare(0, prefix.size(), prefix) == 0)
+            it = planCache_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Status
+ObjectStore::compactObjectNow(const std::string &object, uint64_t seal_seq)
+{
+    auto m = manifests_.find(object);
+    if (m == manifests_.end()) {
+        // Deleted while the fold was in flight: a successful no-op.
+        deltaLogs_.erase(object);
+        return Status::ok();
+    }
+    auto log_it = deltaLogs_.find(object);
+    if (log_it == deltaLogs_.end() || log_it->second.empty())
+        return Status::ok();
+    lifecycle::DeltaLog &log = log_it->second;
+
+    std::vector<const lifecycle::DeltaSegment *> sealed;
+    uint64_t sealed_bytes = 0;
+    for (const auto &segment : log.segments()) {
+        if (segment.seq <= seal_seq) {
+            sealed.push_back(&segment);
+            sealed_bytes += segment.bytes;
+        }
+    }
+    if (sealed.empty())
+        return Status::ok();
+
+    const ObjectManifest &old = m->second;
+    uint64_t span = obs_.tracer.beginSpan(
+        "compaction", "\"object\": \"" + object + "\", \"segments\": " +
+                          std::to_string(sealed.size()) +
+                          ", \"generation\": " +
+                          std::to_string(old.generation + 1));
+
+    // Every fallible step runs before the swap point below, so an
+    // abort (e.g. too many nodes down to read the base) leaves the old
+    // generation and the full delta log untouched and readable.
+    auto merged = materializeMergedTable(old, sealed);
+    if (!merged.isOk()) {
+        ins_.compactionAborts->add(1);
+        obs_.tracer.endSpan(span);
+        return merged.status();
+    }
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = baseRowGroupRows(old);
+    auto written = format::writeTable(merged.value(), writer_options);
+    if (!written.isOk()) {
+        ins_.compactionAborts->add(1);
+        obs_.tracer.endSpan(span);
+        return written.status();
+    }
+
+    // Heat-driven re-stripe: the old generation's access history picks
+    // the columns whose chunks the new layout should co-locate.
+    lifecycle::RestripeDecision decision = lifecycle::decideRestripe(
+        obs_.telemetry.heat(), cluster_.engine().now(), old.shareName(),
+        old.fileMeta.schema.numColumns(), old.numDataChunks(),
+        written.value().metadata.numRowGroups());
+
+    auto stored = buildStoredObject(object, written.value().bytes,
+                                    old.generation + 1, decision.hotChunks);
+    if (!stored.isOk()) {
+        ins_.compactionAborts->add(1);
+        obs_.tracer.endSpan(span);
+        return stored.status();
+    }
+
+    // ---- the swap: drop old generation + sealed deltas, publish ----
+    const uint64_t bytes_in = old.objectSize + sealed_bytes;
+    for (size_t s = 0; s < old.stripeNodes.size(); ++s) {
+        for (size_t b = 0; b < old.stripeNodes[s].size(); ++b)
+            cluster_.node(old.stripeNodes[s][b])
+                .dropBlock(old.blockKey(s, b));
+    }
+    dropDeltaBlocks(log, seal_seq);
+    log.dropUpTo(seal_seq);
+    // The superseded generation's chunks must not linger anywhere the
+    // new layout (or fusion_top) consults: residency, memoized results
+    // and the heat table (with its "@gN"/"#delta" aliases) all reset.
+    chunkCache_.invalidateObject(object);
+    purgeObjectMemo(object);
+    obs_.telemetry.heat().evictObject(object);
+    m->second = std::move(stored.value().manifest);
+
+    ins_.compactionRuns->add(1);
+    ins_.compactionFoldedSegments->add(sealed.size());
+    ins_.compactionBytesIn->add(bytes_in);
+    ins_.compactionBytesOut->add(m->second.objectSize);
+    ins_.compactionHotColocated->add(decision.hotChunks.size());
+    const std::string detail =
+        "\"object\": \"" + object + "\", \"generation\": " +
+        std::to_string(m->second.generation) + ", \"heat_driven\": " +
+        (decision.heatDriven ? "true" : "false") + ", \"reason\": \"" +
+        decision.reason + "\"";
+    obs_.tracer.instant("restripe_decision", detail);
+    obs_.telemetry.flight().record(cluster_.engine().now(), "compaction",
+                                   detail);
+    obs_.tracer.endSpan(span);
+    return Status::ok();
+}
+
+Status
+ObjectStore::mergeDeltaIntoPlan(const ObjectManifest &manifest,
+                                const lifecycle::DeltaLog &log,
+                                const query::Query &resolved,
+                                QueryPlan &plan)
+{
+    // Base-only figures are captured before any segment folds in: the
+    // AVG merge below needs the base's matched-row count.
+    query::QueryResult &res = plan.outcome.result;
+    const uint64_t base_matched = res.rowsMatched;
+
+    uint64_t delta_scanned = 0, delta_matched = 0;
+    std::vector<format::ColumnData> delta_values(res.columns.size());
+    std::vector<obs::ExplainChunk> delta_explains;
+    const double now = cluster_.engine().now();
+
+    for (const auto &segment : log.segments()) {
+        auto bytes = readDeltaSegment(segment);
+        if (!bytes.isOk())
+            return bytes.status();
+        auto scan = lifecycle::scanDeltaSegment(
+            segment.meta, Slice(bytes.value()), resolved);
+        if (!scan.isOk())
+            return scan.status();
+        const lifecycle::DeltaScanResult &sr = scan.value();
+
+        // One sim task per (segment, query): the first responsive
+        // replica streams the touched chunks to the coordinator, which
+        // pays the scan work. The share key carries the full query
+        // signature — only identical queries in one admission window
+        // move these bytes once.
+        size_t replica = segment.replicaNodes.front();
+        for (size_t node_id : segment.replicaNodes) {
+            if (nodeResponsive(cluster_.node(node_id))) {
+                replica = node_id;
+                break;
+            }
+        }
+        SimTask task{replica,
+                     options_.requestRpcBytes,
+                     sr.touchedStoredBytes,
+                     0.0,
+                     sr.touchedStoredBytes,
+                     sr.scanWork,
+                     "delta_fetch"};
+        task.shareKey = "dfetch|" + manifest.shareName() + "|d" +
+                        std::to_string(segment.seq) + "|" +
+                        resolved.toString();
+        plan.projectionTasks.push_back(std::move(task));
+
+        // The delta log's heat rides under a "#delta" alias so base
+        // chunks never inherit append-scan traffic.
+        obs_.telemetry.heat().recordAccess(
+            now, manifest.shareName() + "#delta",
+            static_cast<uint32_t>(segment.seq));
+
+        delta_scanned += sr.rowsScanned;
+        delta_matched += sr.rowsMatched;
+        for (size_t i = 0; i < sr.selected.size(); ++i) {
+            const format::ColumnData &sel = sr.selected[i];
+            if (sel.size() == 0)
+                continue;
+            if (delta_values[i].size() == 0)
+                delta_values[i] = sel;
+            else
+                for (size_t r = 0; r < sel.size(); ++r)
+                    delta_values[i].appendValue(sel.valueAt(r));
+        }
+        plan.clientReplyBytes += sr.clientReplyBytes;
+        plan.outcome.rowGroupsScanned += sr.rowGroups.size();
+        plan.outcome.rowGroupsSkipped +=
+            segment.meta.numRowGroups() - sr.rowGroups.size();
+        ++plan.outcome.deltaSegmentsScanned;
+        ins_.appendDeltaScans->add(1);
+
+        delta_explains.push_back(
+            {static_cast<uint32_t>(segment.seq), 0, "<delta>",
+             sr.rowsScanned == 0
+                 ? 0.0
+                 : static_cast<double>(sr.rowsMatched) /
+                       static_cast<double>(sr.rowsScanned),
+             1.0, "delta", "delta-log"});
+    }
+
+    res.rowsScanned += delta_scanned;
+    res.rowsMatched += delta_matched;
+    for (size_t i = 0; i < res.columns.size(); ++i) {
+        query::ProjectionResult &col = res.columns[i];
+        const query::Projection &proj = resolved.projections.at(i);
+        if (!col.isAggregate) {
+            for (size_t r = 0; r < delta_values[i].size(); ++r)
+                col.values.appendValue(delta_values[i].valueAt(r));
+            continue;
+        }
+        const uint64_t dn = delta_values[i].size();
+        switch (proj.aggregate) {
+          case query::AggregateKind::kCount:
+            col.aggregateValue += static_cast<double>(
+                proj.isCountStar() ? delta_matched : dn);
+            break;
+          case query::AggregateKind::kSum: {
+            if (dn == 0)
+                break;
+            auto sum = query::computeAggregate(
+                query::AggregateKind::kSum, delta_values[i]);
+            if (!sum.isOk())
+                return sum.status();
+            col.aggregateValue += sum.value();
+            break;
+          }
+          case query::AggregateKind::kAvg: {
+            if (dn == 0)
+                break;
+            auto sum = query::computeAggregate(
+                query::AggregateKind::kSum, delta_values[i]);
+            if (!sum.isOk())
+                return sum.status();
+            col.aggregateValue =
+                (col.aggregateValue * static_cast<double>(base_matched) +
+                 sum.value()) /
+                static_cast<double>(base_matched + dn);
+            break;
+          }
+          case query::AggregateKind::kMin:
+          case query::AggregateKind::kMax: {
+            if (dn == 0)
+                break;
+            auto extremum =
+                query::computeAggregate(proj.aggregate, delta_values[i]);
+            if (!extremum.isOk())
+                return extremum.status();
+            if (base_matched == 0)
+                col.aggregateValue = extremum.value();
+            else if (proj.aggregate == query::AggregateKind::kMin)
+                col.aggregateValue =
+                    std::min(col.aggregateValue, extremum.value());
+            else
+                col.aggregateValue =
+                    std::max(col.aggregateValue, extremum.value());
+            break;
+          }
+          case query::AggregateKind::kNone:
+            break;
+        }
+    }
+
+    if (plan.outcome.explain != nullptr && !delta_explains.empty()) {
+        // Copy-on-write: the base report may be shared with a caller.
+        auto amended =
+            std::make_shared<obs::QueryExplain>(*plan.outcome.explain);
+        for (auto &entry : delta_explains)
+            amended->projections.push_back(std::move(entry));
+        plan.outcome.explain = std::move(amended);
+    }
+    return Status::ok();
 }
 
 bool
@@ -662,6 +1254,11 @@ ObjectStore::get(const std::string &name)
     if (!m.isOk())
         return m.status();
     const ObjectManifest &manifest = *m.value();
+    // A non-empty delta log returns the merged materialization (base
+    // rows plus appends), byte-identical to the post-compaction base.
+    auto log = deltaLogs_.find(name);
+    if (log != deltaLogs_.end() && !log->second.empty())
+        return materializeMergedBytes(manifest, log->second);
     Bytes out(manifest.objectSize);
     for (const auto &extent : manifest.extents) {
         auto chunk = readChunkBytes(manifest, extent.id);
@@ -679,6 +1276,16 @@ ObjectStore::get(const std::string &name, uint64_t offset, uint64_t size)
     auto m = manifest(name);
     if (!m.isOk())
         return m.status();
+    auto log = deltaLogs_.find(name);
+    if (log != deltaLogs_.end() && !log->second.empty()) {
+        auto merged = materializeMergedBytes(*m.value(), log->second);
+        if (!merged.isOk())
+            return merged.status();
+        if (offset + size > merged.value().size())
+            return Status::outOfRange("read beyond object end");
+        return Bytes(merged.value().begin() + offset,
+                     merged.value().begin() + offset + size);
+    }
     if (offset + size > m.value()->objectSize)
         return Status::outOfRange("read beyond object end");
     // Reassemble only the chunks overlapping the range.
@@ -1094,7 +1701,7 @@ ObjectStore::cacheLookupChunk(const ObjectManifest &manifest,
     // whether or not the cache tier is on — the heat signal must
     // exist before anyone sizes a cache (or re-stripes) from it.
     obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
-                                       manifest.name, chunk_id);
+                                       manifest.shareName(), chunk_id);
     if (!chunkCache_.enabled())
         return out;
     uint64_t span = obs_.tracer.beginSpan(
@@ -1149,10 +1756,31 @@ ObjectStore::cacheAdmitChunk(const ObjectManifest &manifest,
 bool
 ObjectStore::admitChunkToCache(const std::string &object, uint32_t chunk_id)
 {
-    auto m = manifest(object);
-    if (!m.isOk())
+    // The scheduler hands back the object part of a share key, which
+    // embeds the generation ("name@gN") for compacted objects. An exact
+    // manifest match wins (an object could literally be named with
+    // "@g"); otherwise strip the suffix — and refuse when the key's
+    // generation is no longer current, so a conversion planned against
+    // a superseded generation never admits stale chunk ids.
+    auto exact = manifests_.find(object);
+    if (exact != manifests_.end() && exact->second.generation == 0)
+        return cacheAdmitChunk(exact->second, chunk_id);
+    std::string name = object;
+    uint64_t generation = 0;
+    size_t at = object.rfind("@g");
+    if (at != std::string::npos && at + 2 < object.size()) {
+        bool digits = true;
+        for (size_t i = at + 2; i < object.size() && digits; ++i)
+            digits = object[i] >= '0' && object[i] <= '9';
+        if (digits) {
+            name = object.substr(0, at);
+            generation = std::stoull(object.substr(at + 2));
+        }
+    }
+    auto m = manifests_.find(name);
+    if (m == manifests_.end() || m->second.generation != generation)
         return false;
-    return cacheAdmitChunk(*m.value(), chunk_id);
+    return cacheAdmitChunk(m->second, chunk_id);
 }
 
 uint64_t
@@ -1165,13 +1793,15 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
     size_t first_new = tasks.size();
     std::set<std::pair<size_t, size_t>> degraded_stripes;
     obs_.telemetry.heat().recordAccess(cluster_.engine().now(),
-                                       manifest.name, chunk_id);
+                                       manifest.shareName(), chunk_id);
 
     // Share keys: any query fetching the same healthy piece (or the
     // same surviving stripe block during a degraded read) moves the
-    // same bytes, so the batch scheduler can issue it once.
-    const std::string key_base =
-        "fetch|" + manifest.name + "|" + std::to_string(chunk_id) + "|";
+    // same bytes, so the batch scheduler can issue it once. The
+    // generation-qualified name keeps in-flight shares planned against
+    // a superseded generation from aliasing the new one.
+    const std::string key_base = "fetch|" + manifest.shareName() + "|" +
+                                 std::to_string(chunk_id) + "|";
     size_t ordinal = 0;
     for (const auto &piece : manifest.chunkPieces.at(chunk_id)) {
         size_t node_id =
@@ -1205,7 +1835,7 @@ ObjectStore::appendChunkFetchTasks(const ObjectManifest &manifest,
                                 : ls.blockSize();
             SimTask task{node_id, options_.requestRpcBytes, size, 0.0,
                          size, 0.0};
-            task.shareKey = "stripe|" + manifest.name + "|" +
+            task.shareKey = "stripe|" + manifest.shareName() + "|" +
                             std::to_string(stripe) + "|" +
                             std::to_string(b);
             task.chunkId = chunk_id;
@@ -1446,7 +2076,17 @@ ObjectStore::planQueryForBatch(const query::Query &q)
         after.parityReconstructions - before.parityReconstructions;
     p.outcome.readRetries = after.readRetries - before.readRetries;
     p.extraLatencySeconds = after.backoffSeconds - before.backoffSeconds;
-    return std::make_shared<QueryPlan>(std::move(p));
+    auto shared = std::make_shared<QueryPlan>(std::move(p));
+    // Queries see appended rows immediately: every live delta segment
+    // merges on top of the planned base-generation results.
+    auto log = deltaLogs_.find(q.table);
+    if (log != deltaLogs_.end() && !log->second.empty()) {
+        Status merged = mergeDeltaIntoPlan(*m.value(), log->second,
+                                           resolved.value(), *shared);
+        if (!merged.isOk())
+            return merged;
+    }
+    return shared;
 }
 
 void

@@ -29,6 +29,8 @@
 
 #include "cache/chunk_cache.h"
 #include "ec/reed_solomon.h"
+#include "lifecycle/compactor.h"
+#include "lifecycle/delta_log.h"
 #include "manifest.h"
 #include "obs/observability.h"
 #include "query/ast.h"
@@ -81,6 +83,15 @@ struct StoreOptions {
     double retryBackoffBaseSeconds = 1e-3;
     /** ...up to this cap (bounded exponential backoff). */
     double retryBackoffMaxSeconds = 8e-3;
+
+    // ---- object lifecycle (append log + compaction, src/lifecycle/) ----
+
+    /** Replication factor for append delta-log segments (small-object
+     *  regime: replicated, never erasure-coded). Capped at numNodes. */
+    size_t deltaReplicas = 3;
+    /** Background compaction triggers; enabled by default (a store
+     *  that never appends schedules no events). */
+    lifecycle::CompactionPolicy compaction;
 };
 
 /** Outcome of a Put. */
@@ -124,13 +135,24 @@ struct QueryOutcome {
     uint64_t parityReconstructions = 0;
     /** Timed-out block-read attempts this query retried. */
     uint64_t readRetries = 0;
+    /** Delta-log segments merged on top of the base generation. */
+    size_t deltaSegmentsScanned = 0;
     /** Per-chunk pushdown-decision report; filled when the store's
      *  obs().explainEnabled is set (FusionStore only). */
     std::shared_ptr<const obs::QueryExplain> explain;
 };
 
+/** Outcome of an append (lifecycle delta log). */
+struct AppendResult {
+    uint64_t seq = 0;          // position in the object's delta log
+    uint64_t rows = 0;
+    uint64_t segmentBytes = 0; // serialized fpax segment size
+    size_t replicas = 0;
+    double simulatedAppendSeconds = 0.0;
+};
+
 /** Base class; see file comment. */
-class ObjectStore
+class ObjectStore : public lifecycle::CompactionHost
 {
   public:
     ObjectStore(sim::Cluster &cluster, const StoreOptions &options);
@@ -152,7 +174,58 @@ class ObjectStore
     void putAsync(const std::string &name, Bytes object,
                   std::function<void(Result<PutResult>)> done);
 
-    /** Reassembles the full object (degraded-read capable). */
+    // ---- object lifecycle (src/lifecycle/) ----
+
+    /**
+     * Appends rows to an fpax object: the batch is serialized as a
+     * standalone fpax segment, replicated deltaReplicas ways (never
+     * erasure-coded — the paper's small-object regime) and added to the
+     * object's delta log. Readers and queries immediately see the new
+     * rows merged on top of the base generation; the background
+     * Compactor later seals and folds the log into a fresh FAC layout.
+     * The schema must equal the object's schema exactly.
+     */
+    Result<AppendResult> append(const std::string &name,
+                                const format::Table &rows);
+
+    /**
+     * append() plus a simulated ingest path: the client uploads the
+     * segment to the coordinator, which streams it to the replicas
+     * (NIC + disk, queued against concurrent query traffic). `done`
+     * fires in simulated time with simulatedAppendSeconds measured by
+     * the DES.
+     */
+    void appendAsync(const std::string &name, const format::Table &rows,
+                     std::function<void(Result<AppendResult>)> done);
+
+    /**
+     * Synchronously folds the object's entire delta log (if any) into a
+     * new base generation — the foreground form of what the background
+     * Compactor schedules. No-op when the log is empty.
+     */
+    Status compactObject(const std::string &name);
+
+    /** The object's delta log, or nullptr when it has none. */
+    const lifecycle::DeltaLog *deltaLog(const std::string &name) const;
+
+    /** The background compactor (policy from StoreOptions::compaction). */
+    lifecycle::Compactor &compactor() { return *compactor_; }
+
+    // CompactionHost (called by lifecycle::Compactor):
+    double lifecycleNowSeconds() const override;
+    void lifecycleScheduleAfter(double delay_seconds,
+                                std::function<void()> fn) override;
+    lifecycle::DeltaLogStats
+    deltaLogStats(const std::string &object) const override;
+    Status compactObjectNow(const std::string &object,
+                            uint64_t seal_seq) override;
+
+    /**
+     * Reassembles the full object (degraded-read capable). An object
+     * with a non-empty delta log returns the merged materialization —
+     * base rows plus appended rows re-serialized under the base's
+     * writer options, byte-identical to the post-compaction base.
+     */
     Result<Bytes> get(const std::string &name);
 
     /** Byte-range read of an object. */
@@ -395,6 +468,20 @@ class ObjectStore
     virtual fac::ObjectLayout
     buildLayout(const std::vector<fac::ChunkExtent> &extents) = 0;
 
+    /**
+     * Subclass hook: layout for a compaction re-stripe with a
+     * heat-driven co-location hint (new-generation chunk ids the
+     * re-stripe policy wants packed together). Defaults to ignoring
+     * the hint; FusionStore packs the hot set into leading stripes.
+     */
+    virtual fac::ObjectLayout
+    buildRestripeLayout(const std::vector<fac::ChunkExtent> &extents,
+                        const std::vector<uint32_t> &hot_chunks)
+    {
+        (void)hot_chunks;
+        return buildLayout(extents);
+    }
+
     /** Subclass hook: plan a (resolved) query against a manifest. */
     virtual Result<QueryPlan> planQuery(const ObjectManifest &manifest,
                                         const query::Query &q) = 0;
@@ -599,6 +686,16 @@ class ObjectStore
         obs::Histogram *queryLatency = nullptr;
         obs::Counter *healthUpdates = nullptr;
         obs::Counter *flightDumps = nullptr;
+        obs::Counter *appendAppends = nullptr;
+        obs::Counter *appendRows = nullptr;
+        obs::Counter *appendBytes = nullptr;
+        obs::Counter *appendDeltaScans = nullptr;
+        obs::Counter *compactionRuns = nullptr;
+        obs::Counter *compactionAborts = nullptr;
+        obs::Counter *compactionFoldedSegments = nullptr;
+        obs::Counter *compactionBytesIn = nullptr;
+        obs::Counter *compactionBytesOut = nullptr;
+        obs::Counter *compactionHotColocated = nullptr;
         /** health.node.<id> score gauges, indexed by node id. */
         std::vector<obs::Gauge *> healthGauges;
     };
@@ -618,6 +715,51 @@ class ObjectStore
     Result<Bytes> recoverBlock(const ObjectManifest &manifest,
                                size_t stripe, size_t block_index);
     void accountPlanResources(QueryPlan &plan) const;
+
+    // ---- lifecycle internals ----
+
+    /** Builds and writes an object's stripes WITHOUT touching
+     *  manifests_ — shared by put() (generation 0) and compaction
+     *  (generation + 1 with the re-stripe hint). */
+    struct StoredObject {
+        ObjectManifest manifest;
+        PutResult result;
+    };
+    Result<StoredObject>
+    buildStoredObject(const std::string &name, const Bytes &object,
+                      uint64_t generation,
+                      const std::vector<uint32_t> &hot_chunks);
+
+    /** Row-group size the base was written with (first full group). */
+    uint64_t baseRowGroupRows(const ObjectManifest &manifest) const;
+
+    /** Reads a replicated delta segment (first responsive replica). */
+    Result<Bytes> readDeltaSegment(const lifecycle::DeltaSegment &segment);
+
+    /** Base + appended rows as one table (the merged view). */
+    Result<format::Table>
+    materializeMergedTable(const ObjectManifest &manifest,
+                           const std::vector<const lifecycle::DeltaSegment *>
+                               &segments);
+
+    /** Merged table re-serialized under the base's writer options. */
+    Result<Bytes> materializeMergedBytes(const ObjectManifest &manifest,
+                                         const lifecycle::DeltaLog &log);
+
+    /** Folds every live delta segment into the planned base results:
+     *  sim tasks, row/aggregate merge, EXPLAIN entries, reply bytes. */
+    Status mergeDeltaIntoPlan(const ObjectManifest &manifest,
+                              const lifecycle::DeltaLog &log,
+                              const query::Query &resolved,
+                              QueryPlan &plan);
+
+    /** Drops the object's delta segments from their replicas. */
+    void dropDeltaBlocks(const lifecycle::DeltaLog &log,
+                         uint64_t up_to_seq);
+
+    /** Purges the decode/bitmap/plan memo entries of one object (its
+     *  content changed: delete, overwrite or compaction swap). */
+    void purgeObjectMemo(const std::string &name);
     /** Cluster fault-listener callback (crashes dump the recorder). */
     void onFaultEvent(double seconds, int kind, size_t node,
                       double slow_factor);
@@ -634,6 +776,14 @@ class ObjectStore
              std::shared_ptr<const query::Bitmap>>
         bitmapCache_;
     std::map<std::string, std::shared_ptr<const DataPlane>> planCache_;
+
+    /**
+     * Per-object append logs. An entry outlives an emptied log (the
+     * sequence counter must never rewind while the object exists) and
+     * is erased only by deleteObject.
+     */
+    std::map<std::string, lifecycle::DeltaLog> deltaLogs_;
+    std::unique_ptr<lifecycle::Compactor> compactor_;
 };
 
 } // namespace fusion::store

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Object lifecycle tests (src/lifecycle/): the append delta log, the
+ * background Compactor and the heat-driven re-stripe policy. The
+ * invariants probed here are the subsystem's contract:
+ *
+ *   - queries against base + live delta segments return exactly what a
+ *     monolithic put of the concatenated table returns;
+ *   - get() of an appended object is byte-identical to the fpax file
+ *     the compactor will eventually write (so compaction is
+ *     unobservable through the read path);
+ *   - compaction folds deterministically (generation bump, counters,
+ *     byte-identity) and an aborted fold leaves the old generation and
+ *     the full log untouched without keeping the DES alive;
+ *   - the re-stripe decision consults real access heat and surfaces in
+ *     the manifest and EXPLAIN;
+ *   - deleteObject leaves no residue: delta replicas, heat entries and
+ *     cache residency all drop with the object.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/reader.h"
+#include "lifecycle/delta_log.h"
+#include "query/parser.h"
+#include "store/fusion_store.h"
+#include "workload/lineitem.h"
+
+namespace fusion::store {
+namespace {
+
+struct TestRig {
+    std::unique_ptr<sim::Cluster> cluster;
+    std::unique_ptr<FusionStore> store;
+};
+
+TestRig
+makeRig(StoreOptions options = {}, size_t nodes = 9)
+{
+    TestRig rig;
+    sim::ClusterConfig config;
+    config.numNodes = nodes;
+    rig.cluster = std::make_unique<sim::Cluster>(config);
+    rig.store = std::make_unique<FusionStore>(*rig.cluster, options);
+    return rig;
+}
+
+/** Options with background compaction off, so delta logs stay live. */
+StoreOptions
+noCompactionOptions()
+{
+    StoreOptions options;
+    options.compaction.enabled = false;
+    return options;
+}
+
+/** Appends every row of `extra` onto a copy of `base`. */
+format::Table
+concatTables(const format::Table &base, const format::Table &extra)
+{
+    format::Table merged = base;
+    for (size_t col = 0; col < merged.numColumns(); ++col) {
+        const format::ColumnData &src = extra.column(col);
+        for (size_t i = 0; i < src.size(); ++i)
+            merged.column(col).appendValue(src.valueAt(i));
+    }
+    return merged;
+}
+
+/** The delta path merges aggregates incrementally (running AVG and
+ *  SUM folds), so doubles may differ from the single-pass reference in
+ *  the last few bits — everything else must match exactly. */
+void
+expectSameResult(const query::QueryResult &got,
+                 const query::QueryResult &want)
+{
+    EXPECT_EQ(got.rowsMatched, want.rowsMatched);
+    ASSERT_EQ(got.columns.size(), want.columns.size());
+    for (size_t i = 0; i < want.columns.size(); ++i) {
+        const auto &g = got.columns[i];
+        const auto &w = want.columns[i];
+        EXPECT_EQ(g.name, w.name);
+        EXPECT_EQ(g.isAggregate, w.isAggregate);
+        if (w.isAggregate) {
+            double tol =
+                1e-9 * std::max(1.0, std::fabs(w.aggregateValue));
+            EXPECT_NEAR(g.aggregateValue, w.aggregateValue, tol)
+                << "aggregate " << w.name;
+        } else {
+            EXPECT_TRUE(g.values == w.values) << "projection " << w.name;
+        }
+    }
+}
+
+constexpr size_t kBaseRows = 4000;
+// buildLineitemFile writes 10 row groups: 400 rows each, all full, so
+// the store's baseRowGroupRows probe and this constant agree.
+constexpr size_t kBaseGroupRows = 400;
+
+const std::vector<std::string> &
+coverageQueries()
+{
+    static const std::vector<std::string> queries = {
+        "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 25",
+        "SELECT l_orderkey FROM lineitem WHERE l_quantity < 4",
+        "SELECT SUM(l_extendedprice), AVG(l_discount) FROM lineitem "
+        "WHERE l_quantity >= 30",
+        "SELECT COUNT(*), MIN(l_extendedprice), MAX(l_extendedprice) "
+        "FROM lineitem",
+        "SELECT l_comment FROM lineitem WHERE l_returnflag = 'R'",
+        "SELECT * FROM lineitem WHERE l_orderkey < 40",
+    };
+    return queries;
+}
+
+TEST(LifecycleAppendTest, QueriesMergeDeltaSegments)
+{
+    TestRig rig = makeRig(noCompactionOptions());
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+
+    format::Table batch_a = workload::makeLineitemTable(120, 21);
+    format::Table batch_b = workload::makeLineitemTable(250, 22);
+    auto a = rig.store->append("lineitem", batch_a);
+    ASSERT_TRUE(a.isOk()) << a.status().toString();
+    EXPECT_EQ(a.value().seq, 0u);
+    EXPECT_EQ(a.value().rows, 120u);
+    EXPECT_EQ(a.value().replicas, rig.store->options().deltaReplicas);
+    EXPECT_GT(a.value().segmentBytes, 0u);
+    auto b = rig.store->append("lineitem", batch_b);
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(b.value().seq, 1u);
+    ASSERT_NE(rig.store->deltaLog("lineitem"), nullptr);
+    EXPECT_EQ(rig.store->deltaLog("lineitem")->size(), 2u);
+
+    // Reference: a monolithic put of the concatenated table, written
+    // with the same row-group geometry as the appended object's base.
+    TestRig ref = makeRig(noCompactionOptions());
+    format::Table merged =
+        concatTables(concatTables(workload::makeLineitemTable(kBaseRows, 7),
+                                  batch_a),
+                     batch_b);
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = kBaseGroupRows;
+    auto merged_file = format::writeTable(merged, writer_options);
+    ASSERT_TRUE(merged_file.isOk());
+    ASSERT_TRUE(
+        ref.store->put("lineitem", merged_file.value().bytes).isOk());
+
+    rig.store->obs().explainEnabled = true;
+    for (const std::string &text : coverageQueries()) {
+        auto got = rig.store->querySql(text);
+        auto want = ref.store->querySql(text);
+        ASSERT_TRUE(got.isOk()) << text << ": " << got.status().toString();
+        ASSERT_TRUE(want.isOk()) << text;
+        expectSameResult(got.value().result, want.value().result);
+        EXPECT_EQ(got.value().deltaSegmentsScanned, 2u) << text;
+        EXPECT_EQ(want.value().deltaSegmentsScanned, 0u) << text;
+        // The merge surfaces in EXPLAIN as per-segment delta rows.
+        ASSERT_NE(got.value().explain, nullptr);
+        bool has_delta = false;
+        for (const auto &chunk : got.value().explain->projections)
+            has_delta = has_delta || chunk.verdict == "delta";
+        EXPECT_TRUE(has_delta) << text;
+    }
+    EXPECT_EQ(rig.store->obs().metrics.counter("append.appends").value(),
+              2u);
+    EXPECT_EQ(rig.store->obs().metrics.counter("append.rows").value(),
+              370u);
+    EXPECT_GT(
+        rig.store->obs().metrics.counter("append.delta_scans").value(),
+        0u);
+}
+
+TEST(LifecycleAppendTest, GetReturnsMergedMaterialization)
+{
+    TestRig rig = makeRig(noCompactionOptions());
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+    format::Table batch = workload::makeLineitemTable(90, 33);
+    ASSERT_TRUE(rig.store->append("lineitem", batch).isOk());
+
+    format::Table merged =
+        concatTables(workload::makeLineitemTable(kBaseRows, 7), batch);
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = kBaseGroupRows;
+    auto want = format::writeTable(merged, writer_options);
+    ASSERT_TRUE(want.isOk());
+
+    auto got = rig.store->get("lineitem");
+    ASSERT_TRUE(got.isOk());
+    EXPECT_TRUE(got.value() == want.value().bytes);
+
+    // Range reads slice the same merged image.
+    auto slice = rig.store->get("lineitem", 100, 4096);
+    ASSERT_TRUE(slice.isOk());
+    EXPECT_TRUE(slice.value() ==
+                Bytes(want.value().bytes.begin() + 100,
+                      want.value().bytes.begin() + 100 + 4096));
+    EXPECT_FALSE(
+        rig.store->get("lineitem", want.value().bytes.size(), 1).isOk());
+}
+
+TEST(LifecycleCompactionTest, SizeTriggerFoldsLogAndBumpsGeneration)
+{
+    StoreOptions options;
+    options.compaction.maxDeltaSegments = 2;
+    TestRig rig = makeRig(options);
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(80, 41))
+            .isOk());
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(60, 42))
+            .isOk());
+
+    // The merged read before the fold is the compactor's target image.
+    auto before = rig.store->get("lineitem");
+    ASSERT_TRUE(before.isOk());
+    auto count_before =
+        rig.store->querySql("SELECT COUNT(*) FROM lineitem");
+    ASSERT_TRUE(count_before.isOk());
+
+    // The second append crossed maxDeltaSegments, so a fold is already
+    // scheduled; querySql above ran the engine to completion and the
+    // fold landed with it.
+    auto m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 1u);
+    ASSERT_NE(rig.store->deltaLog("lineitem"), nullptr);
+    EXPECT_TRUE(rig.store->deltaLog("lineitem")->empty());
+    EXPECT_EQ(rig.store->compactor().runs(), 1u);
+    EXPECT_EQ(rig.store->compactor().aborts(), 0u);
+
+    auto &metrics = rig.store->obs().metrics;
+    EXPECT_EQ(metrics.counter("compaction.runs").value(), 1u);
+    EXPECT_EQ(metrics.counter("compaction.folded_segments").value(), 2u);
+    EXPECT_GT(metrics.counter("compaction.bytes_in").value(), 0u);
+    EXPECT_GT(metrics.counter("compaction.bytes_out").value(), 0u);
+
+    // Compaction must be unobservable through reads: the new base is
+    // byte-identical to the pre-fold merged materialization, and the
+    // delta sequence counter never rewinds.
+    auto after = rig.store->get("lineitem");
+    ASSERT_TRUE(after.isOk());
+    EXPECT_TRUE(after.value() == before.value());
+    auto count_after =
+        rig.store->querySql("SELECT COUNT(*) FROM lineitem");
+    ASSERT_TRUE(count_after.isOk());
+    EXPECT_EQ(count_after.value().result.rowsMatched,
+              count_before.value().result.rowsMatched);
+    EXPECT_EQ(count_after.value().deltaSegmentsScanned, 0u);
+    EXPECT_EQ(rig.store->deltaLog("lineitem")->nextSeq(), 2u);
+
+    // A post-fold append lands in the new generation's log with the
+    // next monotone sequence number.
+    auto again =
+        rig.store->append("lineitem", workload::makeLineitemTable(10, 43));
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ(again.value().seq, 2u);
+}
+
+TEST(LifecycleCompactionTest, AgeTriggerFoldsWithoutSizePressure)
+{
+    StoreOptions options;
+    options.compaction.maxAgeSeconds = 0.05;
+    TestRig rig = makeRig(options);
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(30, 51))
+            .isOk());
+
+    // One small segment: far below both size thresholds, so only the
+    // age deadline can seal it. engine.run() must still return (the
+    // event chain is finite) with the fold done.
+    rig.cluster->engine().run();
+    auto m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 1u);
+    EXPECT_TRUE(rig.store->deltaLog("lineitem")->empty());
+    EXPECT_EQ(rig.store->compactor().runs(), 1u);
+    EXPECT_GE(rig.cluster->engine().now(), 0.05);
+}
+
+TEST(LifecycleCompactionTest, AbortLeavesOldGenerationAndLogIntact)
+{
+    StoreOptions options;
+    options.compaction.maxDeltaSegments = 2;
+    TestRig rig = makeRig(options);
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(40, 61))
+            .isOk());
+
+    // Kill n-k+1 nodes: the base can no longer be read even with
+    // parity, so the scheduled fold must abort — and must NOT re-arm
+    // itself (engine.run() returns instead of looping forever).
+    for (size_t node = 0; node < 4; ++node)
+        rig.cluster->killNode(node);
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(40, 62))
+            .isOk());
+    rig.cluster->engine().run();
+
+    EXPECT_GE(rig.store->compactor().aborts(), 1u);
+    EXPECT_EQ(rig.store->compactor().runs(), 0u);
+    EXPECT_GE(
+        rig.store->obs().metrics.counter("compaction.aborts").value(), 1u);
+    auto m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 0u);
+    EXPECT_EQ(rig.store->deltaLog("lineitem")->size(), 2u);
+
+    // Recovery: revive the nodes; the next append re-triggers the fold
+    // and it now succeeds over the full three-segment log.
+    for (size_t node = 0; node < 4; ++node)
+        rig.cluster->reviveNode(node);
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(40, 63))
+            .isOk());
+    rig.cluster->engine().run();
+    m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 1u);
+    EXPECT_TRUE(rig.store->deltaLog("lineitem")->empty());
+    EXPECT_EQ(rig.store->compactor().runs(), 1u);
+
+    format::Table merged = concatTables(
+        concatTables(
+            concatTables(workload::makeLineitemTable(kBaseRows, 7),
+                         workload::makeLineitemTable(40, 61)),
+            workload::makeLineitemTable(40, 62)),
+        workload::makeLineitemTable(40, 63));
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = kBaseGroupRows;
+    auto want = format::writeTable(merged, writer_options);
+    ASSERT_TRUE(want.isOk());
+    auto got = rig.store->get("lineitem");
+    ASSERT_TRUE(got.isOk());
+    EXPECT_TRUE(got.value() == want.value().bytes);
+}
+
+TEST(LifecycleRestripeTest, HotColumnsColocateAndSurfaceInExplain)
+{
+    TestRig rig = makeRig(noCompactionOptions());
+    rig.store->obs().explainEnabled = true;
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+
+    // A skewed workload: every query touches the quantity filter column
+    // and the extendedprice projection column, concentrating decayed
+    // heat on columns 4 and 5.
+    for (int i = 0; i < 12; ++i) {
+        auto outcome = rig.store->querySql(
+            "SELECT l_extendedprice FROM lineitem WHERE l_quantity > 30");
+        ASSERT_TRUE(outcome.isOk());
+    }
+
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(50, 71))
+            .isOk());
+    ASSERT_TRUE(rig.store->compactObject("lineitem").isOk());
+
+    auto m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 1u);
+    ASSERT_FALSE(m.value()->hotChunkIds.empty());
+    const size_t num_columns = workload::lineitemSchema().numColumns();
+    for (uint32_t chunk : m.value()->hotChunkIds) {
+        size_t column = chunk % num_columns;
+        EXPECT_TRUE(column == workload::kQuantity ||
+                    column == workload::kExtendedPrice)
+            << "unexpectedly hot column " << column;
+    }
+    EXPECT_GT(rig.store->obs()
+                  .metrics.counter("compaction.hot_colocated_chunks")
+                  .value(),
+              0u);
+
+    // The re-stripe is visible to the planner: projections on the hot
+    // column carry the co-location marker in their EXPLAIN reason.
+    auto outcome = rig.store->querySql(
+        "SELECT l_extendedprice FROM lineitem WHERE l_quantity > 30");
+    ASSERT_TRUE(outcome.isOk());
+    ASSERT_NE(outcome.value().explain, nullptr);
+    bool saw_marker = false;
+    for (const auto &chunk : outcome.value().explain->projections)
+        saw_marker = saw_marker ||
+                     chunk.reason.find("hot-colocated") !=
+                         std::string::npos;
+    EXPECT_TRUE(saw_marker);
+
+    // Results over the re-striped layout still match a fresh put.
+    TestRig ref = makeRig(noCompactionOptions());
+    format::Table merged =
+        concatTables(workload::makeLineitemTable(kBaseRows, 7),
+                     workload::makeLineitemTable(50, 71));
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = kBaseGroupRows;
+    auto merged_file = format::writeTable(merged, writer_options);
+    ASSERT_TRUE(merged_file.isOk());
+    ASSERT_TRUE(
+        ref.store->put("lineitem", merged_file.value().bytes).isOk());
+    for (const std::string &text : coverageQueries()) {
+        auto got = rig.store->querySql(text);
+        auto want = ref.store->querySql(text);
+        ASSERT_TRUE(got.isOk()) << text;
+        ASSERT_TRUE(want.isOk()) << text;
+        expectSameResult(got.value().result, want.value().result);
+    }
+}
+
+TEST(LifecycleRestripeTest, UniformHeatKeepsSizeOnlyLayout)
+{
+    TestRig rig = makeRig(noCompactionOptions());
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+    // No queries => no heat: the fold must fall back to the plain FAC
+    // layout with an empty co-location hint.
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(50, 72))
+            .isOk());
+    ASSERT_TRUE(rig.store->compactObject("lineitem").isOk());
+    auto m = rig.store->manifest("lineitem");
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(m.value()->generation, 1u);
+    EXPECT_TRUE(m.value()->hotChunkIds.empty());
+    EXPECT_EQ(rig.store->obs()
+                  .metrics.counter("compaction.hot_colocated_chunks")
+                  .value(),
+              0u);
+}
+
+TEST(LifecycleDeleteTest, DeleteEvictsDeltaReplicasHeatAndCache)
+{
+    StoreOptions options = noCompactionOptions();
+    options.cacheBytes = 8ULL << 20;
+    TestRig rig = makeRig(options);
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+    ASSERT_TRUE(
+        rig.store->append("lineitem", workload::makeLineitemTable(40, 81))
+            .isOk());
+    // Warm heat (base chunks + the delta alias) and cache residency.
+    ASSERT_TRUE(rig.store
+                    ->querySql("SELECT l_extendedprice FROM lineitem "
+                               "WHERE l_quantity > 30")
+                    .isOk());
+    double now = rig.cluster->engine().now();
+    EXPECT_GT(rig.store->obs().telemetry.heat().size(), 0u);
+    EXPECT_FALSE(
+        rig.store->obs().telemetry.heat().hottest(now, 4).empty());
+
+    ASSERT_TRUE(rig.store->deleteObject("lineitem").isOk());
+    EXPECT_FALSE(rig.store->contains("lineitem"));
+    EXPECT_EQ(rig.store->deltaLog("lineitem"), nullptr);
+    // No stale chunks anywhere the re-stripe policy or fusion_top
+    // consult, and no bytes left on any node (base stripes AND the
+    // replicated delta segments are gone).
+    EXPECT_EQ(rig.store->obs().telemetry.heat().size(), 0u);
+    EXPECT_EQ(rig.store->chunkCache().sizeBytes(), 0u);
+    uint64_t remaining = 0;
+    for (size_t node = 0; node < rig.cluster->numNodes(); ++node)
+        remaining += rig.cluster->node(node).storedBytes();
+    EXPECT_EQ(remaining, 0u);
+}
+
+TEST(LifecycleAppendTest, ValidationRejectsBadBatches)
+{
+    TestRig rig = makeRig(noCompactionOptions());
+    format::Table batch = workload::makeLineitemTable(10, 91);
+
+    // Unknown object.
+    EXPECT_FALSE(rig.store->append("missing", batch).isOk());
+
+    // Non-fpax object.
+    Bytes blob;
+    for (int i = 0; i < 1024; ++i)
+        blob.push_back(static_cast<uint8_t>(i & 0xff));
+    ASSERT_TRUE(rig.store->put("blob", blob).isOk());
+    EXPECT_EQ(rig.store->append("blob", batch).status().code(),
+              StatusCode::kFailedPrecondition);
+
+    auto base = workload::buildLineitemFile(kBaseRows, 7);
+    ASSERT_TRUE(base.isOk());
+    ASSERT_TRUE(rig.store->put("lineitem", base.value().bytes).isOk());
+
+    // Empty batch.
+    format::Table empty(workload::lineitemSchema());
+    EXPECT_EQ(rig.store->append("lineitem", empty).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Schema mismatch.
+    format::Schema narrow;
+    narrow.addColumn({"only", format::PhysicalType::kInt64,
+                      format::LogicalType::kNone});
+    format::Table mismatched(narrow);
+    mismatched.column(0).append(static_cast<int64_t>(1));
+    EXPECT_EQ(rig.store->append("lineitem", mismatched).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Nothing slipped into the log or the counters.
+    const lifecycle::DeltaLog *log = rig.store->deltaLog("lineitem");
+    EXPECT_TRUE(log == nullptr || log->empty());
+    EXPECT_EQ(rig.store->obs().metrics.counter("append.appends").value(),
+              0u);
+}
+
+} // namespace
+} // namespace fusion::store

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "query/parser.h"
 #include "sim/fault.h"
 #include "store/baseline_store.h"
@@ -480,6 +481,120 @@ TEST(RecoveryCacheTest, CrashReviveScheduleMatchesCacheOffReference)
     // The schedule actually bit, and the cache actually served.
     EXPECT_GE(cached_rig.store->faultStats().degradedChunkReads, 1u);
     EXPECT_GT(cached_rig.store->chunkCache().hits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle: a node crashes in the window between a delta log sealing
+// and the background fold landing. The old generation plus the full log
+// must stay bit-readable (degraded) inside the window, the fold itself
+// must complete through parity reconstruction, and every byte of it
+// must be identical for any worker-thread count.
+// ---------------------------------------------------------------------
+
+struct CompactionCrashRun {
+    Bytes midWindowBytes; // get() probed while the fold was in flight
+    Bytes finalBytes;     // get() after the fold landed, node still dead
+    uint64_t generation = 0;
+    uint64_t runs = 0;
+    uint64_t aborts = 0;
+    uint64_t parityReconstructions = 0;
+    std::string metricsJson;
+};
+
+CompactionCrashRun
+runCrashMidCompaction(size_t threads)
+{
+    ThreadPool::setSharedThreads(threads);
+
+    StoreOptions options;
+    options.compaction.maxDeltaSegments = 2;
+    TestRig rig = makeRig(true, options);
+    FUSION_CHECK(rig.store->put("lineitem", lineitemBytes()).isOk());
+    format::Table batch_a = workload::makeLineitemTable(80, 61);
+    format::Table batch_b = workload::makeLineitemTable(80, 62);
+    FUSION_CHECK(rig.store->append("lineitem", batch_a).isOk());
+    // The second append crosses maxDeltaSegments: the log seals and the
+    // fold is scheduled estimatedCompactSeconds ahead.
+    FUSION_CHECK(rig.store->append("lineitem", batch_b).isOk());
+    double fold_delay =
+        rig.store->deltaLogStats("lineitem").estimatedCompactSeconds;
+    FUSION_CHECK(fold_delay > 0.0);
+
+    // Crash a node halfway through the compaction window; it never
+    // comes back, so both the mid-window merge and the fold itself run
+    // degraded through parity reconstruction.
+    sim::FaultSchedule schedule;
+    schedule.crashAt(0.5 * fold_delay, 3);
+    rig.faults =
+        std::make_unique<sim::FaultInjector>(*rig.cluster, schedule);
+    rig.faults->arm();
+
+    CompactionCrashRun run;
+    sim::SimEngine &engine = rig.cluster->engine();
+    engine.scheduleAt(0.6 * fold_delay, [&rig, &run]() {
+        auto mid = rig.store->get("lineitem");
+        FUSION_CHECK_MSG(mid.isOk(), mid.status().toString());
+        run.midWindowBytes = std::move(mid.value());
+    });
+    engine.run();
+
+    auto final_bytes = rig.store->get("lineitem");
+    FUSION_CHECK_MSG(final_bytes.isOk(), final_bytes.status().toString());
+    run.finalBytes = std::move(final_bytes.value());
+    auto m = rig.store->manifest("lineitem");
+    FUSION_CHECK(m.isOk());
+    run.generation = m.value()->generation;
+    run.runs = rig.store->compactor().runs();
+    run.aborts = rig.store->compactor().aborts();
+    run.parityReconstructions =
+        rig.store->faultStats().parityReconstructions;
+    run.metricsJson = rig.store->obs().metrics.snapshot().toJson();
+    ThreadPool::setSharedThreads(1);
+    return run;
+}
+
+TEST(RecoveryLifecycleTest, CrashMidCompactionStaysReadableAllThreadCounts)
+{
+    // The reference image every probe must match: base + both batches
+    // re-serialized under the base's row-group geometry (4000 rows in
+    // 10 groups of 400 — the store probes the first group's size).
+    format::Table merged = workload::makeLineitemTable(4000, 7);
+    for (uint64_t seed : {61, 62}) {
+        format::Table batch = workload::makeLineitemTable(80, seed);
+        for (size_t col = 0; col < merged.numColumns(); ++col)
+            for (size_t i = 0; i < batch.column(col).size(); ++i)
+                merged.column(col).appendValue(
+                    batch.column(col).valueAt(i));
+    }
+    format::WriterOptions writer_options;
+    writer_options.rowGroupRows = 400;
+    auto want = format::writeTable(merged, writer_options);
+    ASSERT_TRUE(want.isOk());
+
+    CompactionCrashRun serial = runCrashMidCompaction(1);
+    // Mid-window: the fold had not landed, yet the degraded merged
+    // read already equals the future compacted base bit-for-bit.
+    EXPECT_EQ(serial.midWindowBytes, want.value().bytes);
+    // Post-fold: generation bumped, log folded, node still dead — the
+    // new base reads back identical through parity.
+    EXPECT_EQ(serial.finalBytes, want.value().bytes);
+    EXPECT_EQ(serial.generation, 1u);
+    EXPECT_EQ(serial.runs, 1u);
+    EXPECT_EQ(serial.aborts, 0u);
+    EXPECT_GT(serial.parityReconstructions, 0u);
+
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+        CompactionCrashRun run = runCrashMidCompaction(threads);
+        EXPECT_EQ(run.midWindowBytes, serial.midWindowBytes)
+            << threads << " threads";
+        EXPECT_EQ(run.finalBytes, serial.finalBytes)
+            << threads << " threads";
+        EXPECT_EQ(run.generation, serial.generation);
+        EXPECT_EQ(run.runs, serial.runs);
+        EXPECT_EQ(run.aborts, serial.aborts);
+        EXPECT_EQ(run.metricsJson, serial.metricsJson)
+            << threads << " threads";
+    }
 }
 
 TEST(RecoveryTest, RepairAfterMediaLossCountsReconstructions)

@@ -381,5 +381,48 @@ TEST(LintRepo, SchedModuleIsClean)
     EXPECT_EQ(leaks, 0u) << msg;
 }
 
+/** The lifecycle subsystem (append log, compactor, re-stripe policy)
+ *  mutates store state from DES callbacks — the same lifetime shape
+ *  the sched rules police — so it gets its own clean-scan gate. */
+TEST(LintRepo, LifecycleModuleIsClean)
+{
+    const fs::path dir =
+        fs::path(FUSION_LINT_SOURCE_ROOT) / "src/lifecycle";
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    std::vector<std::string> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp")
+            files.push_back(entry.path().generic_string());
+    }
+    std::sort(files.begin(), files.end());
+    ASSERT_GT(files.size(), 1u) << "lifecycle module scan set empty";
+
+    std::vector<std::string> unorderedNames;
+    std::vector<std::pair<std::string, std::string>> contents;
+    for (const std::string &file : files) {
+        contents.emplace_back(file, readFile(file));
+        for (auto &n : collectUnorderedNames(contents.back().second))
+            unorderedNames.push_back(std::move(n));
+    }
+    std::sort(unorderedNames.begin(), unorderedNames.end());
+
+    std::string msg;
+    size_t leaks = 0;
+    for (const auto &[file, content] : contents) {
+        FileReport report = lintSource(file, content,
+                                       Options::defaults(),
+                                       unorderedNames);
+        for (const Finding &f : report.findings) {
+            ++leaks;
+            msg += f.file + ":" + std::to_string(f.line) + ": [" +
+                   f.rule + "] " + f.message + "\n";
+        }
+    }
+    EXPECT_EQ(leaks, 0u) << msg;
+}
+
 } // namespace
 } // namespace fusion::lint
